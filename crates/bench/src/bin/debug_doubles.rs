@@ -1,0 +1,44 @@
+//! Diagnostic: where do syslog double-down periods come from?
+
+use faultline_topology::time::Duration;
+
+fn main() {
+    let data = faultline_bench::paper_scenario();
+    let a = faultline_bench::analyze(&data);
+    let doubles: Vec<_> = a
+        .syslog_recon
+        .ambiguous
+        .iter()
+        .filter(|p| p.direction == faultline_isis::listener::TransitionDirection::Down)
+        .collect();
+    println!("total double-downs: {}", doubles.len());
+    // Span histogram.
+    let mut short = 0;
+    let mut med = 0;
+    let mut long = 0;
+    for p in &doubles {
+        let span = p.second - p.first;
+        if span < Duration::from_secs(60) {
+            short += 1;
+        } else if span < Duration::from_secs(3600) {
+            med += 1;
+        } else {
+            long += 1;
+        }
+    }
+    println!("span <60s: {short}, 60s-1h: {med}, >1h: {long}");
+
+    // Show context for a sample.
+    for p in doubles.iter().take(8) {
+        println!("\n== double-down on {:?}: {} .. {}", a.table.name(p.link), p.first, p.second);
+        let margin = Duration::from_secs(90);
+        for m in &a.messages {
+            if m.link == p.link
+                && m.at + margin >= p.first
+                && m.at <= p.second + margin
+            {
+                println!("  msg {} {:?} {:?} {:?} host={}", m.at, m.direction, m.family, m.detail, m.host);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Diagnostic: inspect one flapping link's syslog vs IS-IS view.
+
+use faultline_core::flap::detect_episodes;
+use faultline_topology::time::Duration;
+use std::collections::HashMap;
+
+fn main() {
+    let data = faultline_bench::paper_scenario();
+    let a = faultline_bench::analyze(&data);
+
+    // Per-link failure counts and gap stats.
+    let mut isis_gaps_small = 0u64;
+    let mut isis_gaps = 0u64;
+    let mut sys_gaps_small = 0u64;
+    let mut sys_gaps = 0u64;
+    let count_gaps = |fails: &[faultline_core::Failure], small: &mut u64, total: &mut u64| {
+        let mut per_link: HashMap<_, Vec<_>> = HashMap::new();
+        for f in fails {
+            per_link.entry(f.link).or_default().push(f);
+        }
+        for v in per_link.values() {
+            for w in v.windows(2) {
+                *total += 1;
+                if (w[1].start - w[0].end) < Duration::from_secs(600) {
+                    *small += 1;
+                }
+            }
+        }
+    };
+    count_gaps(&a.isis_failures, &mut isis_gaps_small, &mut isis_gaps);
+    count_gaps(&a.syslog_failures, &mut sys_gaps_small, &mut sys_gaps);
+    println!(
+        "isis gaps: {isis_gaps} ({isis_gaps_small} < 10min); syslog gaps: {sys_gaps} ({sys_gaps_small} < 10min)"
+    );
+
+    let eps = detect_episodes(&a.isis_failures, Duration::from_secs(600));
+    println!("isis episodes: {}", eps.len());
+    let eps_s = detect_episodes(&a.syslog_failures, Duration::from_secs(600));
+    println!("syslog episodes: {}", eps_s.len());
+
+    // Pick the link with the most IS-IS failures and dump both views
+    // around its biggest episode.
+    let ep = eps.iter().max_by_key(|e| e.count).expect("some episode");
+    println!(
+        "\nbiggest isis episode: link {:?} count {} from {} to {}",
+        a.table.name(ep.link),
+        ep.count,
+        ep.from,
+        ep.to
+    );
+    let margin = Duration::from_secs(600);
+    println!("-- isis failures in window --");
+    for f in &a.isis_failures {
+        if f.link == ep.link && f.end + margin >= ep.from && f.start <= ep.to + margin {
+            println!("  {} .. {} ({})", f.start, f.end, f.duration());
+        }
+    }
+    println!("-- syslog failures in window --");
+    for f in &a.syslog_failures {
+        if f.link == ep.link && f.end + margin >= ep.from && f.start <= ep.to + margin {
+            println!("  {} .. {} ({})", f.start, f.end, f.duration());
+        }
+    }
+    println!("-- syslog transitions in window --");
+    for t in &a.syslog_transitions {
+        if t.link == ep.link
+            && t.at + margin >= ep.from
+            && t.at <= ep.to + margin
+        {
+            println!("  {} {:?}", t.at, t.direction);
+        }
+    }
+    println!("-- raw resolved messages in window --");
+    for m in &a.messages {
+        if m.link == ep.link && m.at + margin >= ep.from && m.at <= ep.to + margin {
+            println!("  {} {:?} {:?} host={}", m.at, m.direction, m.family, m.host);
+        }
+    }
+}

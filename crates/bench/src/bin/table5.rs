@@ -1,0 +1,23 @@
+//! Regenerates Table 5: per-link failure statistics (annualized failures
+//! per link, failure duration, time between failures, annualized link
+//! downtime), each summarized as median/average/95th percentile, split by
+//! Core/CPE and by data source, plus the §4.2 KS tests.
+//!
+//! Key paper values (syslog vs IS-IS):
+//!   Core failures/link median 5.7 vs 6.6; CPE 11.3 vs 12.3
+//!   Core duration median 52 s vs 42 s; CPE 10 s vs 12 s
+//!   Core downtime median 0.6 h vs 0.8 h; CPE 1.9 h vs 2.4 h
+//!   KS: consistent for failures/link and downtime, NOT for duration.
+
+use faultline_topology::link::LinkClass;
+
+fn main() {
+    let data = faultline_bench::paper_scenario();
+    let analysis = faultline_bench::analyze(&data);
+    println!("{}", analysis.table5());
+    println!();
+    println!("-- Core links --");
+    println!("{}", analysis.ks_tests(LinkClass::Core));
+    println!("-- CPE links --");
+    println!("{}", analysis.ks_tests(LinkClass::Cpe));
+}

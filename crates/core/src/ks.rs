@@ -1,0 +1,194 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! §4.2: *"when we compare distributions for goodness of fit (using the
+//! two-tailed Kolmogorov-Smirnov statistic) we find that syslog and IS-IS
+//! produce consistent data for failures per link as well as link
+//! downtime, but not failure duration."* This module implements the
+//! two-sample statistic
+//! `D = sup_x |F1(x) − F2(x)|` and the asymptotic p-value
+//! `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}` with the usual
+//! finite-sample correction `λ = (√n_e + 0.12 + 0.11/√n_e) · D`.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D`.
+    pub statistic: f64,
+    /// Asymptotic two-tailed p-value.
+    pub p_value: f64,
+    /// Effective sample size `n1·n2/(n1+n2)`.
+    pub effective_n: f64,
+}
+
+impl KsResult {
+    /// Are the samples consistent with one distribution at level `alpha`?
+    pub fn consistent_at(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Two-sample KS test. Both samples are copied and sorted internally.
+///
+/// # Examples
+///
+/// ```
+/// use faultline_core::ks::ks_two_sample;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0];
+/// let r = ks_two_sample(&a, &a);
+/// assert_eq!(r.statistic, 0.0);
+/// assert!(r.consistent_at(0.05));
+///
+/// let far = [100.0, 200.0, 300.0];
+/// assert_eq!(ks_two_sample(&a, &far).statistic, 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut x: Vec<f64> = a.to_vec();
+    let mut y: Vec<f64> = b.to_vec();
+    x.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS sample"));
+    y.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS sample"));
+
+    let (n1, n2) = (x.len(), y.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let xv = x[i];
+        let yv = y[j];
+        let t = xv.min(yv);
+        while i < n1 && x[i] <= t {
+            i += 1;
+        }
+        while j < n2 && y[j] <= t {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        effective_n: ne,
+    }
+}
+
+/// The Kolmogorov survival function `Q(λ)`.
+///
+/// Uses the alternating series for large λ and the theta-function dual
+/// series for small λ, where the alternating series converges too slowly
+/// to be numerically monotone.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    if lambda < 1.18 {
+        // Q = 1 − √(2π)/λ · Σ_{k≥1} exp(−(2k−1)²π²/(8λ²)).
+        let mut sum = 0.0;
+        for k in 1..=20 {
+            let m = (2 * k - 1) as f64;
+            sum += (-(m * m) * std::f64::consts::PI.powi(2) / (8.0 * lambda * lambda)).exp();
+        }
+        let p = (2.0 * std::f64::consts::PI).sqrt() / lambda * sum;
+        return (1.0 - p).clamp(0.0, 1.0);
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ks_two_sample(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+        assert!(r.consistent_at(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        let r = ks_two_sample(&a, &b);
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 0.1);
+    }
+
+    #[test]
+    fn same_distribution_usually_consistent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Vec<f64> = (0..2_000).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..2_000).map(|_| rng.random::<f64>()).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.consistent_at(0.01), "p = {}", r.p_value);
+        assert!(r.statistic < 0.06);
+    }
+
+    #[test]
+    fn shifted_distribution_detected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a: Vec<f64> = (0..2_000).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..2_000).map(|_| rng.random::<f64>() + 0.15).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.consistent_at(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn q_function_reference_values() {
+        // Known values of the Kolmogorov distribution.
+        assert!((kolmogorov_q(0.5) - 0.9639).abs() < 5e-3);
+        assert!((kolmogorov_q(1.0) - 0.2700).abs() < 5e-3);
+        assert!((kolmogorov_q(1.36) - 0.0505).abs() < 5e-3);
+        assert!((kolmogorov_q(2.0) - 0.00067).abs() < 5e-4);
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert_eq!(kolmogorov_q(-1.0), 1.0);
+    }
+
+    #[test]
+    fn unequal_sizes_supported() {
+        let a = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+        let b = [0.15, 0.55, 0.85];
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic > 0.0 && r.statistic < 1.0);
+        assert!((r.effective_n - (9.0 * 3.0 / 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicated_values_handled() {
+        let a = [1.0, 1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        ks_two_sample(&[], &[1.0]);
+    }
+}

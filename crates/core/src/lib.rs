@@ -1,0 +1,52 @@
+//! # faultline-core
+//!
+//! The analysis pipeline of "A Comparison of Syslog and IS-IS for Network
+//! Failure Analysis" (Turner et al., IMC 2013) — the paper's contribution.
+//!
+//! Given the two contemporaneous observables a network operator can record
+//! (a syslog archive and a passive IS-IS listener's LSP-derived transition
+//! log), plus a mined router-config archive for naming, this crate:
+//!
+//! 1. resolves both data sources to the common §3.4 link naming convention
+//!    ([`linktable`]);
+//! 2. converts each into per-link state *transitions* ([`transitions`]) —
+//!    including the both-ends AND-merge that turns two routers' LSP
+//!    withdrawals into one link-level IS-IS event;
+//! 3. reconstructs *failures* (DOWN→UP intervals) from each transition
+//!    stream, applying a selectable strategy for nonsensical double
+//!    up/down messages ([`reconstruct`]);
+//! 4. sanitizes: drops failures spanning listener outages and verifies
+//!    long syslog failures against trouble tickets ([`sanitize`]);
+//! 5. matches transitions and failures across sources within the ±10 s
+//!    window ([`matching`]);
+//! 6. computes the paper's statistics: annualized per-link failure rates,
+//!    durations, time-between-failures, downtime, CDFs, and the
+//!    two-sample Kolmogorov–Smirnov test ([`stats`], [`ks`]);
+//! 7. detects flapping ([`flap`]), classifies syslog false positives and
+//!    ambiguous double messages ([`fp`]);
+//! 8. reconstructs customer-isolation events from each source and
+//!    compares them ([`isolation`]);
+//! 9. wraps it all in [`analysis::Analysis`], which regenerates every
+//!    table and figure of the paper from a
+//!    [`faultline_sim::ScenarioData`]; [`export`] writes the underlying
+//!    traces as CSV for downstream tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod export;
+pub mod flap;
+pub mod fp;
+pub mod isolation;
+pub mod ks;
+pub mod linktable;
+pub mod matching;
+pub mod reconstruct;
+pub mod sanitize;
+pub mod stats;
+pub mod transitions;
+
+pub use analysis::{Analysis, AnalysisConfig};
+pub use linktable::{LinkIx, LinkTable};
+pub use reconstruct::{AmbiguityStrategy, Failure};

@@ -1,0 +1,313 @@
+//! The common naming layer (§3.4).
+//!
+//! Syslog identifies a link end by `(hostname, interface)`; IS-IS LSPs
+//! identify routers by system ID, adjacencies by system-ID pairs, and
+//! links (uniquely, thanks to CENIC's /31 numbering) by prefix. Neither
+//! can be compared directly, so the paper maps both onto the link names
+//! recovered by mining router configuration files. [`LinkTable`] is that
+//! mapping, built from a [`MinedInventory`] plus the listener's
+//! hostname-TLV map.
+
+use faultline_topology::config::MinedInventory;
+use faultline_topology::interface::InterfaceName;
+use faultline_topology::link::{LinkClass, LinkName};
+use faultline_topology::osi::SystemId;
+use faultline_topology::subnet::Subnet31;
+use faultline_topology::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense index of a link within a [`LinkTable`]. Distinct from the
+/// topology's `LinkId`: the analysis only knows what mining recovered.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LinkIx(pub u32);
+
+/// The resolution layer joining both data sources.
+#[derive(Debug, Clone, Default)]
+pub struct LinkTable {
+    names: Vec<LinkName>,
+    classes: Vec<LinkClass>,
+    /// Active window per link (provisioning history from the config
+    /// archive), used to annualize per-link rates.
+    windows: Vec<(Timestamp, Timestamp)>,
+    by_iface: HashMap<(String, InterfaceName), LinkIx>,
+    by_subnet: HashMap<Subnet31, LinkIx>,
+    by_hostpair: HashMap<(String, String), Vec<LinkIx>>,
+    host_of_sysid: HashMap<SystemId, String>,
+    /// False for members of multi-link adjacencies.
+    resolvable: Vec<bool>,
+}
+
+impl LinkTable {
+    /// Build from a mined inventory, a system-ID → hostname map (from
+    /// Dynamic Hostname TLVs), and per-link active windows.
+    ///
+    /// A link's class is inferred from its hostnames: an endpoint whose
+    /// hostname starts with `cust` is customer-premises equipment, making
+    /// the link a CPE link; otherwise it is a Core link.
+    pub fn new(
+        inventory: &MinedInventory,
+        hostnames: &HashMap<SystemId, String>,
+        windows: impl Fn(&LinkName) -> (Timestamp, Timestamp),
+    ) -> Self {
+        let mut t = LinkTable {
+            host_of_sysid: hostnames.clone(),
+            ..LinkTable::default()
+        };
+        for (i, l) in inventory.links.iter().enumerate() {
+            let ix = LinkIx(i as u32);
+            t.names.push(l.name.clone());
+            let is_cpe = l.a.0.starts_with("cust") || l.b.0.starts_with("cust");
+            t.classes.push(if is_cpe {
+                LinkClass::Cpe
+            } else {
+                LinkClass::Core
+            });
+            t.windows.push(windows(&l.name));
+            t.by_iface.insert((l.a.0.clone(), l.a.1.clone()), ix);
+            t.by_iface.insert((l.b.0.clone(), l.b.1.clone()), ix);
+            t.by_subnet.insert(l.subnet, ix);
+            let key = Self::pair_key(&l.a.0, &l.b.0);
+            t.by_hostpair.entry(key).or_default().push(ix);
+        }
+        t.resolvable = vec![true; t.names.len()];
+        for members in t.by_hostpair.values() {
+            if members.len() > 1 {
+                for &m in members {
+                    t.resolvable[m.0 as usize] = false;
+                }
+            }
+        }
+        t
+    }
+
+    fn pair_key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if mining recovered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Canonical name of a link.
+    pub fn name(&self, ix: LinkIx) -> &LinkName {
+        &self.names[ix.0 as usize]
+    }
+
+    /// Core or CPE.
+    pub fn class(&self, ix: LinkIx) -> LinkClass {
+        self.classes[ix.0 as usize]
+    }
+
+    /// Active window of a link.
+    pub fn window(&self, ix: LinkIx) -> (Timestamp, Timestamp) {
+        self.windows[ix.0 as usize]
+    }
+
+    /// Active years of a link (annualization denominator, Table 5).
+    pub fn years(&self, ix: LinkIx) -> f64 {
+        let (from, to) = self.windows[ix.0 as usize];
+        (to - from).as_years_f64()
+    }
+
+    /// Resolve a syslog-side key.
+    pub fn by_interface(&self, host: &str, iface: &InterfaceName) -> Option<LinkIx> {
+        self.by_iface.get(&(host.to_string(), iface.clone())).copied()
+    }
+
+    /// Resolve an IP-reachability-side key.
+    pub fn by_subnet(&self, subnet: Subnet31) -> Option<LinkIx> {
+        self.by_subnet.get(&subnet).copied()
+    }
+
+    /// Resolve an IS-reachability-side key: the links between two routers
+    /// identified by system ID. More than one entry is a *multi-link
+    /// adjacency* — unresolvable from IS reachability alone (§3.4).
+    pub fn by_sysid_pair(&self, a: SystemId, b: SystemId) -> &[LinkIx] {
+        let (Some(ha), Some(hb)) = (self.host_of_sysid.get(&a), self.host_of_sysid.get(&b))
+        else {
+            return &[];
+        };
+        self.by_hostpair
+            .get(&Self::pair_key(ha, hb))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Hostname for a system ID (learned from hostname TLVs).
+    pub fn hostname(&self, sysid: SystemId) -> Option<&str> {
+        self.host_of_sysid.get(&sysid).map(String::as_str)
+    }
+
+    /// All link indices.
+    pub fn iter(&self) -> impl Iterator<Item = LinkIx> + '_ {
+        (0..self.names.len() as u32).map(LinkIx)
+    }
+
+    /// Links whose state IS reachability can resolve (i.e. not part of a
+    /// multi-link adjacency). The paper omits multi-link members, ~20% of
+    /// physical links.
+    pub fn is_resolvable(&self, ix: LinkIx) -> bool {
+        self.resolvable[ix.0 as usize]
+    }
+
+    /// Number of multi-link router pairs.
+    pub fn multi_link_pairs(&self) -> usize {
+        self.by_hostpair.values().filter(|v| v.len() > 1).count()
+    }
+}
+
+/// Build the standard `LinkTable` for a simulated scenario: render the
+/// config archive from the topology, mine it, and attach the listener's
+/// hostname map and the per-link windows.
+pub fn from_scenario(data: &faultline_sim::ScenarioData) -> LinkTable {
+    let inventory = faultline_topology::config::mine_topology(&data.topology);
+    // Windows are keyed by canonical name; build the lookup from the
+    // topology's own names.
+    let mut window_of: HashMap<String, (Timestamp, Timestamp)> = HashMap::new();
+    for (i, w) in data.link_windows.iter().enumerate() {
+        let name = data
+            .topology
+            .link_name(faultline_topology::link::LinkId(i as u32));
+        window_of.insert(name.to_string(), (w.from, w.to));
+    }
+    let period_end = Timestamp::from_millis((data.period_days * 86_400_000.0) as u64);
+    LinkTable::new(&inventory, &data.hostnames, |name| {
+        window_of
+            .get(&name.to_string())
+            .copied()
+            .unwrap_or((Timestamp::EPOCH, period_end))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_sim::scenario::{run, ScenarioParams};
+    use faultline_topology::config::mine_topology;
+    use faultline_topology::generator::CenicParams;
+
+    fn table_for(seed: u64) -> (faultline_topology::Topology, LinkTable) {
+        let topo = CenicParams::tiny(seed).generate();
+        let inventory = mine_topology(&topo);
+        let hostnames: HashMap<SystemId, String> = topo
+            .routers()
+            .iter()
+            .map(|r| (r.system_id, r.hostname.clone()))
+            .collect();
+        let table = LinkTable::new(&inventory, &hostnames, |_| {
+            (Timestamp::EPOCH, Timestamp::from_secs(86_400 * 365))
+        });
+        (topo, table)
+    }
+
+    #[test]
+    fn covers_all_mined_links() {
+        let (topo, table) = table_for(3);
+        assert_eq!(table.len(), topo.links().len());
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn interface_resolution_matches_topology() {
+        let (topo, table) = table_for(3);
+        for l in topo.links() {
+            for ep in [&l.a, &l.b] {
+                let host = &topo.router(ep.router).hostname;
+                let ix = table
+                    .by_interface(host, &ep.interface)
+                    .unwrap_or_else(|| panic!("unresolved {host}:{}", ep.interface));
+                assert_eq!(table.name(ix), &topo.link_name(l.id));
+            }
+        }
+    }
+
+    #[test]
+    fn subnet_resolution_matches_topology() {
+        let (topo, table) = table_for(4);
+        for l in topo.links() {
+            let ix = table.by_subnet(l.subnet).expect("subnet resolvable");
+            assert_eq!(table.name(ix), &topo.link_name(l.id));
+        }
+    }
+
+    #[test]
+    fn sysid_pair_resolution_and_multilink() {
+        let (topo, table) = table_for(5);
+        assert_eq!(table.multi_link_pairs(), topo.multi_link_pairs());
+        for l in topo.links() {
+            let sa = topo.router(l.a.router).system_id;
+            let sb = topo.router(l.b.router).system_id;
+            let links = table.by_sysid_pair(sa, sb);
+            assert_eq!(links.len(), topo.links_between(l.a.router, l.b.router).len());
+        }
+    }
+
+    #[test]
+    fn class_inferred_from_hostnames() {
+        let (topo, table) = table_for(6);
+        for l in topo.links() {
+            let name = topo.link_name(l.id);
+            let ix = table.by_subnet(l.subnet).unwrap();
+            assert_eq!(table.class(ix), l.class, "misclassified {name}");
+        }
+    }
+
+    #[test]
+    fn resolvability_excludes_parallel_members() {
+        let (topo, table) = table_for(7);
+        let mut unresolvable = 0;
+        for ix in table.iter() {
+            if !table.is_resolvable(ix) {
+                unresolvable += 1;
+            }
+        }
+        let expected: usize = topo
+            .links()
+            .iter()
+            .filter(|l| l.parallel_group.is_some())
+            .count();
+        assert_eq!(unresolvable, expected);
+    }
+
+    #[test]
+    fn from_scenario_builds_consistent_table() {
+        let data = run(&ScenarioParams::tiny(3));
+        let table = from_scenario(&data);
+        assert_eq!(table.len(), data.topology.links().len());
+        // Windows must mirror the scenario's.
+        for (i, w) in data.link_windows.iter().enumerate() {
+            let name = data
+                .topology
+                .link_name(faultline_topology::link::LinkId(i as u32));
+            let ix = table
+                .iter()
+                .find(|&ix| table.name(ix).to_string() == name.to_string())
+                .unwrap();
+            assert_eq!(table.window(ix), (w.from, w.to));
+        }
+    }
+
+    #[test]
+    fn unknown_keys_resolve_to_nothing() {
+        let (_, table) = table_for(8);
+        assert!(table
+            .by_interface("nonexistent", &InterfaceName::gig(0))
+            .is_none());
+        assert!(table
+            .by_sysid_pair(SystemId::from_index(9999), SystemId::from_index(9998))
+            .is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! Failure reconstruction from per-link transition streams.
+//!
+//! A *failure* is a DOWN transition followed by an UP transition on the
+//! same link (§4.1). For syslog, both endpoint routers report each
+//! transition, so same-direction messages arriving close together are
+//! first merged as confirmations of one transition
+//! ([`dedup_syslog`]). What remains should alternate Down/Up — but does
+//! not always: §4.3 finds 461 down messages preceded by another down and
+//! 202 ups preceded by another up. The link state between such *double*
+//! messages is ambiguous (a message was lost, or the repeat was a spurious
+//! reminder). [`AmbiguityStrategy`] selects among the paper's three
+//! candidate interpretations; the paper's conclusion — keep the previous
+//! state, i.e. treat the repeat as spurious — is the default.
+
+use crate::linktable::LinkIx;
+use crate::transitions::{LinkTransition, MessageFamily, ResolvedMessage};
+use faultline_isis::listener::TransitionDirection;
+use faultline_topology::time::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A reconstructed failure interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Failure {
+    /// The failed link.
+    pub link: LinkIx,
+    /// DOWN transition time.
+    pub start: Timestamp,
+    /// UP transition time.
+    pub end: Timestamp,
+}
+
+impl Failure {
+    /// Failure duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Do two intervals overlap (closed intervals)?
+    pub fn overlaps(&self, other: &Failure) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+/// A period between two same-direction messages, whose true link state is
+/// ambiguous (§4.3, Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmbiguousPeriod {
+    /// The link in question.
+    pub link: LinkIx,
+    /// Time of the first message of the pair.
+    pub first: Timestamp,
+    /// Time of the repeated message.
+    pub second: Timestamp,
+    /// Direction both messages assert.
+    pub direction: TransitionDirection,
+}
+
+/// How to interpret the ambiguous period between double messages. The
+/// paper evaluates all three and finds `PreviousState` brings syslog
+/// downtime closest to IS-IS downtime (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AmbiguityStrategy {
+    /// Treat the repeated message as a spurious retransmission; the link
+    /// stays in the state the first message established. (Paper's pick.)
+    #[default]
+    PreviousState,
+    /// Assume the link was down during the ambiguous period: a double-up's
+    /// span is counted as downtime (the first up was premature).
+    AssumeDown,
+    /// Assume the link was up during the ambiguous period: a double-down
+    /// restarts the failure at the second message (the first failure ended
+    /// at an unknown earlier time and contributes no downtime).
+    AssumeUp,
+}
+
+/// Output of reconstruction.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Reconstruction {
+    /// Failures, sorted by `(link, start)`.
+    pub failures: Vec<Failure>,
+    /// Ambiguous periods encountered (for Table 6).
+    pub ambiguous: Vec<AmbiguousPeriod>,
+    /// DOWNs never followed by an UP (dropped, counted).
+    pub unterminated: u32,
+    /// UP transitions with no preceding DOWN at a stream boundary
+    /// (ignored, counted).
+    pub boundary_ups: u32,
+}
+
+impl Reconstruction {
+    /// Total downtime across all failures.
+    pub fn total_downtime(&self) -> Duration {
+        self.failures
+            .iter()
+            .fold(Duration::ZERO, |acc, f| acc.saturating_add(f.duration()))
+    }
+
+    /// Failures on one link (slice of the sorted vector).
+    pub fn failures_on(&self, link: LinkIx) -> impl Iterator<Item = &Failure> {
+        self.failures.iter().filter(move |f| f.link == link)
+    }
+}
+
+/// Merge both-end confirmations of the same transition: a message with the
+/// same link and direction as the immediately preceding *kept* message on
+/// that link, within `window`, is a confirmation, not a new transition.
+///
+/// Only IS-IS-adjacency-family messages participate; physical-media
+/// messages serve Table 2's matching, not reconstruction.
+pub fn dedup_syslog(messages: &[ResolvedMessage], window: Duration) -> Vec<LinkTransition> {
+    let mut out: Vec<LinkTransition> = Vec::new();
+    // Last kept transition per link.
+    let mut last: HashMap<LinkIx, (Timestamp, TransitionDirection)> = HashMap::new();
+    for m in messages {
+        if m.family != MessageFamily::IsisAdjacency {
+            continue;
+        }
+        if let Some(&(at, dir)) = last.get(&m.link) {
+            if dir == m.direction && m.at.abs_diff(at) <= window {
+                // Confirmation from the other end; refresh the anchor so
+                // chains of confirmations keep merging.
+                last.insert(m.link, (m.at, dir));
+                continue;
+            }
+        }
+        last.insert(m.link, (m.at, m.direction));
+        out.push(LinkTransition {
+            at: m.at,
+            link: m.link,
+            direction: m.direction,
+        });
+    }
+    out
+}
+
+/// Reconstruct failures from an alternating-with-exceptions transition
+/// stream. `transitions` must be sorted by time (both producers in this
+/// crate emit sorted streams).
+///
+/// # Examples
+///
+/// ```
+/// use faultline_core::reconstruct::{reconstruct, AmbiguityStrategy};
+/// use faultline_core::transitions::LinkTransition;
+/// use faultline_core::linktable::LinkIx;
+/// use faultline_isis::listener::TransitionDirection::{Down, Up};
+/// use faultline_topology::time::Timestamp;
+///
+/// let tr = |at, direction| LinkTransition {
+///     at: Timestamp::from_secs(at), link: LinkIx(0), direction,
+/// };
+/// let r = reconstruct(&[tr(10, Down), tr(70, Up)], AmbiguityStrategy::PreviousState);
+/// assert_eq!(r.failures.len(), 1);
+/// assert_eq!(r.total_downtime().as_secs(), 60);
+/// ```
+pub fn reconstruct(
+    transitions: &[LinkTransition],
+    strategy: AmbiguityStrategy,
+) -> Reconstruction {
+    #[derive(Clone, Copy)]
+    struct LinkState {
+        /// Open failure start, if the link is currently considered down.
+        open: Option<Timestamp>,
+        /// Time of the last transition message.
+        last_at: Option<Timestamp>,
+        last_dir: Option<TransitionDirection>,
+        /// Index into `failures` of the last closed failure on this link.
+        last_closed: Option<usize>,
+    }
+
+    let mut states: HashMap<LinkIx, LinkState> = HashMap::new();
+    let mut failures: Vec<Failure> = Vec::new();
+    let mut ambiguous = Vec::new();
+    let mut boundary_ups = 0;
+
+    for t in transitions {
+        let s = states.entry(t.link).or_insert(LinkState {
+            open: None,
+            last_at: None,
+            last_dir: None,
+            last_closed: None,
+        });
+        match (t.direction, s.open) {
+            (TransitionDirection::Down, None) => {
+                s.open = Some(t.at);
+            }
+            (TransitionDirection::Up, Some(start)) => {
+                let idx = failures.len();
+                failures.push(Failure {
+                    link: t.link,
+                    start,
+                    end: t.at,
+                });
+                s.open = None;
+                s.last_closed = Some(idx);
+            }
+            (TransitionDirection::Down, Some(_)) => {
+                // Double down.
+                let first = s.last_at.expect("open failure implies a prior message");
+                ambiguous.push(AmbiguousPeriod {
+                    link: t.link,
+                    first,
+                    second: t.at,
+                    direction: TransitionDirection::Down,
+                });
+                match strategy {
+                    AmbiguityStrategy::PreviousState | AmbiguityStrategy::AssumeDown => {
+                        // Spurious repeat: leave the open failure alone.
+                    }
+                    AmbiguityStrategy::AssumeUp => {
+                        // The ambiguous span was uptime: the earlier down
+                        // produced an unknowable (zero-credit) failure;
+                        // restart at the repeat.
+                        s.open = Some(t.at);
+                    }
+                }
+            }
+            (TransitionDirection::Up, None) => {
+                match s.last_dir {
+                    Some(TransitionDirection::Up) => {
+                        let first = s.last_at.expect("had a previous message");
+                        ambiguous.push(AmbiguousPeriod {
+                            link: t.link,
+                            first,
+                            second: t.at,
+                            direction: TransitionDirection::Up,
+                        });
+                        match strategy {
+                            AmbiguityStrategy::PreviousState | AmbiguityStrategy::AssumeUp => {}
+                            AmbiguityStrategy::AssumeDown => {
+                                // Count the ambiguous span as downtime by
+                                // extending the preceding failure.
+                                if let Some(idx) = s.last_closed {
+                                    failures[idx].end = t.at;
+                                } else {
+                                    let idx = failures.len();
+                                    failures.push(Failure {
+                                        link: t.link,
+                                        start: first,
+                                        end: t.at,
+                                    });
+                                    s.last_closed = Some(idx);
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        // An up with no history: boundary artifact (e.g.
+                        // recovery from a failure that predates the data).
+                        boundary_ups += 1;
+                    }
+                }
+            }
+        }
+        s.last_at = Some(t.at);
+        s.last_dir = Some(t.direction);
+    }
+
+    let unterminated = states.values().filter(|s| s.open.is_some()).count() as u32;
+    failures.sort_by_key(|f| (f.link, f.start));
+    ambiguous.sort_by_key(|a| (a.link, a.first));
+    Reconstruction {
+        failures,
+        ambiguous,
+        unterminated,
+        boundary_ups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(link: u32, at: u64, dir: TransitionDirection) -> LinkTransition {
+        LinkTransition {
+            at: Timestamp::from_secs(at),
+            link: LinkIx(link),
+            direction: dir,
+        }
+    }
+    use TransitionDirection::{Down, Up};
+
+    #[test]
+    fn simple_failure_reconstructed() {
+        let r = reconstruct(&[tr(0, 10, Down), tr(0, 20, Up)], AmbiguityStrategy::default());
+        assert_eq!(
+            r.failures,
+            vec![Failure {
+                link: LinkIx(0),
+                start: Timestamp::from_secs(10),
+                end: Timestamp::from_secs(20)
+            }]
+        );
+        assert!(r.ambiguous.is_empty());
+        assert_eq!(r.total_downtime(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn interleaved_links_tracked_independently() {
+        let r = reconstruct(
+            &[
+                tr(0, 10, Down),
+                tr(1, 12, Down),
+                tr(0, 20, Up),
+                tr(1, 30, Up),
+            ],
+            AmbiguityStrategy::default(),
+        );
+        assert_eq!(r.failures.len(), 2);
+        assert_eq!(r.failures[0].link, LinkIx(0));
+        assert_eq!(r.failures[1].duration(), Duration::from_secs(18));
+    }
+
+    #[test]
+    fn double_down_previous_state_spans_whole_interval() {
+        // down@10, down@40 (double), up@60 → one failure 10..60.
+        let stream = [tr(0, 10, Down), tr(0, 40, Down), tr(0, 60, Up)];
+        let r = reconstruct(&stream, AmbiguityStrategy::PreviousState);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].start, Timestamp::from_secs(10));
+        assert_eq!(r.failures[0].end, Timestamp::from_secs(60));
+        assert_eq!(r.ambiguous.len(), 1);
+        assert_eq!(r.ambiguous[0].direction, Down);
+        assert_eq!(r.ambiguous[0].first, Timestamp::from_secs(10));
+        assert_eq!(r.ambiguous[0].second, Timestamp::from_secs(40));
+    }
+
+    #[test]
+    fn double_down_assume_up_restarts_failure() {
+        let stream = [tr(0, 10, Down), tr(0, 40, Down), tr(0, 60, Up)];
+        let r = reconstruct(&stream, AmbiguityStrategy::AssumeUp);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].start, Timestamp::from_secs(40));
+        assert_eq!(r.total_downtime(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn double_up_assume_down_extends_failure() {
+        // down@10, up@20, up@50 (double).
+        let stream = [tr(0, 10, Down), tr(0, 20, Up), tr(0, 50, Up)];
+        let prev = reconstruct(&stream, AmbiguityStrategy::PreviousState);
+        assert_eq!(prev.total_downtime(), Duration::from_secs(10));
+        let down = reconstruct(&stream, AmbiguityStrategy::AssumeDown);
+        assert_eq!(down.total_downtime(), Duration::from_secs(40));
+        assert_eq!(down.failures.len(), 1);
+        assert_eq!(down.failures[0].end, Timestamp::from_secs(50));
+        assert_eq!(prev.ambiguous, down.ambiguous);
+    }
+
+    #[test]
+    fn unterminated_and_boundary_counted() {
+        let r = reconstruct(
+            &[tr(0, 5, Up), tr(1, 10, Down)],
+            AmbiguityStrategy::default(),
+        );
+        assert!(r.failures.is_empty());
+        assert_eq!(r.boundary_ups, 1);
+        assert_eq!(r.unterminated, 1);
+    }
+
+    #[test]
+    fn triple_down_records_two_ambiguities() {
+        let stream = [
+            tr(0, 10, Down),
+            tr(0, 30, Down),
+            tr(0, 50, Down),
+            tr(0, 70, Up),
+        ];
+        let r = reconstruct(&stream, AmbiguityStrategy::PreviousState);
+        assert_eq!(r.ambiguous.len(), 2);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].duration(), Duration::from_secs(60));
+    }
+
+    mod dedup {
+        use super::*;
+        use crate::transitions::MessageFamily;
+
+        fn msg(
+            link: u32,
+            at_ms: u64,
+            dir: TransitionDirection,
+            host: &str,
+            family: MessageFamily,
+        ) -> ResolvedMessage {
+            ResolvedMessage {
+                at: Timestamp::from_millis(at_ms),
+                link: LinkIx(link),
+                direction: dir,
+                family,
+                host: host.into(),
+                detail: None,
+            }
+        }
+
+        #[test]
+        fn confirmations_merge() {
+            let msgs = [
+                msg(0, 10_000, Down, "a", MessageFamily::IsisAdjacency),
+                msg(0, 13_000, Down, "b", MessageFamily::IsisAdjacency),
+                msg(0, 60_000, Up, "a", MessageFamily::IsisAdjacency),
+                msg(0, 62_000, Up, "b", MessageFamily::IsisAdjacency),
+            ];
+            let out = dedup_syslog(&msgs, Duration::from_secs(10));
+            assert_eq!(out.len(), 2);
+            assert_eq!(out[0].direction, Down);
+            assert_eq!(out[1].direction, Up);
+        }
+
+        #[test]
+        fn distant_repeats_survive_as_doubles() {
+            let msgs = [
+                msg(0, 10_000, Down, "a", MessageFamily::IsisAdjacency),
+                msg(0, 40_000, Down, "a", MessageFamily::IsisAdjacency), // spurious
+                msg(0, 90_000, Up, "a", MessageFamily::IsisAdjacency),
+            ];
+            let out = dedup_syslog(&msgs, Duration::from_secs(10));
+            assert_eq!(out.len(), 3, "the 30s-later repeat is not a confirmation");
+        }
+
+        #[test]
+        fn intervening_opposite_prevents_merge() {
+            // Flap: down, up, down again all within the window.
+            let msgs = [
+                msg(0, 10_000, Down, "a", MessageFamily::IsisAdjacency),
+                msg(0, 12_000, Up, "a", MessageFamily::IsisAdjacency),
+                msg(0, 14_000, Down, "a", MessageFamily::IsisAdjacency),
+            ];
+            let out = dedup_syslog(&msgs, Duration::from_secs(10));
+            assert_eq!(out.len(), 3, "flap transitions are distinct");
+        }
+
+        #[test]
+        fn chained_confirmations_keep_merging() {
+            let msgs = [
+                msg(0, 0, Down, "a", MessageFamily::IsisAdjacency),
+                msg(0, 8_000, Down, "b", MessageFamily::IsisAdjacency),
+                msg(0, 16_000, Down, "a", MessageFamily::IsisAdjacency),
+            ];
+            // Each is within 10s of the previous kept anchor.
+            let out = dedup_syslog(&msgs, Duration::from_secs(10));
+            assert_eq!(out.len(), 1);
+        }
+
+        #[test]
+        fn physical_family_excluded() {
+            let msgs = [
+                msg(0, 10_000, Down, "a", MessageFamily::PhysicalMedia),
+                msg(0, 11_000, Down, "a", MessageFamily::IsisAdjacency),
+            ];
+            let out = dedup_syslog(&msgs, Duration::from_secs(10));
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].at, Timestamp::from_millis(11_000));
+        }
+    }
+}

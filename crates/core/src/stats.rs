@@ -1,0 +1,272 @@
+//! Failure statistics (Table 5 and Figure 1).
+//!
+//! Table 5 reports, separately for Core and CPE links and for each data
+//! source: annualized failures per link, failure duration, time between
+//! failures, and annualized link downtime — each as median / average /
+//! 95th percentile. Per-link quantities are normalized to *link lifetime*
+//! ("the numbers are given in annualized form by normalizing the number
+//! of failures to link lifetime"). Figure 1 plots the CPE cumulative
+//! distributions of three of these quantities.
+
+use crate::linktable::{LinkIx, LinkTable};
+use crate::reconstruct::Failure;
+use faultline_topology::link::LinkClass;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Median / mean / 95th-percentile triple, the row format of Table 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// 50th percentile.
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Compute a [`Summary`] of a sample (need not be sorted).
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary::default();
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+    Summary {
+        median: quantile_sorted(&v, 0.5),
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+        p95: quantile_sorted(&v, 0.95),
+        n: v.len(),
+    }
+}
+
+/// Linear-interpolated quantile of a sorted sample.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The four per-class metric samples behind Table 5 / Figure 1.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSamples {
+    /// Annualized failures per link (one sample per link with ≥ 0
+    /// failures — links with zero failures contribute zeros).
+    pub failures_per_link: Vec<f64>,
+    /// Failure durations in seconds (one sample per failure).
+    pub failure_duration_secs: Vec<f64>,
+    /// Time between consecutive failures on the same link, hours.
+    pub time_between_hours: Vec<f64>,
+    /// Annualized downtime per link, hours (one sample per link).
+    pub downtime_hours_per_link: Vec<f64>,
+}
+
+impl MetricSamples {
+    /// Table 5 rows for this class.
+    pub fn summaries(&self) -> [Summary; 4] {
+        [
+            summarize(&self.failures_per_link),
+            summarize(&self.failure_duration_secs),
+            summarize(&self.time_between_hours),
+            summarize(&self.downtime_hours_per_link),
+        ]
+    }
+}
+
+/// Compute the metric samples from a failure set, split by link class.
+///
+/// Links with no failures still contribute `0.0` samples to the per-link
+/// metrics (a link that never failed has zero annualized failures and
+/// zero downtime — omitting it would bias medians upward).
+pub fn metric_samples(
+    failures: &[Failure],
+    table: &LinkTable,
+) -> HashMap<LinkClass, MetricSamples> {
+    let mut per_link: HashMap<LinkIx, Vec<&Failure>> = HashMap::new();
+    for f in failures {
+        per_link.entry(f.link).or_default().push(f);
+    }
+    let mut out: HashMap<LinkClass, MetricSamples> = HashMap::new();
+    out.insert(LinkClass::Core, MetricSamples::default());
+    out.insert(LinkClass::Cpe, MetricSamples::default());
+
+    for ix in table.iter() {
+        let class = table.class(ix);
+        let years = table.years(ix).max(1e-6);
+        let samples = out.get_mut(&class).expect("both classes present");
+        let fs = per_link.get(&ix).map(Vec::as_slice).unwrap_or(&[]);
+        samples
+            .failures_per_link
+            .push(fs.len() as f64 / years);
+        let downtime_h: f64 = fs
+            .iter()
+            .map(|f| f.duration().as_hours_f64())
+            .sum();
+        samples.downtime_hours_per_link.push(downtime_h / years);
+        for f in fs {
+            samples
+                .failure_duration_secs
+                .push(f.duration().as_secs_f64());
+        }
+        for w in fs.windows(2) {
+            // Failures are sorted by start within a link.
+            if let Some(gap) = w[1].start.checked_duration_since(w[0].end) {
+                samples.time_between_hours.push(gap.as_hours_f64());
+            }
+        }
+    }
+    out
+}
+
+/// An empirical CDF: sorted values with cumulative probabilities,
+/// exportable as the series of Figure 1.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// Sorted sample values.
+    pub values: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faultline_core::stats::Ecdf;
+    /// let e = Ecdf::new(vec![1.0, 2.0, 4.0, 8.0]);
+    /// assert_eq!(e.at(2.0), 0.5);
+    /// assert_eq!(e.at(100.0), 1.0);
+    /// ```
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Ecdf { values }
+    }
+
+    /// P(X ≤ x).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let idx = self.values.partition_point(|&v| v <= x);
+        idx as f64 / self.values.len() as f64
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Evaluate at `points`, producing `(x, F(x))` pairs for plotting.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.at(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_topology::time::Timestamp;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 22.0);
+        assert!((s.p95 - 80.8).abs() < 1e-9); // interpolated between 4 and 100
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&v, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.95), 7.0);
+    }
+
+    #[test]
+    fn ecdf_basic_properties() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.at(0.5), 0.0);
+        assert!((e.at(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.at(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.at(99.0), 1.0);
+        assert_eq!(e.len(), 3);
+        let series = e.series(&[0.0, 2.0, 4.0]);
+        assert_eq!(series[2], (4.0, 1.0));
+    }
+
+    #[test]
+    fn metric_samples_from_synthetic_failures() {
+        // Build a tiny LinkTable via a scenario-independent route: use the
+        // real builder on a tiny topology.
+        let topo = faultline_topology::generator::CenicParams::tiny(2).generate();
+        let inventory = faultline_topology::config::mine_topology(&topo);
+        let hostnames: HashMap<_, _> = topo
+            .routers()
+            .iter()
+            .map(|r| (r.system_id, r.hostname.clone()))
+            .collect();
+        let year_ms = 365 * 86_400_000u64;
+        let table = crate::linktable::LinkTable::new(&inventory, &hostnames, |_| {
+            (Timestamp::EPOCH, Timestamp::from_millis(year_ms))
+        });
+        // Two failures on link 0, none elsewhere.
+        let ix = LinkIx(0);
+        let failures = vec![
+            Failure {
+                link: ix,
+                start: Timestamp::from_secs(100),
+                end: Timestamp::from_secs(160),
+            },
+            Failure {
+                link: ix,
+                start: Timestamp::from_secs(4_000),
+                end: Timestamp::from_secs(4_030),
+            },
+        ];
+        let samples = metric_samples(&failures, &table);
+        let class = table.class(ix);
+        let s = &samples[&class];
+        // One link has 2 failures/year; the rest of its class has zero.
+        let nonzero: Vec<f64> = s
+            .failures_per_link
+            .iter()
+            .copied()
+            .filter(|&x| x > 0.0)
+            .collect();
+        assert_eq!(nonzero, vec![2.0]);
+        assert_eq!(s.failure_duration_secs.len(), 2);
+        assert_eq!(s.time_between_hours.len(), 1);
+        assert!((s.time_between_hours[0] - (4_000.0 - 160.0) / 3_600.0).abs() < 1e-9);
+        // Downtime: 90 seconds = 0.025 h on one link.
+        let dt: f64 = s.downtime_hours_per_link.iter().sum();
+        assert!((dt - 0.025).abs() < 1e-9);
+        // Links with zero failures contribute zero samples.
+        let zeros = s
+            .failures_per_link
+            .iter()
+            .filter(|&&x| x == 0.0)
+            .count();
+        assert!(zeros > 0);
+    }
+}

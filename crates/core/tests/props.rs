@@ -1,0 +1,250 @@
+//! Property-based tests for the analysis core: reconstruction, matching,
+//! flap detection, statistics, and the KS test.
+
+use faultline_core::flap::detect_episodes;
+use faultline_core::ks::{kolmogorov_q, ks_two_sample};
+use faultline_core::linktable::LinkIx;
+use faultline_core::matching::{match_failures, match_transitions_to_messages};
+use faultline_core::reconstruct::{reconstruct, AmbiguityStrategy};
+use faultline_core::stats::{quantile_sorted, summarize, Ecdf};
+use faultline_core::transitions::{LinkTransition, MessageFamily, ResolvedMessage};
+use faultline_core::Failure;
+use faultline_isis::listener::TransitionDirection;
+use faultline_topology::time::{Duration, Timestamp};
+use proptest::prelude::*;
+
+fn arb_transitions(max_links: u32, n: usize) -> impl Strategy<Value = Vec<LinkTransition>> {
+    proptest::collection::vec(
+        (0..max_links, 0u64..1_000_000, any::<bool>()),
+        0..n,
+    )
+    .prop_map(|mut v| {
+        v.sort_by_key(|&(_, at, _)| at);
+        v.into_iter()
+            .map(|(l, at, up)| LinkTransition {
+                at: Timestamp::from_secs(at),
+                link: LinkIx(l),
+                direction: if up {
+                    TransitionDirection::Up
+                } else {
+                    TransitionDirection::Down
+                },
+            })
+            .collect()
+    })
+}
+
+fn arb_failures(max_links: u32, n: usize) -> impl Strategy<Value = Vec<Failure>> {
+    proptest::collection::vec((0..max_links, 0u64..1_000_000, 1u64..10_000), 0..n).prop_map(
+        |mut v| {
+            v.sort();
+            let mut out: Vec<Failure> = Vec::new();
+            for (l, start, d) in v {
+                let f = Failure {
+                    link: LinkIx(l),
+                    start: Timestamp::from_secs(start),
+                    end: Timestamp::from_secs(start + d),
+                };
+                // Keep per-link disjointness (the reconstruction contract).
+                if out
+                    .iter()
+                    .all(|g| g.link != f.link || g.end < f.start || f.end < g.start)
+                {
+                    out.push(f);
+                }
+            }
+            out.sort_by_key(|f| (f.link, f.start));
+            out
+        },
+    )
+}
+
+proptest! {
+    /// Reconstruction invariants under every strategy: failures are
+    /// positive-length, per-link disjoint, sorted, and bounded by the
+    /// stream's extent; counters are consistent.
+    #[test]
+    fn reconstruction_invariants(
+        transitions in arb_transitions(5, 200),
+        strategy_pick in 0u8..3,
+    ) {
+        let strategy = match strategy_pick {
+            0 => AmbiguityStrategy::PreviousState,
+            1 => AmbiguityStrategy::AssumeDown,
+            _ => AmbiguityStrategy::AssumeUp,
+        };
+        let r = reconstruct(&transitions, strategy);
+        for w in r.failures.windows(2) {
+            if w[0].link == w[1].link {
+                prop_assert!(w[0].end <= w[1].start, "overlap: {:?} {:?}", w[0], w[1]);
+            }
+        }
+        for f in &r.failures {
+            prop_assert!(f.end >= f.start);
+            if let (Some(first), Some(last)) = (transitions.first(), transitions.last()) {
+                prop_assert!(f.start >= first.at && f.end <= last.at);
+            }
+        }
+        // Downtime is bounded by (#links × stream span).
+        if let (Some(first), Some(last)) = (transitions.first(), transitions.last()) {
+            let span = (last.at - first.at).as_millis();
+            prop_assert!(r.total_downtime().as_millis() <= span * 5 + 1);
+        }
+    }
+
+    /// Strategy ordering: AssumeDown never yields less downtime than
+    /// AssumeUp on the same stream (previous-state sits in between for
+    /// each ambiguous period, though not necessarily globally).
+    #[test]
+    fn strategy_downtime_ordering(transitions in arb_transitions(3, 120)) {
+        let down = reconstruct(&transitions, AmbiguityStrategy::AssumeDown).total_downtime();
+        let up = reconstruct(&transitions, AmbiguityStrategy::AssumeUp).total_downtime();
+        prop_assert!(down >= up, "down {down:?} < up {up:?}");
+    }
+
+    /// The ambiguous-period list is identical across strategies (the
+    /// strategies differ in interpretation, not detection).
+    #[test]
+    fn ambiguity_detection_strategy_independent(transitions in arb_transitions(4, 150)) {
+        let a = reconstruct(&transitions, AmbiguityStrategy::PreviousState).ambiguous;
+        let b = reconstruct(&transitions, AmbiguityStrategy::AssumeDown).ambiguous;
+        let c = reconstruct(&transitions, AmbiguityStrategy::AssumeUp).ambiguous;
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// Failure matching is one-to-one, within-window, and symmetric in
+    /// cardinality.
+    #[test]
+    fn matching_is_one_to_one(
+        left in arb_failures(4, 60),
+        right in arb_failures(4, 60),
+    ) {
+        let w = Duration::from_secs(10);
+        let m = match_failures(&left, &right, w);
+        // Each index appears at most once across matched+partial.
+        let mut seen_l = std::collections::HashSet::new();
+        let mut seen_r = std::collections::HashSet::new();
+        for &(i, j) in m.matched.iter().chain(m.partial.iter()) {
+            prop_assert!(seen_l.insert(i));
+            prop_assert!(seen_r.insert(j));
+        }
+        for &(i, j) in &m.matched {
+            prop_assert_eq!(left[i].link, right[j].link);
+            prop_assert!(left[i].start.abs_diff(right[j].start) <= w);
+            prop_assert!(left[i].end.abs_diff(right[j].end) <= w);
+        }
+        for &(i, j) in &m.partial {
+            prop_assert!(left[i].overlaps(&right[j]));
+        }
+        prop_assert_eq!(
+            m.matched.len() + m.partial.len() + m.left_only.len(),
+            left.len()
+        );
+        prop_assert_eq!(
+            m.matched.len() + m.partial.len() + m.right_only.len(),
+            right.len()
+        );
+    }
+
+    /// Matching a failure set against itself matches everything exactly.
+    #[test]
+    fn self_matching_is_perfect(fails in arb_failures(4, 80)) {
+        let m = match_failures(&fails, &fails, Duration::from_secs(10));
+        prop_assert_eq!(m.matched.len(), fails.len());
+        prop_assert!(m.partial.is_empty());
+        prop_assert!(m.left_only.is_empty() && m.right_only.is_empty());
+    }
+
+    /// Transition-to-message matching accounts for every transition.
+    #[test]
+    fn transition_match_totals(
+        transitions in arb_transitions(3, 80),
+        hosts in proptest::collection::vec(any::<bool>(), 0..80),
+    ) {
+        let messages: Vec<ResolvedMessage> = transitions
+            .iter()
+            .zip(hosts.iter().cycle())
+            .map(|(t, h)| ResolvedMessage {
+                at: t.at,
+                link: t.link,
+                direction: t.direction,
+                family: MessageFamily::IsisAdjacency,
+                host: if *h { "a".into() } else { "b".into() },
+                detail: None,
+            })
+            .collect();
+        let (down, up) = match_transitions_to_messages(
+            &transitions,
+            &messages,
+            Duration::from_secs(10),
+        );
+        let downs = transitions
+            .iter()
+            .filter(|t| t.direction == TransitionDirection::Down)
+            .count() as u64;
+        let ups = transitions.len() as u64 - downs;
+        prop_assert_eq!(down.total(), downs);
+        prop_assert_eq!(up.total(), ups);
+    }
+
+    /// Flap episodes cover only same-link runs and never overlap.
+    #[test]
+    fn flap_episodes_well_formed(fails in arb_failures(5, 100)) {
+        let eps = detect_episodes(&fails, Duration::from_secs(600));
+        for e in &eps {
+            prop_assert!(e.count >= 2);
+            prop_assert!(e.from <= e.to);
+        }
+        for w in eps.windows(2) {
+            if w[0].link == w[1].link {
+                prop_assert!(w[0].to < w[1].from);
+            }
+        }
+    }
+
+    /// Summaries are ordered: median <= p95 and min <= mean <= max.
+    #[test]
+    fn summary_ordering(mut xs in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+        let s = summarize(&xs);
+        prop_assert!(s.median <= s.p95 + 1e-9);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(s.mean >= xs[0] - 1e-9 && s.mean <= xs[xs.len() - 1] + 1e-9);
+        prop_assert!((quantile_sorted(&xs, 0.0) - xs[0]).abs() < 1e-9);
+        prop_assert!((quantile_sorted(&xs, 1.0) - xs[xs.len() - 1]).abs() < 1e-9);
+    }
+
+    /// ECDFs are monotone non-decreasing with range [0, 1].
+    #[test]
+    fn ecdf_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let e = Ecdf::new(xs);
+        let mut prev = 0.0;
+        for q in [-1e7, -10.0, 0.0, 1.0, 100.0, 1e7] {
+            let v = e.at(q);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// KS: D(x, x) = 0; D in [0, 1]; statistic is symmetric.
+    #[test]
+    fn ks_properties(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..80),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..80),
+    ) {
+        let same = ks_two_sample(&a, &a);
+        prop_assert_eq!(same.statistic, 0.0);
+        let r1 = ks_two_sample(&a, &b);
+        let r2 = ks_two_sample(&b, &a);
+        prop_assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r1.statistic));
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+    }
+
+    /// Kolmogorov Q is monotone decreasing.
+    #[test]
+    fn kolmogorov_q_monotone(x in 0.0f64..3.0, d in 0.001f64..1.0) {
+        prop_assert!(kolmogorov_q(x) >= kolmogorov_q(x + d) - 1e-12);
+    }
+}

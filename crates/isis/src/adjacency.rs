@@ -1,0 +1,317 @@
+//! Point-to-point adjacency state machine (ISO 10589 + RFC 5303).
+//!
+//! States: `Down` → `Initializing` (heard the neighbor) → `Up` (neighbor
+//! acknowledged us). The transitions that matter to the paper:
+//!
+//! * **Up → Down on hold-timer expiry** — the normal failure path; both
+//!   routers flood updated LSPs and emit `ADJCHANGE` syslog messages.
+//! * **Initializing → Down (aborted three-way handshake)** — the local
+//!   router may log an adjacency change without the adjacency ever
+//!   reaching `Up`, so no LSP is flooded. The paper identifies this as a
+//!   source of sub-second syslog-only false positives (§4.3).
+//! * **Up → Up (adjacency reset)** — an immediate re-establishment after
+//!   a failure, which routers log but which may produce no LSP change.
+
+use crate::hello::{P2pHello, ThreeWayState};
+use faultline_topology::osi::SystemId;
+use faultline_topology::time::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Adjacency FSM state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdjacencyState {
+    /// No neighbor heard.
+    Down,
+    /// Neighbor heard, not yet acknowledged us (three-way in progress).
+    Initializing,
+    /// Fully established; the router advertises this adjacency in its LSP.
+    Up,
+}
+
+/// Why an adjacency changed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdjChangeReason {
+    /// Three-way handshake completed.
+    NewAdjacency,
+    /// No hello within the hold time.
+    HoldTimeExpired,
+    /// The underlying circuit/interface went down.
+    InterfaceDown,
+    /// Handshake started but never completed (aborted three-way).
+    HandshakeAborted,
+    /// Neighbor restarted the handshake (adjacency reset).
+    AdjacencyReset,
+}
+
+/// An observable adjacency change, the event routers log to syslog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdjacencyEvent {
+    /// When it happened.
+    pub at: Timestamp,
+    /// New state: `true` = Up, `false` = Down.
+    pub up: bool,
+    /// Why.
+    pub reason: AdjChangeReason,
+    /// True if the change alters the Up/not-Up status that LSPs advertise;
+    /// false for changes invisible to the flooding domain (e.g. an aborted
+    /// handshake never reached Up, so no LSP is generated).
+    pub advertised: bool,
+}
+
+/// The FSM for one end of one point-to-point adjacency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdjacencyFsm {
+    /// Our system ID.
+    pub local: SystemId,
+    /// Expected neighbor.
+    pub neighbor: SystemId,
+    state: AdjacencyState,
+    /// Deadline by which the next hello must arrive while not Down.
+    hold_deadline: Option<Timestamp>,
+    hold_time: Duration,
+}
+
+impl AdjacencyFsm {
+    /// New FSM in the `Down` state.
+    pub fn new(local: SystemId, neighbor: SystemId, hold_time: Duration) -> Self {
+        AdjacencyFsm {
+            local,
+            neighbor,
+            state: AdjacencyState::Down,
+            hold_deadline: None,
+            hold_time,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AdjacencyState {
+        self.state
+    }
+
+    /// The three-way state we advertise in our own hellos.
+    pub fn own_three_way(&self) -> ThreeWayState {
+        match self.state {
+            AdjacencyState::Down => ThreeWayState::Down,
+            AdjacencyState::Initializing => ThreeWayState::Initializing,
+            AdjacencyState::Up => ThreeWayState::Up,
+        }
+    }
+
+    /// Process a received hello; returns an event if the adjacency changed.
+    pub fn on_hello(&mut self, hello: &P2pHello, now: Timestamp) -> Option<AdjacencyEvent> {
+        if hello.source != self.neighbor {
+            return None; // hellos from unexpected systems are ignored
+        }
+        self.hold_deadline = Some(now + Duration::from_secs(hello.holding_time as u64));
+        // Does the neighbor acknowledge *us*?
+        let acked = hello.neighbor == Some(self.local)
+            && matches!(
+                hello.three_way,
+                ThreeWayState::Initializing | ThreeWayState::Up
+            );
+        match (self.state, acked) {
+            (AdjacencyState::Down, false) => {
+                self.state = AdjacencyState::Initializing;
+                None // not logged: adjacency not yet formed
+            }
+            (AdjacencyState::Down, true) | (AdjacencyState::Initializing, true) => {
+                self.state = AdjacencyState::Up;
+                Some(AdjacencyEvent {
+                    at: now,
+                    up: true,
+                    reason: AdjChangeReason::NewAdjacency,
+                    advertised: true,
+                })
+            }
+            (AdjacencyState::Initializing, false) => None,
+            (AdjacencyState::Up, true) => None,
+            (AdjacencyState::Up, false) => {
+                // Neighbor restarted and no longer sees us: adjacency reset.
+                self.state = AdjacencyState::Initializing;
+                Some(AdjacencyEvent {
+                    at: now,
+                    up: false,
+                    reason: AdjChangeReason::AdjacencyReset,
+                    advertised: true,
+                })
+            }
+        }
+    }
+
+    /// Check the hold timer; returns a Down event if it has expired.
+    pub fn on_tick(&mut self, now: Timestamp) -> Option<AdjacencyEvent> {
+        let deadline = self.hold_deadline?;
+        if now < deadline {
+            return None;
+        }
+        self.hold_deadline = None;
+        match std::mem::replace(&mut self.state, AdjacencyState::Down) {
+            AdjacencyState::Up => Some(AdjacencyEvent {
+                at: now,
+                up: false,
+                reason: AdjChangeReason::HoldTimeExpired,
+                advertised: true,
+            }),
+            AdjacencyState::Initializing => Some(AdjacencyEvent {
+                at: now,
+                up: false,
+                reason: AdjChangeReason::HandshakeAborted,
+                // Never reached Up: the flooding domain never learned of
+                // it, so nothing is withdrawn.
+                advertised: false,
+            }),
+            AdjacencyState::Down => None,
+        }
+    }
+
+    /// The underlying interface went down (carrier loss). Unlike hold-timer
+    /// expiry this is detected immediately.
+    pub fn on_interface_down(&mut self, now: Timestamp) -> Option<AdjacencyEvent> {
+        self.hold_deadline = None;
+        match std::mem::replace(&mut self.state, AdjacencyState::Down) {
+            AdjacencyState::Up => Some(AdjacencyEvent {
+                at: now,
+                up: false,
+                reason: AdjChangeReason::InterfaceDown,
+                advertised: true,
+            }),
+            AdjacencyState::Initializing => Some(AdjacencyEvent {
+                at: now,
+                up: false,
+                reason: AdjChangeReason::HandshakeAborted,
+                advertised: false,
+            }),
+            AdjacencyState::Down => None,
+        }
+    }
+
+    /// Configured hold time.
+    pub fn hold_time(&self) -> Duration {
+        self.hold_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (SystemId, SystemId) {
+        (SystemId::from_index(1), SystemId::from_index(2))
+    }
+
+    fn hello(from: SystemId, seen: Option<SystemId>, tw: ThreeWayState) -> P2pHello {
+        P2pHello {
+            source: from,
+            holding_time: 30,
+            circuit_id: 1,
+            three_way: tw,
+            neighbor: seen,
+        }
+    }
+
+    #[test]
+    fn full_handshake_reaches_up() {
+        let (us, them) = ids();
+        let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
+        let t0 = Timestamp::EPOCH;
+        // Neighbor hasn't seen us yet.
+        assert!(fsm
+            .on_hello(&hello(them, None, ThreeWayState::Down), t0)
+            .is_none());
+        assert_eq!(fsm.state(), AdjacencyState::Initializing);
+        // Neighbor acknowledges us.
+        let ev = fsm
+            .on_hello(
+                &hello(them, Some(us), ThreeWayState::Initializing),
+                t0 + Duration::SECOND,
+            )
+            .unwrap();
+        assert!(ev.up);
+        assert_eq!(ev.reason, AdjChangeReason::NewAdjacency);
+        assert!(ev.advertised);
+        assert_eq!(fsm.state(), AdjacencyState::Up);
+    }
+
+    #[test]
+    fn hold_timer_expiry_downs_adjacency() {
+        let (us, them) = ids();
+        let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
+        fsm.on_hello(&hello(them, Some(us), ThreeWayState::Up), Timestamp::EPOCH);
+        assert_eq!(fsm.state(), AdjacencyState::Up);
+        assert!(fsm.on_tick(Timestamp::from_secs(29)).is_none());
+        let ev = fsm.on_tick(Timestamp::from_secs(30)).unwrap();
+        assert!(!ev.up);
+        assert_eq!(ev.reason, AdjChangeReason::HoldTimeExpired);
+        assert!(ev.advertised);
+        assert_eq!(fsm.state(), AdjacencyState::Down);
+    }
+
+    #[test]
+    fn aborted_handshake_is_not_advertised() {
+        let (us, them) = ids();
+        let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
+        fsm.on_hello(&hello(them, None, ThreeWayState::Down), Timestamp::EPOCH);
+        assert_eq!(fsm.state(), AdjacencyState::Initializing);
+        let ev = fsm.on_tick(Timestamp::from_secs(30)).unwrap();
+        assert!(!ev.up);
+        assert_eq!(ev.reason, AdjChangeReason::HandshakeAborted);
+        assert!(!ev.advertised, "aborted handshakes never hit the LSDB");
+    }
+
+    #[test]
+    fn interface_down_is_immediate() {
+        let (us, them) = ids();
+        let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
+        fsm.on_hello(&hello(them, Some(us), ThreeWayState::Up), Timestamp::EPOCH);
+        let ev = fsm.on_interface_down(Timestamp::from_secs(1)).unwrap();
+        assert_eq!(ev.reason, AdjChangeReason::InterfaceDown);
+        assert!(ev.advertised);
+        // Second interface-down is a no-op.
+        assert!(fsm.on_interface_down(Timestamp::from_secs(2)).is_none());
+    }
+
+    #[test]
+    fn adjacency_reset_when_neighbor_forgets_us() {
+        let (us, them) = ids();
+        let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
+        fsm.on_hello(&hello(them, Some(us), ThreeWayState::Up), Timestamp::EPOCH);
+        let ev = fsm
+            .on_hello(
+                &hello(them, None, ThreeWayState::Down),
+                Timestamp::from_secs(5),
+            )
+            .unwrap();
+        assert!(!ev.up);
+        assert_eq!(ev.reason, AdjChangeReason::AdjacencyReset);
+        assert_eq!(fsm.state(), AdjacencyState::Initializing);
+    }
+
+    #[test]
+    fn hellos_from_strangers_ignored() {
+        let (us, them) = ids();
+        let stranger = SystemId::from_index(99);
+        let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
+        assert!(fsm
+            .on_hello(&hello(stranger, Some(us), ThreeWayState::Up), Timestamp::EPOCH)
+            .is_none());
+        assert_eq!(fsm.state(), AdjacencyState::Down);
+    }
+
+    #[test]
+    fn own_three_way_mirrors_state() {
+        let (us, them) = ids();
+        let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
+        assert_eq!(fsm.own_three_way(), ThreeWayState::Down);
+        fsm.on_hello(&hello(them, None, ThreeWayState::Down), Timestamp::EPOCH);
+        assert_eq!(fsm.own_three_way(), ThreeWayState::Initializing);
+        fsm.on_hello(&hello(them, Some(us), ThreeWayState::Up), Timestamp::EPOCH);
+        assert_eq!(fsm.own_three_way(), ThreeWayState::Up);
+    }
+
+    #[test]
+    fn tick_without_hold_deadline_is_noop() {
+        let (us, them) = ids();
+        let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
+        assert!(fsm.on_tick(Timestamp::from_secs(100)).is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! Protocol constants from ISO 10589 and the IS-IS TLV registries.
+
+/// Intradomain Routing Protocol Discriminator — first byte of every IS-IS
+/// PDU (ISO 9577 assigns 0x83 to IS-IS).
+pub const IRPD: u8 = 0x83;
+
+/// Protocol version / ID extension, fixed at 1.
+pub const VERSION: u8 = 1;
+
+/// `ID Length` field value meaning "6-byte system IDs".
+pub const ID_LEN_DEFAULT: u8 = 0;
+
+/// `Maximum Area Addresses` field value meaning "3".
+pub const MAX_AREA_DEFAULT: u8 = 0;
+
+/// PDU type codes (low 5 bits of the PDU-type byte).
+pub mod pdu_type {
+    /// Point-to-point IS-IS Hello.
+    pub const P2P_HELLO: u8 = 17;
+    /// Level-2 link-state PDU. CENIC runs a single-area L2-only domain.
+    pub const L2_LSP: u8 = 20;
+    /// Level-2 complete sequence-numbers PDU.
+    pub const L2_CSNP: u8 = 25;
+    /// Level-2 partial sequence-numbers PDU.
+    pub const L2_PSNP: u8 = 27;
+}
+
+/// TLV type codes used in this reproduction (Table 1 of the paper plus the
+/// structural TLVs every real LSP carries).
+pub mod tlv_type {
+    /// Area Addresses (ISO 10589).
+    pub const AREA_ADDRESSES: u8 = 1;
+    /// Extended IS Reachability (RFC 5305) — the paper's preferred link
+    /// state signal.
+    pub const EXT_IS_REACH: u8 = 22;
+    /// Protocols Supported (RFC 1195).
+    pub const PROTOCOLS_SUPPORTED: u8 = 129;
+    /// Extended IP Reachability (RFC 5305) — the alternative link state
+    /// signal compared in Table 2.
+    pub const EXT_IP_REACH: u8 = 135;
+    /// Dynamic Hostname (RFC 5301) — how the listener maps system IDs to
+    /// the hostnames syslog uses.
+    pub const DYNAMIC_HOSTNAME: u8 = 137;
+    /// Point-to-Point Three-Way Adjacency (RFC 5303), carried in IIHs.
+    pub const P2P_THREE_WAY: u8 = 240;
+}
+
+/// NLPID for IPv4, carried in Protocols Supported.
+pub const NLPID_IPV4: u8 = 0xCC;
+
+/// Default `Remaining Lifetime` for originated LSPs, seconds (ISO 10589
+/// MaxAge is 1200 s; Cisco default refresh is 900 s).
+pub const DEFAULT_LIFETIME_SECS: u16 = 1200;
+
+/// Default LSP refresh interval, seconds.
+pub const DEFAULT_REFRESH_SECS: u16 = 900;
+
+/// Default p2p hello interval, seconds.
+pub const DEFAULT_HELLO_SECS: u16 = 10;
+
+/// Default hold time (3 × hello), seconds. An adjacency whose hold timer
+/// expires is declared down — this is the latency floor for IS-IS
+/// detecting a silent link failure.
+pub const DEFAULT_HOLD_SECS: u16 = 30;

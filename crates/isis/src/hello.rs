@@ -1,0 +1,242 @@
+//! Point-to-point IS-IS Hello (IIH) PDUs with the RFC 5303 three-way
+//! adjacency TLV.
+//!
+//! The adjacency FSM ([`crate::adjacency`]) is driven by these PDUs. The
+//! paper traces one class of syslog false positives to *aborted three-way
+//! handshakes* (§4.3): the local router reports the adjacency up after
+//! seeing a hello, then immediately down when the handshake does not
+//! complete — without the network-wide LSP flood ever happening.
+
+use crate::consts::{self, pdu_type, tlv_type};
+use bytes::BufMut;
+use faultline_topology::osi::SystemId;
+use serde::{Deserialize, Serialize};
+
+/// Fixed p2p IIH header length.
+const HEADER_LEN: usize = 20;
+
+/// Three-way handshake state carried in TLV 240 (RFC 5303).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreeWayState {
+    /// The sender has seen the neighbor's hellos and the neighbor has
+    /// acknowledged the sender.
+    Up,
+    /// The sender has seen the neighbor's hellos but not yet been
+    /// acknowledged.
+    Initializing,
+    /// The sender has not seen the neighbor.
+    Down,
+}
+
+impl ThreeWayState {
+    fn to_wire(self) -> u8 {
+        match self {
+            ThreeWayState::Up => 0,
+            ThreeWayState::Initializing => 1,
+            ThreeWayState::Down => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(ThreeWayState::Up),
+            1 => Some(ThreeWayState::Initializing),
+            2 => Some(ThreeWayState::Down),
+            _ => None,
+        }
+    }
+}
+
+/// A point-to-point hello.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct P2pHello {
+    /// Sender's system ID.
+    pub source: SystemId,
+    /// Hold time the receiver should apply, seconds.
+    pub holding_time: u16,
+    /// Local circuit ID on the sender.
+    pub circuit_id: u8,
+    /// Three-way handshake state.
+    pub three_way: ThreeWayState,
+    /// Neighbor system ID the sender has seen, if any (extends TLV 240).
+    pub neighbor: Option<SystemId>,
+}
+
+/// Error decoding a hello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HelloError {
+    /// Too short for the fixed header.
+    Truncated,
+    /// Not an IS-IS PDU or not a p2p IIH.
+    WrongType,
+    /// TLV 240 malformed or missing.
+    BadThreeWay,
+}
+
+impl std::fmt::Display for HelloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HelloError::Truncated => write!(f, "IIH truncated"),
+            HelloError::WrongType => write!(f, "not a p2p IIH"),
+            HelloError::BadThreeWay => write!(f, "bad three-way adjacency TLV"),
+        }
+    }
+}
+
+impl std::error::Error for HelloError {}
+
+impl P2pHello {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let tlv_value_len = if self.neighbor.is_some() { 5 + 6 } else { 5 };
+        let total = HEADER_LEN + 2 + tlv_value_len;
+        let mut buf = Vec::with_capacity(total);
+        buf.put_u8(consts::IRPD);
+        buf.put_u8(HEADER_LEN as u8);
+        buf.put_u8(consts::VERSION);
+        buf.put_u8(consts::ID_LEN_DEFAULT);
+        buf.put_u8(pdu_type::P2P_HELLO);
+        buf.put_u8(consts::VERSION);
+        buf.put_u8(0);
+        buf.put_u8(consts::MAX_AREA_DEFAULT);
+        buf.put_u8(0x02); // circuit type: level 2 only
+        buf.put_slice(self.source.as_bytes());
+        buf.put_u16(self.holding_time);
+        buf.put_u16(total as u16);
+        buf.put_u8(self.circuit_id);
+        // TLV 240.
+        buf.put_u8(tlv_type::P2P_THREE_WAY);
+        buf.put_u8(tlv_value_len as u8);
+        buf.put_u8(self.three_way.to_wire());
+        buf.put_u32(self.circuit_id as u32); // extended local circuit id
+        if let Some(n) = self.neighbor {
+            buf.put_slice(n.as_bytes());
+        }
+        buf
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<P2pHello, HelloError> {
+        if buf.len() < HEADER_LEN {
+            return Err(HelloError::Truncated);
+        }
+        if buf[0] != consts::IRPD || buf[4] & 0x1f != pdu_type::P2P_HELLO {
+            return Err(HelloError::WrongType);
+        }
+        let mut sysid = [0u8; 6];
+        sysid.copy_from_slice(&buf[9..15]);
+        let holding_time = u16::from_be_bytes([buf[15], buf[16]]);
+        let declared = u16::from_be_bytes([buf[17], buf[18]]) as usize;
+        if declared != buf.len() {
+            return Err(HelloError::Truncated);
+        }
+        let circuit_id = buf[19];
+        // Scan TLVs for 240.
+        let mut rest = &buf[HEADER_LEN..];
+        let mut three_way = None;
+        let mut neighbor = None;
+        while rest.len() >= 2 {
+            let typ = rest[0];
+            let len = rest[1] as usize;
+            if rest.len() < 2 + len {
+                return Err(HelloError::Truncated);
+            }
+            let value = &rest[2..2 + len];
+            if typ == tlv_type::P2P_THREE_WAY {
+                if value.is_empty() {
+                    return Err(HelloError::BadThreeWay);
+                }
+                three_way =
+                    Some(ThreeWayState::from_wire(value[0]).ok_or(HelloError::BadThreeWay)?);
+                if value.len() >= 5 + 6 {
+                    let mut n = [0u8; 6];
+                    n.copy_from_slice(&value[5..11]);
+                    neighbor = Some(SystemId(n));
+                }
+            }
+            rest = &rest[2 + len..];
+        }
+        Ok(P2pHello {
+            source: SystemId(sysid),
+            holding_time,
+            circuit_id,
+            three_way: three_way.ok_or(HelloError::BadThreeWay)?,
+            neighbor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_without_neighbor() {
+        let h = P2pHello {
+            source: SystemId::from_index(4),
+            holding_time: 30,
+            circuit_id: 1,
+            three_way: ThreeWayState::Down,
+            neighbor: None,
+        };
+        assert_eq!(P2pHello::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn round_trip_with_neighbor() {
+        let h = P2pHello {
+            source: SystemId::from_index(4),
+            holding_time: 30,
+            circuit_id: 1,
+            three_way: ThreeWayState::Initializing,
+            neighbor: Some(SystemId::from_index(9)),
+        };
+        assert_eq!(P2pHello::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_wrong_pdu_type() {
+        let h = P2pHello {
+            source: SystemId::from_index(4),
+            holding_time: 30,
+            circuit_id: 1,
+            three_way: ThreeWayState::Up,
+            neighbor: None,
+        };
+        let mut wire = h.encode();
+        wire[4] = crate::consts::pdu_type::L2_LSP;
+        assert_eq!(P2pHello::decode(&wire), Err(HelloError::WrongType));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let h = P2pHello {
+            source: SystemId::from_index(4),
+            holding_time: 30,
+            circuit_id: 1,
+            three_way: ThreeWayState::Up,
+            neighbor: Some(SystemId::from_index(5)),
+        };
+        let wire = h.encode();
+        assert_eq!(P2pHello::decode(&wire[..10]), Err(HelloError::Truncated));
+        assert_eq!(
+            P2pHello::decode(&wire[..wire.len() - 1]),
+            Err(HelloError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_three_way_state() {
+        let h = P2pHello {
+            source: SystemId::from_index(4),
+            holding_time: 30,
+            circuit_id: 1,
+            three_way: ThreeWayState::Up,
+            neighbor: None,
+        };
+        let mut wire = h.encode();
+        // TLV 240 state byte is right after the 2-byte TLV header.
+        wire[HEADER_LEN + 2] = 9;
+        assert_eq!(P2pHello::decode(&wire), Err(HelloError::BadThreeWay));
+    }
+}

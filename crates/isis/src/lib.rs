@@ -1,0 +1,52 @@
+//! # faultline-isis
+//!
+//! IS-IS substrate for the *faultline* reproduction of "A Comparison of
+//! Syslog and IS-IS for Network Failure Analysis" (IMC 2013).
+//!
+//! The paper's "ground truth" comes from a passive listener (a lightly
+//! modified PyRT) participating in the CENIC IS-IS domain and recording
+//! every link-state packet (LSP). This crate rebuilds that stack from the
+//! wire up:
+//!
+//! * [`checksum`] — the ISO 10589 / RFC 1008 Fletcher checksum carried by
+//!   every LSP;
+//! * [`tlv`] — the TLV codec for the fields the paper uses (Table 1):
+//!   Extended IS Reachability (22), Extended IP Reachability (135),
+//!   Dynamic Hostname (137), plus Area Addresses (1) and Protocols
+//!   Supported (129) so generated LSPs are structurally complete;
+//! * [`lsp`] — LSP PDU encode/decode (common header, LSP ID, sequence
+//!   number, remaining lifetime, checksum);
+//! * [`hello`] — point-to-point IIH PDUs with the three-way adjacency TLV
+//!   (240), used by the adjacency state machine;
+//! * [`lsdb`] — a link-state database with sequence-number acceptance
+//!   rules and purge handling;
+//! * [`adjacency`] — the point-to-point adjacency FSM, including the
+//!   aborted-three-way-handshake path that the paper identifies as a
+//!   source of sub-second syslog-only pseudo-failures (§4.3);
+//! * [`snp`] — CSNP/PSNP sequence-numbers PDUs, the flooding-reliability
+//!   machinery a listener uses to resynchronize after an outage;
+//! * [`spf`] — Dijkstra route computation over an LSDB with the ISO
+//!   two-way connectivity check (what makes "the routing protocol
+//!   declares a link down" equivalent to "no traffic uses it");
+//! * [`listener`] — the passive listener: consumes a timestamped LSP
+//!   stream, diffs consecutive LSPs per origin router, and emits IS- and
+//!   IP-reachability transitions (§3.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod checksum;
+pub mod consts;
+pub mod hello;
+pub mod lsdb;
+pub mod listener;
+pub mod lsp;
+pub mod snp;
+pub mod spf;
+pub mod tlv;
+
+pub use adjacency::{AdjacencyEvent, AdjacencyFsm, AdjacencyState};
+pub use listener::{Listener, ReachabilityKind, Transition, TransitionDirection};
+pub use lsp::{Lsp, LspId};
+pub use tlv::{IpReachEntry, IsReachEntry, Tlv};

@@ -1,0 +1,575 @@
+//! The passive IS-IS listener (the paper's PyRT equivalent).
+//!
+//! §3.2: the listener participates in the IS-IS domain, receives every
+//! flooded LSP, and for each origin router diffs the advertised IS
+//! adjacencies and IP prefixes against that router's previous
+//! advertisement. A newly missing adjacency/prefix is a **DOWN**
+//! transition; a newly present one is an **UP** transition. The first LSP
+//! from a router establishes its baseline without emitting transitions,
+//! and the Dynamic Hostname TLV builds the system-ID → hostname map.
+//!
+//! The listener also records the spans during which it was offline
+//! (maintenance of the collection server). The paper's sanitization step
+//! removes failures spanning those windows (§4.2).
+
+use crate::lsdb::{InstallOutcome, Lsdb};
+use crate::lsp::{Lsp, LspError};
+use faultline_topology::osi::SystemId;
+use faultline_topology::subnet::Subnet31;
+use faultline_topology::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Which LSP field a transition was derived from. Table 2 of the paper
+/// compares the two for agreement with syslog before settling on IS
+/// reachability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ReachabilityKind {
+    /// Extended IS Reachability (adjacency present/absent).
+    IsReach,
+    /// Extended IP Reachability (prefix present/absent).
+    IpReach,
+}
+
+/// Direction of a state transition, matching the paper's terminology:
+/// DOWN withdraws a previously advertised item, UP (re-)advertises it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TransitionDirection {
+    /// Item withdrawn.
+    Down,
+    /// Item advertised.
+    Up,
+}
+
+impl TransitionDirection {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            TransitionDirection::Down => TransitionDirection::Up,
+            TransitionDirection::Up => TransitionDirection::Down,
+        }
+    }
+}
+
+impl std::fmt::Display for TransitionDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransitionDirection::Down => write!(f, "DOWN"),
+            TransitionDirection::Up => write!(f, "UP"),
+        }
+    }
+}
+
+/// The object a transition refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TransitionSubject {
+    /// An IS adjacency toward `neighbor`, as seen from the LSP origin.
+    Adjacency {
+        /// Remote system.
+        neighbor: SystemId,
+    },
+    /// An IP prefix.
+    Prefix {
+        /// Base address.
+        prefix: Ipv4Addr,
+        /// Prefix length in bits.
+        prefix_len: u8,
+    },
+}
+
+impl TransitionSubject {
+    /// Interpret a prefix subject as a /31 link subnet, if it is one.
+    pub fn as_subnet(&self) -> Option<Subnet31> {
+        match self {
+            TransitionSubject::Prefix { prefix, prefix_len } if *prefix_len == 31 => {
+                Some(Subnet31::containing(*prefix))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One listener-observed state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Listener receive time of the LSP that revealed the change.
+    pub at: Timestamp,
+    /// Origin router of the LSP.
+    pub source: SystemId,
+    /// Which field the change appeared in.
+    pub kind: ReachabilityKind,
+    /// What changed.
+    pub subject: TransitionSubject,
+    /// Withdrawn or (re-)advertised.
+    pub direction: TransitionDirection,
+}
+
+/// Per-origin reachability baseline the listener diffs against.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct OriginState {
+    neighbors: BTreeSet<SystemId>,
+    prefixes: BTreeSet<(Ipv4Addr, u8)>,
+}
+
+/// A closed interval during which the listener was offline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OfflineSpan {
+    /// Going-offline instant.
+    pub from: Timestamp,
+    /// Back-online instant.
+    pub to: Timestamp,
+}
+
+/// Statistics the listener keeps about its input, reported in Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListenerStats {
+    /// LSPs accepted as new or updated.
+    pub lsps_installed: u64,
+    /// Flooding duplicates / stale retransmissions ignored.
+    pub lsps_ignored: u64,
+    /// LSPs that failed to decode or verify.
+    pub lsps_invalid: u64,
+    /// LSPs dropped because the listener was offline.
+    pub lsps_missed_offline: u64,
+}
+
+/// The passive listener.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Listener {
+    lsdb: Lsdb,
+    origins: HashMap<SystemId, OriginState>,
+    hostnames: HashMap<SystemId, String>,
+    transitions: Vec<Transition>,
+    offline_since: Option<Timestamp>,
+    offline_spans: Vec<OfflineSpan>,
+    stats: ListenerStats,
+}
+
+impl Listener {
+    /// A fresh online listener.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one received LSP in wire form. Invalid packets are counted and
+    /// dropped, as a real listener must survive corruption.
+    pub fn receive_bytes(&mut self, at: Timestamp, bytes: &[u8]) -> Result<(), LspError> {
+        match Lsp::decode(bytes) {
+            Ok(lsp) => {
+                self.receive(at, lsp);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.lsps_invalid += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Feed one received, already-decoded LSP.
+    pub fn receive(&mut self, at: Timestamp, lsp: Lsp) {
+        if self.offline_since.is_some() {
+            self.stats.lsps_missed_offline += 1;
+            return;
+        }
+        // Learn the hostname regardless of LSDB outcome.
+        if let Some(h) = lsp.hostname() {
+            self.hostnames.insert(lsp.id.system_id, h.to_string());
+        }
+        let origin = lsp.id.system_id;
+        let is_purge = lsp.is_purge();
+        let new_neighbors: BTreeSet<SystemId> = if is_purge {
+            BTreeSet::new()
+        } else {
+            lsp.is_neighbors().iter().map(|e| e.neighbor).collect()
+        };
+        let new_prefixes: BTreeSet<(Ipv4Addr, u8)> = if is_purge {
+            BTreeSet::new()
+        } else {
+            lsp.ip_prefixes()
+                .iter()
+                .map(|e| (e.prefix, e.prefix_len))
+                .collect()
+        };
+
+        match self.lsdb.install(lsp, at) {
+            (InstallOutcome::New, _) => {
+                // Baseline: record, do not emit transitions (§3.2).
+                self.stats.lsps_installed += 1;
+                self.origins.insert(
+                    origin,
+                    OriginState {
+                        neighbors: new_neighbors,
+                        prefixes: new_prefixes,
+                    },
+                );
+            }
+            (InstallOutcome::Updated, _) | (InstallOutcome::Purged, Some(_)) => {
+                self.stats.lsps_installed += 1;
+                let state = self.origins.entry(origin).or_default();
+                // Withdrawn adjacencies → DOWN; new adjacencies → UP.
+                for &gone in state.neighbors.difference(&new_neighbors) {
+                    self.transitions.push(Transition {
+                        at,
+                        source: origin,
+                        kind: ReachabilityKind::IsReach,
+                        subject: TransitionSubject::Adjacency { neighbor: gone },
+                        direction: TransitionDirection::Down,
+                    });
+                }
+                for &added in new_neighbors.difference(&state.neighbors) {
+                    self.transitions.push(Transition {
+                        at,
+                        source: origin,
+                        kind: ReachabilityKind::IsReach,
+                        subject: TransitionSubject::Adjacency { neighbor: added },
+                        direction: TransitionDirection::Up,
+                    });
+                }
+                for &(p, l) in state.prefixes.difference(&new_prefixes) {
+                    self.transitions.push(Transition {
+                        at,
+                        source: origin,
+                        kind: ReachabilityKind::IpReach,
+                        subject: TransitionSubject::Prefix {
+                            prefix: p,
+                            prefix_len: l,
+                        },
+                        direction: TransitionDirection::Down,
+                    });
+                }
+                for &(p, l) in new_prefixes.difference(&state.prefixes) {
+                    self.transitions.push(Transition {
+                        at,
+                        source: origin,
+                        kind: ReachabilityKind::IpReach,
+                        subject: TransitionSubject::Prefix {
+                            prefix: p,
+                            prefix_len: l,
+                        },
+                        direction: TransitionDirection::Up,
+                    });
+                }
+                state.neighbors = new_neighbors;
+                state.prefixes = new_prefixes;
+            }
+            (InstallOutcome::Purged, None) => {
+                // Purge for an LSP we never saw: nothing to withdraw.
+                self.stats.lsps_ignored += 1;
+            }
+            (InstallOutcome::Duplicate, _) | (InstallOutcome::Stale, _) => {
+                self.stats.lsps_ignored += 1;
+            }
+        }
+    }
+
+    /// Take the listener offline (collection-server outage). LSPs received
+    /// while offline are lost, and on return the listener resynchronizes
+    /// its baselines from the next LSP of each router *without* emitting
+    /// transitions for changes it slept through — exactly the blind spot
+    /// the paper's sanitization must handle.
+    pub fn go_offline(&mut self, at: Timestamp) {
+        if self.offline_since.is_none() {
+            self.offline_since = Some(at);
+        }
+    }
+
+    /// Bring the listener back online. Baselines are cleared so the next
+    /// LSP from each origin re-establishes state silently.
+    pub fn go_online(&mut self, at: Timestamp) {
+        if let Some(from) = self.offline_since.take() {
+            self.offline_spans.push(OfflineSpan { from, to: at });
+            // Forget baselines: the next LSP from each router is treated as
+            // first contact. Keeping the LSDB would mis-time any changes
+            // that happened while we slept.
+            self.lsdb = Lsdb::new();
+            self.origins.clear();
+        }
+    }
+
+    /// True while offline.
+    pub fn is_offline(&self) -> bool {
+        self.offline_since.is_some()
+    }
+
+    /// All transitions observed so far, in receive order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Consume the listener, returning its transitions.
+    pub fn into_transitions(self) -> Vec<Transition> {
+        self.transitions
+    }
+
+    /// System-ID → hostname map learned from Dynamic Hostname TLVs.
+    pub fn hostnames(&self) -> &HashMap<SystemId, String> {
+        &self.hostnames
+    }
+
+    /// Completed offline spans.
+    pub fn offline_spans(&self) -> &[OfflineSpan] {
+        &self.offline_spans
+    }
+
+    /// Input statistics.
+    pub fn stats(&self) -> ListenerStats {
+        self.stats
+    }
+
+    /// Summarize the current LSDB as CSNP entries (what this listener
+    /// would advertise to a neighbor during database synchronization).
+    pub fn lsdb_summary(&self) -> Vec<crate::snp::LspEntry> {
+        let mut entries: Vec<crate::snp::LspEntry> = self
+            .lsdb
+            .iter()
+            .map(|(id, e)| crate::snp::LspEntry {
+                lifetime: e.lsp.lifetime,
+                id: *id,
+                sequence: e.lsp.sequence,
+                checksum: 0, // summaries derived from decoded LSPs
+            })
+            .collect();
+        entries.sort_by_key(|e| e.id);
+        entries
+    }
+
+    /// Build a routing graph from the current LSDB and compute routes —
+    /// what a participating router would do with the same database. Used
+    /// to sanity-check that "adjacency withdrawn" really means "no
+    /// traffic will be directed to it".
+    pub fn spf_graph(&self) -> crate::spf::SpfGraph {
+        crate::spf::SpfGraph::from_lsps(self.lsdb.iter().map(|(_, e)| &e.lsp))
+    }
+
+    /// Given a neighbor's CSNP, compute which LSPs this listener must
+    /// request (missing or stale locally) — the §3.2 resynchronization a
+    /// listener performs when it rejoins after an outage.
+    pub fn plan_resync(&self, csnp: &crate::snp::Csnp) -> Vec<crate::lsp::LspId> {
+        csnp.missing_from(|id| self.lsdb.get(id).map(|e| e.lsp.sequence))
+            .into_iter()
+            .map(|e| e.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlv::{IpReachEntry, IsReachEntry};
+
+    fn sysid(i: u32) -> SystemId {
+        SystemId::from_index(i)
+    }
+
+    fn lsp(origin: u32, seq: u32, neighbors: &[u32], prefixes: &[(Ipv4Addr, u8)]) -> Lsp {
+        let is: Vec<IsReachEntry> = neighbors
+            .iter()
+            .map(|&n| IsReachEntry {
+                neighbor: sysid(n),
+                pseudonode: 0,
+                metric: 10,
+            })
+            .collect();
+        let ip: Vec<IpReachEntry> = prefixes
+            .iter()
+            .map(|&(p, l)| IpReachEntry {
+                metric: 10,
+                prefix: p,
+                prefix_len: l,
+            })
+            .collect();
+        Lsp::originate(sysid(origin), seq, &format!("r{origin}"), &is, &ip)
+    }
+
+    fn p(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    #[test]
+    fn first_lsp_sets_baseline_silently() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2, 3], &[(p(10, 0, 0, 0), 31)]));
+        assert!(l.transitions().is_empty());
+        assert_eq!(l.hostnames().get(&sysid(1)).unwrap(), "r1");
+    }
+
+    #[test]
+    fn withdrawal_emits_down_and_readvertisement_up() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2, 3], &[]));
+        l.receive(Timestamp::from_secs(10), lsp(1, 2, &[2], &[]));
+        l.receive(Timestamp::from_secs(20), lsp(1, 3, &[2, 3], &[]));
+        let t = l.transitions();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].direction, TransitionDirection::Down);
+        assert_eq!(
+            t[0].subject,
+            TransitionSubject::Adjacency { neighbor: sysid(3) }
+        );
+        assert_eq!(t[1].direction, TransitionDirection::Up);
+        assert_eq!(t[1].at, Timestamp::from_secs(20));
+    }
+
+    #[test]
+    fn prefix_changes_tracked_separately() {
+        let mut l = Listener::new();
+        l.receive(
+            Timestamp::EPOCH,
+            lsp(1, 1, &[2], &[(p(10, 0, 0, 0), 31), (p(10, 0, 0, 2), 31)]),
+        );
+        l.receive(
+            Timestamp::from_secs(5),
+            lsp(1, 2, &[2], &[(p(10, 0, 0, 0), 31)]),
+        );
+        let t = l.transitions();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].kind, ReachabilityKind::IpReach);
+        assert_eq!(
+            t[0].subject.as_subnet().unwrap().to_string(),
+            "10.0.0.2/31"
+        );
+    }
+
+    #[test]
+    fn duplicates_and_stale_ignored() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 5, &[2], &[]));
+        l.receive(Timestamp::from_secs(1), lsp(1, 5, &[], &[])); // dup seq: ignored
+        l.receive(Timestamp::from_secs(2), lsp(1, 3, &[], &[])); // stale: ignored
+        assert!(l.transitions().is_empty());
+        assert_eq!(l.stats().lsps_ignored, 2);
+    }
+
+    #[test]
+    fn refresh_with_same_content_is_silent() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2], &[]));
+        l.receive(Timestamp::from_secs(900), lsp(1, 2, &[2], &[]));
+        assert!(l.transitions().is_empty());
+        assert_eq!(l.stats().lsps_installed, 2);
+    }
+
+    #[test]
+    fn purge_withdraws_everything() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2, 3], &[(p(10, 0, 0, 0), 31)]));
+        let mut purge = lsp(1, 2, &[], &[]);
+        purge.lifetime = 0;
+        l.receive(Timestamp::from_secs(9), purge);
+        let downs = l
+            .transitions()
+            .iter()
+            .filter(|t| t.direction == TransitionDirection::Down)
+            .count();
+        assert_eq!(downs, 3); // 2 adjacencies + 1 prefix
+    }
+
+    #[test]
+    fn offline_window_is_a_blind_spot() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2, 3], &[]));
+        l.go_offline(Timestamp::from_secs(10));
+        // Failure and recovery happen while offline: lost.
+        l.receive(Timestamp::from_secs(20), lsp(1, 2, &[2], &[]));
+        l.receive(Timestamp::from_secs(30), lsp(1, 3, &[2, 3], &[]));
+        l.go_online(Timestamp::from_secs(40));
+        // Next LSP re-baselines silently even though neighbor set changed
+        // relative to the pre-outage baseline.
+        l.receive(Timestamp::from_secs(50), lsp(1, 4, &[2], &[]));
+        assert!(l.transitions().is_empty());
+        assert_eq!(l.stats().lsps_missed_offline, 2);
+        assert_eq!(
+            l.offline_spans(),
+            &[OfflineSpan {
+                from: Timestamp::from_secs(10),
+                to: Timestamp::from_secs(40)
+            }]
+        );
+        // ... but a later change is seen again.
+        l.receive(Timestamp::from_secs(60), lsp(1, 5, &[], &[]));
+        assert_eq!(l.transitions().len(), 1);
+    }
+
+    #[test]
+    fn invalid_bytes_counted() {
+        let mut l = Listener::new();
+        assert!(l.receive_bytes(Timestamp::EPOCH, &[0x83, 0x00]).is_err());
+        assert_eq!(l.stats().lsps_invalid, 1);
+    }
+
+    #[test]
+    fn wire_round_trip_through_listener() {
+        let mut l = Listener::new();
+        let l1 = lsp(1, 1, &[2], &[]);
+        let l2 = lsp(1, 2, &[], &[]);
+        l.receive_bytes(Timestamp::EPOCH, &l1.encode()).unwrap();
+        l.receive_bytes(Timestamp::from_secs(3), &l2.encode()).unwrap();
+        assert_eq!(l.transitions().len(), 1);
+        assert_eq!(l.transitions()[0].direction, TransitionDirection::Down);
+    }
+
+    #[test]
+    fn spf_graph_tracks_withdrawals() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2], &[]));
+        l.receive(Timestamp::EPOCH, lsp(2, 1, &[1], &[]));
+        assert!(l.spf_graph().reachable(sysid(1), sysid(2)));
+        // Router 1 withdraws the adjacency: SPF must lose the route.
+        l.receive(Timestamp::from_secs(5), lsp(1, 2, &[], &[]));
+        assert!(!l.spf_graph().reachable(sysid(1), sysid(2)));
+    }
+
+    #[test]
+    fn lsdb_summary_and_resync_plan() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 3, &[2], &[]));
+        l.receive(Timestamp::EPOCH, lsp(2, 7, &[1], &[]));
+        let summary = l.lsdb_summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].sequence, 3);
+        assert_eq!(summary[1].sequence, 7);
+
+        // A neighbor advertises: origin 1 newer (seq 5), origin 2 same,
+        // origin 3 unknown to us.
+        let csnp = crate::snp::Csnp::full_range(
+            sysid(9),
+            vec![
+                crate::snp::LspEntry {
+                    lifetime: 1200,
+                    id: crate::lsp::LspId::of(sysid(1)),
+                    sequence: 5,
+                    checksum: 0,
+                },
+                crate::snp::LspEntry {
+                    lifetime: 1200,
+                    id: crate::lsp::LspId::of(sysid(2)),
+                    sequence: 7,
+                    checksum: 0,
+                },
+                crate::snp::LspEntry {
+                    lifetime: 1200,
+                    id: crate::lsp::LspId::of(sysid(3)),
+                    sequence: 1,
+                    checksum: 0,
+                },
+            ],
+        );
+        let plan = l.plan_resync(&csnp);
+        let origins: Vec<u32> = plan.iter().map(|id| id.system_id.index()).collect();
+        assert_eq!(origins, vec![1, 3], "request the newer and the unknown LSP");
+    }
+
+    #[test]
+    fn multiple_origins_tracked_independently() {
+        let mut l = Listener::new();
+        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2], &[]));
+        l.receive(Timestamp::EPOCH, lsp(2, 1, &[1], &[]));
+        l.receive(Timestamp::from_secs(5), lsp(1, 2, &[], &[]));
+        l.receive(Timestamp::from_secs(5), lsp(2, 2, &[], &[]));
+        assert_eq!(l.transitions().len(), 2);
+        let sources: Vec<SystemId> = l.transitions().iter().map(|t| t.source).collect();
+        assert!(sources.contains(&sysid(1)) && sources.contains(&sysid(2)));
+    }
+}

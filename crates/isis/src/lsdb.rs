@@ -1,0 +1,183 @@
+//! Link-state database with ISO 10589 acceptance rules.
+//!
+//! The passive listener keeps an LSDB so it can (a) ignore stale
+//! retransmissions and refresh floods that change nothing, and (b) know
+//! each router's *previous* advertisement when diffing a new LSP against
+//! it (§3.2: "we compare the advertised IS-IS adjacencies and IP
+//! reachability to \[those\] advertised previously").
+
+use crate::lsp::{Lsp, LspId};
+use faultline_topology::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What [`Lsdb::install`] decided about an incoming LSP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstallOutcome {
+    /// First LSP ever seen for this LSP ID.
+    New,
+    /// Newer sequence number than the stored copy; contents replaced.
+    Updated,
+    /// Same sequence number as stored (a flooding duplicate); ignored.
+    Duplicate,
+    /// Older sequence number than stored (stale retransmission); ignored.
+    Stale,
+    /// A purge (lifetime 0); the stored copy was removed.
+    Purged,
+}
+
+/// A stored LSP plus arrival metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LsdbEntry {
+    /// The LSP contents.
+    pub lsp: Lsp,
+    /// When the listener received it.
+    pub received_at: Timestamp,
+}
+
+/// The link-state database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lsdb {
+    entries: HashMap<LspId, LsdbEntry>,
+}
+
+impl Lsdb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply the acceptance rules to an incoming LSP. On `New`/`Updated`
+    /// the stored entry is replaced; the displaced entry (the *previous*
+    /// advertisement) is returned so callers can diff against it.
+    pub fn install(&mut self, lsp: Lsp, received_at: Timestamp) -> (InstallOutcome, Option<LsdbEntry>) {
+        if lsp.is_purge() {
+            let prev = self.entries.remove(&lsp.id);
+            return (InstallOutcome::Purged, prev);
+        }
+        match self.entries.get(&lsp.id) {
+            None => {
+                self.entries.insert(lsp.id, LsdbEntry { lsp, received_at });
+                (InstallOutcome::New, None)
+            }
+            Some(existing) if lsp.sequence > existing.lsp.sequence => {
+                let prev = self.entries.insert(lsp.id, LsdbEntry { lsp, received_at });
+                (InstallOutcome::Updated, prev)
+            }
+            Some(existing) if lsp.sequence == existing.lsp.sequence => {
+                (InstallOutcome::Duplicate, None)
+            }
+            Some(_) => (InstallOutcome::Stale, None),
+        }
+    }
+
+    /// Current entry for an LSP ID.
+    pub fn get(&self, id: &LspId) -> Option<&LsdbEntry> {
+        self.entries.get(id)
+    }
+
+    /// Number of stored LSPs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no LSPs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over stored `(LSP ID, entry)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&LspId, &LsdbEntry)> {
+        self.entries.iter()
+    }
+
+    /// Drop every LSP whose lifetime, counted from its arrival, has
+    /// expired by `now`. Returns the expired LSP IDs. (The listener calls
+    /// this only to bound memory; expiry does not generate transitions
+    /// because a real listener would have seen the refresh first.)
+    pub fn expire(&mut self, now: Timestamp) -> Vec<LspId> {
+        let expired: Vec<LspId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                let deadline =
+                    e.received_at + faultline_topology::time::Duration::from_secs(e.lsp.lifetime as u64);
+                deadline <= now
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &expired {
+            self.entries.remove(id);
+        }
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_topology::osi::SystemId;
+    use faultline_topology::time::Duration;
+
+    fn lsp(seq: u32) -> Lsp {
+        Lsp::originate(SystemId::from_index(1), seq, "r1", &[], &[])
+    }
+
+    #[test]
+    fn first_lsp_is_new() {
+        let mut db = Lsdb::new();
+        let (outcome, prev) = db.install(lsp(1), Timestamp::EPOCH);
+        assert_eq!(outcome, InstallOutcome::New);
+        assert!(prev.is_none());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn newer_sequence_updates_and_returns_previous() {
+        let mut db = Lsdb::new();
+        db.install(lsp(1), Timestamp::EPOCH);
+        let (outcome, prev) = db.install(lsp(2), Timestamp::from_secs(1));
+        assert_eq!(outcome, InstallOutcome::Updated);
+        assert_eq!(prev.unwrap().lsp.sequence, 1);
+    }
+
+    #[test]
+    fn duplicate_and_stale_ignored() {
+        let mut db = Lsdb::new();
+        db.install(lsp(5), Timestamp::EPOCH);
+        assert_eq!(
+            db.install(lsp(5), Timestamp::from_secs(1)).0,
+            InstallOutcome::Duplicate
+        );
+        assert_eq!(
+            db.install(lsp(3), Timestamp::from_secs(2)).0,
+            InstallOutcome::Stale
+        );
+        assert_eq!(db.get(&lsp(5).id).unwrap().lsp.sequence, 5);
+        // Stored arrival time must still be the original.
+        assert_eq!(db.get(&lsp(5).id).unwrap().received_at, Timestamp::EPOCH);
+    }
+
+    #[test]
+    fn purge_removes() {
+        let mut db = Lsdb::new();
+        db.install(lsp(5), Timestamp::EPOCH);
+        let mut purge = lsp(6);
+        purge.lifetime = 0;
+        let (outcome, prev) = db.install(purge, Timestamp::from_secs(1));
+        assert_eq!(outcome, InstallOutcome::Purged);
+        assert_eq!(prev.unwrap().lsp.sequence, 5);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn expire_drops_old_entries() {
+        let mut db = Lsdb::new();
+        db.install(lsp(1), Timestamp::EPOCH);
+        let lifetime = Duration::from_secs(crate::consts::DEFAULT_LIFETIME_SECS as u64);
+        assert!(db.expire(Timestamp::EPOCH + lifetime - Duration::SECOND).is_empty());
+        let expired = db.expire(Timestamp::EPOCH + lifetime);
+        assert_eq!(expired.len(), 1);
+        assert!(db.is_empty());
+    }
+}

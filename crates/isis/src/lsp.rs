@@ -1,0 +1,406 @@
+//! LSP PDU encode/decode.
+//!
+//! Layout (ISO 10589 §9.8, Level-2 LSP):
+//!
+//! ```text
+//! offset  field
+//! 0       IRPD (0x83)
+//! 1       length indicator (header length, 27)
+//! 2       version/protocol ID extension (1)
+//! 3       ID length (0 = 6-byte system IDs)
+//! 4       PDU type (0x14 = L2 LSP)
+//! 5       version (1)
+//! 6       reserved
+//! 7       maximum area addresses (0 = 3)
+//! 8..10   PDU length
+//! 10..12  remaining lifetime (seconds)
+//! 12..20  LSP ID (system id 6 | pseudonode 1 | fragment 1)
+//! 20..24  sequence number
+//! 24..26  checksum (Fletcher, computed from offset 12 to end)
+//! 26      flags (P|ATT|OL|IS-type)
+//! 27..    TLVs
+//! ```
+
+use crate::checksum::{fletcher_compute, fletcher_verify};
+use crate::consts::{self, pdu_type};
+use crate::tlv::{IpReachEntry, IsReachEntry, Tlv, TlvError};
+use bytes::BufMut;
+use faultline_topology::osi::SystemId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Byte offset of the LSP ID — the start of the checksummed region.
+const CHECKSUM_REGION_START: usize = 12;
+/// Byte offset of the checksum field within the PDU.
+const CHECKSUM_OFFSET: usize = 24;
+/// Fixed header length.
+const HEADER_LEN: usize = 27;
+
+/// The 8-byte LSP identifier: originating system, pseudonode, fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LspId {
+    /// Originating router.
+    pub system_id: SystemId,
+    /// Pseudonode number; 0 for the router's own LSP.
+    pub pseudonode: u8,
+    /// Fragment number; large LSPs spill into fragments 1, 2, …
+    pub fragment: u8,
+}
+
+impl LspId {
+    /// The zeroth (non-pseudonode, non-fragmented) LSP of a router.
+    pub fn of(system_id: SystemId) -> Self {
+        LspId {
+            system_id,
+            pseudonode: 0,
+            fragment: 0,
+        }
+    }
+}
+
+impl fmt::Display for LspId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:02x}-{:02x}", self.system_id, self.pseudonode, self.fragment)
+    }
+}
+
+/// A decoded (or to-be-encoded) LSP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lsp {
+    /// LSP identifier.
+    pub id: LspId,
+    /// Sequence number; higher wins in the LSDB.
+    pub sequence: u32,
+    /// Remaining lifetime in seconds; 0 means the LSP is a purge.
+    pub lifetime: u16,
+    /// Overload/attach flags byte (IS-type lives in the low 2 bits).
+    pub flags: u8,
+    /// Body TLVs.
+    pub tlvs: Vec<Tlv>,
+}
+
+/// Error decoding an LSP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LspError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// First byte is not the IS-IS discriminator.
+    NotIsis,
+    /// PDU type is not an LSP.
+    NotLsp(u8),
+    /// Declared PDU length disagrees with the buffer.
+    BadLength {
+        /// Length declared in the header.
+        declared: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// Fletcher checksum verification failed.
+    BadChecksum,
+    /// A TLV failed to decode.
+    Tlv(TlvError),
+}
+
+impl fmt::Display for LspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LspError::Truncated => write!(f, "LSP truncated"),
+            LspError::NotIsis => write!(f, "not an IS-IS PDU"),
+            LspError::NotLsp(t) => write!(f, "PDU type {t} is not an LSP"),
+            LspError::BadLength { declared, actual } => {
+                write!(f, "declared length {declared} != buffer length {actual}")
+            }
+            LspError::BadChecksum => write!(f, "Fletcher checksum mismatch"),
+            LspError::Tlv(e) => write!(f, "TLV error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LspError {}
+
+impl From<TlvError> for LspError {
+    fn from(e: TlvError) -> Self {
+        LspError::Tlv(e)
+    }
+}
+
+impl Lsp {
+    /// Construct a router's own level-2 LSP from its reachability state.
+    ///
+    /// This is what the simulator calls whenever a router's adjacency or
+    /// prefix set changes: the hostname TLV, area, protocols, and split
+    /// reachability TLVs are assembled in canonical order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faultline_isis::lsp::Lsp;
+    /// use faultline_topology::osi::SystemId;
+    ///
+    /// let lsp = Lsp::originate(SystemId::from_index(1), 1, "lax-agg-01", &[], &[]);
+    /// let wire = lsp.encode();
+    /// assert_eq!(Lsp::decode(&wire).unwrap(), lsp);
+    /// ```
+    pub fn originate(
+        system_id: SystemId,
+        sequence: u32,
+        hostname: &str,
+        is_reach: &[IsReachEntry],
+        ip_reach: &[IpReachEntry],
+    ) -> Lsp {
+        let mut tlvs = vec![
+            Tlv::AreaAddresses(vec![vec![0x49, 0x00, 0x01]]),
+            Tlv::ProtocolsSupported(vec![consts::NLPID_IPV4]),
+            Tlv::DynamicHostname(hostname.to_string()),
+        ];
+        tlvs.extend(crate::tlv::split_is_reach(is_reach));
+        tlvs.extend(crate::tlv::split_ip_reach(ip_reach));
+        Lsp {
+            id: LspId::of(system_id),
+            sequence,
+            lifetime: consts::DEFAULT_LIFETIME_SECS,
+            flags: 0x03, // IS-type = level 2
+            tlvs,
+        }
+    }
+
+    /// True if this LSP is a purge (lifetime exhausted).
+    pub fn is_purge(&self) -> bool {
+        self.lifetime == 0
+    }
+
+    /// All IS-reachability neighbors across the LSP's TLVs.
+    pub fn is_neighbors(&self) -> Vec<IsReachEntry> {
+        self.tlvs
+            .iter()
+            .filter_map(|t| match t {
+                Tlv::ExtIsReach(e) => Some(e.as_slice()),
+                _ => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// All IP-reachability prefixes across the LSP's TLVs.
+    pub fn ip_prefixes(&self) -> Vec<IpReachEntry> {
+        self.tlvs
+            .iter()
+            .filter_map(|t| match t {
+                Tlv::ExtIpReach(e) => Some(e.as_slice()),
+                _ => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// The hostname advertised in the Dynamic Hostname TLV, if present.
+    pub fn hostname(&self) -> Option<&str> {
+        self.tlvs.iter().find_map(|t| match t {
+            Tlv::DynamicHostname(h) => Some(h.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Encode to wire bytes, computing length and checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        for tlv in &self.tlvs {
+            tlv.encode(&mut body);
+        }
+        let total = HEADER_LEN + body.len();
+        let mut buf = Vec::with_capacity(total);
+        buf.put_u8(consts::IRPD);
+        buf.put_u8(HEADER_LEN as u8);
+        buf.put_u8(consts::VERSION);
+        buf.put_u8(consts::ID_LEN_DEFAULT);
+        buf.put_u8(pdu_type::L2_LSP);
+        buf.put_u8(consts::VERSION);
+        buf.put_u8(0);
+        buf.put_u8(consts::MAX_AREA_DEFAULT);
+        buf.put_u16(total as u16);
+        buf.put_u16(self.lifetime);
+        buf.put_slice(self.id.system_id.as_bytes());
+        buf.put_u8(self.id.pseudonode);
+        buf.put_u8(self.id.fragment);
+        buf.put_u32(self.sequence);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u8(self.flags);
+        buf.put_slice(&body);
+
+        if !self.is_purge() {
+            // Checksum covers LSP ID → end; offset is relative to that
+            // region's start per ISO 10589, so pass the sliced region.
+            let ck = fletcher_compute(
+                &buf[CHECKSUM_REGION_START..],
+                CHECKSUM_OFFSET - CHECKSUM_REGION_START,
+            );
+            buf[CHECKSUM_OFFSET] = (ck >> 8) as u8;
+            buf[CHECKSUM_OFFSET + 1] = (ck & 0xff) as u8;
+        }
+        buf
+    }
+
+    /// Decode from wire bytes, verifying structure and checksum.
+    pub fn decode(buf: &[u8]) -> Result<Lsp, LspError> {
+        if buf.len() < HEADER_LEN {
+            return Err(LspError::Truncated);
+        }
+        if buf[0] != consts::IRPD {
+            return Err(LspError::NotIsis);
+        }
+        let typ = buf[4] & 0x1f;
+        if typ != pdu_type::L2_LSP {
+            return Err(LspError::NotLsp(typ));
+        }
+        let declared = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+        if declared != buf.len() {
+            return Err(LspError::BadLength {
+                declared,
+                actual: buf.len(),
+            });
+        }
+        let lifetime = u16::from_be_bytes([buf[10], buf[11]]);
+        if lifetime != 0
+            && !fletcher_verify(
+                &buf[CHECKSUM_REGION_START..],
+                CHECKSUM_OFFSET - CHECKSUM_REGION_START,
+            )
+        {
+            return Err(LspError::BadChecksum);
+        }
+        let mut sysid = [0u8; 6];
+        sysid.copy_from_slice(&buf[12..18]);
+        let id = LspId {
+            system_id: SystemId(sysid),
+            pseudonode: buf[18],
+            fragment: buf[19],
+        };
+        let sequence = u32::from_be_bytes([buf[20], buf[21], buf[22], buf[23]]);
+        let flags = buf[26];
+        let tlvs = Tlv::decode_all(&buf[HEADER_LEN..])?;
+        Ok(Lsp {
+            id,
+            sequence,
+            lifetime,
+            flags,
+            tlvs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sample() -> Lsp {
+        Lsp::originate(
+            SystemId::from_index(5),
+            7,
+            "lax-agg-01",
+            &[
+                IsReachEntry {
+                    neighbor: SystemId::from_index(6),
+                    pseudonode: 0,
+                    metric: 10,
+                },
+                IsReachEntry {
+                    neighbor: SystemId::from_index(9),
+                    pseudonode: 0,
+                    metric: 20,
+                },
+            ],
+            &[IpReachEntry {
+                metric: 10,
+                prefix: Ipv4Addr::new(137, 164, 0, 0),
+                prefix_len: 31,
+            }],
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let lsp = sample();
+        let wire = lsp.encode();
+        let back = Lsp::decode(&wire).unwrap();
+        assert_eq!(back, lsp);
+    }
+
+    #[test]
+    fn accessors() {
+        let lsp = sample();
+        assert_eq!(lsp.hostname(), Some("lax-agg-01"));
+        assert_eq!(lsp.is_neighbors().len(), 2);
+        assert_eq!(lsp.ip_prefixes().len(), 1);
+        assert!(!lsp.is_purge());
+    }
+
+    #[test]
+    fn corrupted_byte_fails_checksum() {
+        let lsp = sample();
+        let mut wire = lsp.encode();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        assert_eq!(Lsp::decode(&wire), Err(LspError::BadChecksum));
+    }
+
+    #[test]
+    fn header_corruptions_detected() {
+        let wire = sample().encode();
+
+        let mut w = wire.clone();
+        w[0] = 0x82;
+        assert_eq!(Lsp::decode(&w), Err(LspError::NotIsis));
+
+        let mut w = wire.clone();
+        w[4] = crate::consts::pdu_type::P2P_HELLO;
+        assert!(matches!(Lsp::decode(&w), Err(LspError::NotLsp(17))));
+
+        let w = &wire[..wire.len() - 1];
+        assert!(matches!(Lsp::decode(w), Err(LspError::BadLength { .. })));
+
+        assert_eq!(Lsp::decode(&wire[..10]), Err(LspError::Truncated));
+    }
+
+    #[test]
+    fn purge_skips_checksum() {
+        let mut lsp = sample();
+        lsp.lifetime = 0;
+        lsp.tlvs.clear();
+        let wire = lsp.encode();
+        // Checksum field must be zero and decode must accept it.
+        assert_eq!(&wire[24..26], &[0, 0]);
+        let back = Lsp::decode(&wire).unwrap();
+        assert!(back.is_purge());
+    }
+
+    #[test]
+    fn large_lsp_splits_tlvs_and_round_trips() {
+        let neighbors: Vec<IsReachEntry> = (0..80)
+            .map(|i| IsReachEntry {
+                neighbor: SystemId::from_index(i),
+                pseudonode: 0,
+                metric: 10,
+            })
+            .collect();
+        let prefixes: Vec<IpReachEntry> = (0..80)
+            .map(|i| IpReachEntry {
+                metric: 10,
+                prefix: Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 0, 0, 0)) + i * 2),
+                prefix_len: 31,
+            })
+            .collect();
+        let lsp = Lsp::originate(SystemId::from_index(1), 1, "big", &neighbors, &prefixes);
+        let back = Lsp::decode(&lsp.encode()).unwrap();
+        assert_eq!(back.is_neighbors().len(), 80);
+        assert_eq!(back.ip_prefixes().len(), 80);
+    }
+
+    #[test]
+    fn lsp_id_display() {
+        let id = LspId::of(SystemId::from_index(3));
+        assert_eq!(id.to_string(), "0100.0000.0003.00-00");
+    }
+}

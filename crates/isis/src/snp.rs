@@ -1,0 +1,359 @@
+//! Sequence-numbers PDUs: CSNP and PSNP (ISO 10589 §9.9–9.10).
+//!
+//! Flooding reliability on point-to-point circuits rests on these: a
+//! router (or the paper's passive listener, §3.2) summarizes its LSDB in
+//! *Complete* SNPs and requests/acknowledges individual LSPs with
+//! *Partial* SNPs. When the listener reconnects after an outage it
+//! exchanges CSNPs with its neighbor and pulls every LSP it is missing —
+//! the resync burst the simulator models after each listener outage.
+//!
+//! Layout (L2 CSNP, type 25):
+//!
+//! ```text
+//! 0..8    common header (IRPD, len=33, version, id-len, type, ...)
+//! 8..10   PDU length
+//! 10..17  source ID (system id + circuit)
+//! 17..25  start LSP ID
+//! 25..33  end LSP ID
+//! 33..    TLV 9 (LSP entries): lifetime(2) lsp-id(8) seqno(4) checksum(2)
+//! ```
+//!
+//! PSNP (type 27) is identical minus the start/end LSP ID range.
+
+use crate::consts::{self, pdu_type};
+use crate::lsp::LspId;
+use bytes::BufMut;
+use faultline_topology::osi::SystemId;
+use serde::{Deserialize, Serialize};
+
+/// TLV type for LSP entries in SNPs.
+const TLV_LSP_ENTRIES: u8 = 9;
+/// Bytes per LSP entry.
+const ENTRY_LEN: usize = 16;
+const CSNP_HEADER_LEN: usize = 33;
+const PSNP_HEADER_LEN: usize = 17;
+
+/// One LSDB summary entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LspEntry {
+    /// Remaining lifetime of the summarized LSP.
+    pub lifetime: u16,
+    /// Which LSP.
+    pub id: LspId,
+    /// Its sequence number.
+    pub sequence: u32,
+    /// Its checksum.
+    pub checksum: u16,
+}
+
+/// A Complete Sequence Numbers PDU: summarizes the LSDB over an LSP-ID
+/// range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csnp {
+    /// Sending system.
+    pub source: SystemId,
+    /// Range start (usually all-zeros).
+    pub start: LspId,
+    /// Range end (usually all-ones).
+    pub end: LspId,
+    /// Summaries, sorted by LSP ID.
+    pub entries: Vec<LspEntry>,
+}
+
+/// A Partial Sequence Numbers PDU: acknowledges or requests specific
+/// LSPs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Psnp {
+    /// Sending system.
+    pub source: SystemId,
+    /// The referenced LSPs.
+    pub entries: Vec<LspEntry>,
+}
+
+/// Error decoding an SNP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnpError {
+    /// Buffer too short.
+    Truncated,
+    /// Not an IS-IS PDU of the expected type.
+    WrongType,
+    /// Malformed TLV contents.
+    BadTlv,
+}
+
+impl std::fmt::Display for SnpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnpError::Truncated => write!(f, "SNP truncated"),
+            SnpError::WrongType => write!(f, "not the expected SNP type"),
+            SnpError::BadTlv => write!(f, "malformed LSP-entries TLV"),
+        }
+    }
+}
+
+impl std::error::Error for SnpError {}
+
+fn put_lsp_id(buf: &mut Vec<u8>, id: &LspId) {
+    buf.put_slice(id.system_id.as_bytes());
+    buf.put_u8(id.pseudonode);
+    buf.put_u8(id.fragment);
+}
+
+fn get_lsp_id(b: &[u8]) -> LspId {
+    let mut sys = [0u8; 6];
+    sys.copy_from_slice(&b[..6]);
+    LspId {
+        system_id: SystemId(sys),
+        pseudonode: b[6],
+        fragment: b[7],
+    }
+}
+
+fn put_entries(buf: &mut Vec<u8>, entries: &[LspEntry]) {
+    // Split across TLVs of at most 15 entries (15 × 16 = 240 ≤ 255).
+    for chunk in entries.chunks(15) {
+        buf.put_u8(TLV_LSP_ENTRIES);
+        buf.put_u8((chunk.len() * ENTRY_LEN) as u8);
+        for e in chunk {
+            buf.put_u16(e.lifetime);
+            put_lsp_id(buf, &e.id);
+            buf.put_u32(e.sequence);
+            buf.put_u16(e.checksum);
+        }
+    }
+}
+
+fn get_entries(mut body: &[u8]) -> Result<Vec<LspEntry>, SnpError> {
+    let mut out = Vec::new();
+    while body.len() >= 2 {
+        let typ = body[0];
+        let len = body[1] as usize;
+        if body.len() < 2 + len {
+            return Err(SnpError::Truncated);
+        }
+        let value = &body[2..2 + len];
+        if typ == TLV_LSP_ENTRIES {
+            if !len.is_multiple_of(ENTRY_LEN) {
+                return Err(SnpError::BadTlv);
+            }
+            for e in value.chunks(ENTRY_LEN) {
+                out.push(LspEntry {
+                    lifetime: u16::from_be_bytes([e[0], e[1]]),
+                    id: get_lsp_id(&e[2..10]),
+                    sequence: u32::from_be_bytes([e[10], e[11], e[12], e[13]]),
+                    checksum: u16::from_be_bytes([e[14], e[15]]),
+                });
+            }
+        }
+        body = &body[2 + len..];
+    }
+    Ok(out)
+}
+
+fn common_header(buf: &mut Vec<u8>, typ: u8, header_len: usize) {
+    buf.put_u8(consts::IRPD);
+    buf.put_u8(header_len as u8);
+    buf.put_u8(consts::VERSION);
+    buf.put_u8(consts::ID_LEN_DEFAULT);
+    buf.put_u8(typ);
+    buf.put_u8(consts::VERSION);
+    buf.put_u8(0);
+    buf.put_u8(consts::MAX_AREA_DEFAULT);
+}
+
+impl Csnp {
+    /// A full-range CSNP (start all-zeros, end all-ones), the usual form.
+    pub fn full_range(source: SystemId, mut entries: Vec<LspEntry>) -> Self {
+        entries.sort_by_key(|e| e.id);
+        Csnp {
+            source,
+            start: LspId {
+                system_id: SystemId([0; 6]),
+                pseudonode: 0,
+                fragment: 0,
+            },
+            end: LspId {
+                system_id: SystemId([0xff; 6]),
+                pseudonode: 0xff,
+                fragment: 0xff,
+            },
+            entries,
+        }
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(CSNP_HEADER_LEN + self.entries.len() * 18);
+        common_header(&mut buf, pdu_type::L2_CSNP, CSNP_HEADER_LEN);
+        buf.put_u16(0); // length placeholder
+        buf.put_slice(self.source.as_bytes());
+        buf.put_u8(0); // circuit id
+        put_lsp_id(&mut buf, &self.start);
+        put_lsp_id(&mut buf, &self.end);
+        put_entries(&mut buf, &self.entries);
+        let len = buf.len() as u16;
+        buf[8..10].copy_from_slice(&len.to_be_bytes());
+        buf
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Csnp, SnpError> {
+        if buf.len() < CSNP_HEADER_LEN {
+            return Err(SnpError::Truncated);
+        }
+        if buf[0] != consts::IRPD || buf[4] & 0x1f != pdu_type::L2_CSNP {
+            return Err(SnpError::WrongType);
+        }
+        let declared = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+        if declared != buf.len() {
+            return Err(SnpError::Truncated);
+        }
+        let mut sys = [0u8; 6];
+        sys.copy_from_slice(&buf[10..16]);
+        Ok(Csnp {
+            source: SystemId(sys),
+            start: get_lsp_id(&buf[17..25]),
+            end: get_lsp_id(&buf[25..33]),
+            entries: get_entries(&buf[CSNP_HEADER_LEN..])?,
+        })
+    }
+
+    /// Which of `self`'s entries are missing or newer relative to a local
+    /// summary — the LSPs the receiver must request (the resync set).
+    pub fn missing_from(
+        &self,
+        local: impl Fn(&LspId) -> Option<u32>,
+    ) -> Vec<&LspEntry> {
+        self.entries
+            .iter()
+            .filter(|e| match local(&e.id) {
+                None => true,
+                Some(seq) => e.sequence > seq,
+            })
+            .collect()
+    }
+}
+
+impl Psnp {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(PSNP_HEADER_LEN + self.entries.len() * 18);
+        common_header(&mut buf, pdu_type::L2_PSNP, PSNP_HEADER_LEN);
+        buf.put_u16(0);
+        buf.put_slice(self.source.as_bytes());
+        buf.put_u8(0);
+        put_entries(&mut buf, &self.entries);
+        let len = buf.len() as u16;
+        buf[8..10].copy_from_slice(&len.to_be_bytes());
+        buf
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Psnp, SnpError> {
+        if buf.len() < PSNP_HEADER_LEN {
+            return Err(SnpError::Truncated);
+        }
+        if buf[0] != consts::IRPD || buf[4] & 0x1f != pdu_type::L2_PSNP {
+            return Err(SnpError::WrongType);
+        }
+        let declared = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+        if declared != buf.len() {
+            return Err(SnpError::Truncated);
+        }
+        let mut sys = [0u8; 6];
+        sys.copy_from_slice(&buf[10..16]);
+        Ok(Psnp {
+            source: SystemId(sys),
+            entries: get_entries(&buf[PSNP_HEADER_LEN..])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn entry(origin: u32, seq: u32) -> LspEntry {
+        LspEntry {
+            lifetime: 1200,
+            id: LspId::of(SystemId::from_index(origin)),
+            sequence: seq,
+            checksum: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn csnp_round_trip() {
+        let csnp = Csnp::full_range(
+            SystemId::from_index(1),
+            vec![entry(2, 5), entry(3, 9), entry(4, 1)],
+        );
+        let wire = csnp.encode();
+        assert_eq!(Csnp::decode(&wire).unwrap(), csnp);
+    }
+
+    #[test]
+    fn csnp_entries_sorted_by_lsp_id() {
+        let csnp = Csnp::full_range(
+            SystemId::from_index(1),
+            vec![entry(9, 1), entry(2, 1), entry(5, 1)],
+        );
+        let ids: Vec<u32> = csnp.entries.iter().map(|e| e.id.system_id.index()).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn psnp_round_trip() {
+        let psnp = Psnp {
+            source: SystemId::from_index(7),
+            entries: vec![entry(2, 5)],
+        };
+        assert_eq!(Psnp::decode(&psnp.encode()).unwrap(), psnp);
+    }
+
+    #[test]
+    fn empty_snps_round_trip() {
+        let csnp = Csnp::full_range(SystemId::from_index(1), vec![]);
+        assert_eq!(Csnp::decode(&csnp.encode()).unwrap(), csnp);
+        let psnp = Psnp {
+            source: SystemId::from_index(1),
+            entries: vec![],
+        };
+        assert_eq!(Psnp::decode(&psnp.encode()).unwrap(), psnp);
+    }
+
+    #[test]
+    fn large_csnp_splits_tlvs() {
+        // 40 entries > 15-entry TLV limit → 3 TLVs.
+        let entries: Vec<LspEntry> = (0..40).map(|i| entry(i, i)).collect();
+        let csnp = Csnp::full_range(SystemId::from_index(1), entries);
+        let back = Csnp::decode(&csnp.encode()).unwrap();
+        assert_eq!(back.entries.len(), 40);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_type_and_truncation() {
+        let csnp = Csnp::full_range(SystemId::from_index(1), vec![entry(2, 5)]);
+        let wire = csnp.encode();
+        assert_eq!(Psnp::decode(&wire), Err(SnpError::WrongType));
+        assert_eq!(Csnp::decode(&wire[..20]), Err(SnpError::Truncated));
+        assert_eq!(Csnp::decode(&wire[..wire.len() - 1]), Err(SnpError::Truncated));
+    }
+
+    #[test]
+    fn missing_from_computes_resync_set() {
+        let csnp = Csnp::full_range(
+            SystemId::from_index(1),
+            vec![entry(2, 5), entry(3, 9), entry(4, 1)],
+        );
+        // Local LSDB: has origin 2 at same seq, origin 3 stale, origin 4
+        // missing.
+        let mut local: HashMap<LspId, u32> = HashMap::new();
+        local.insert(LspId::of(SystemId::from_index(2)), 5);
+        local.insert(LspId::of(SystemId::from_index(3)), 7);
+        let missing = csnp.missing_from(|id| local.get(id).copied());
+        let origins: Vec<u32> = missing.iter().map(|e| e.id.system_id.index()).collect();
+        assert_eq!(origins, vec![3, 4]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Shortest-path-first route computation over a link-state database.
+//!
+//! IS-IS is a link-state protocol: every router floods its adjacencies
+//! (with operator-configured metrics, §3.2: "larger weights are less
+//! preferred paths") and runs Dijkstra over the collected LSDB to build
+//! its routing table. The paper leans on this implicitly — *"if the
+//! routing protocol declares a link is down, then for all practical
+//! intents and purposes it is down since no traffic will be directed to
+//! it"* — so the substrate includes the computation that makes that
+//! statement true.
+//!
+//! [`SpfGraph`] is built from decoded LSPs (e.g. a listener's LSDB
+//! contents) and answers shortest-path and reachability queries. An
+//! adjacency contributes an edge only when **both** endpoints advertise
+//! it (the ISO 10589 two-way connectivity check) — the same AND-merge the
+//! analysis layer applies to transitions.
+
+use crate::lsp::Lsp;
+use faultline_topology::osi::SystemId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A computed route to one destination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination system.
+    pub dest: SystemId,
+    /// Total path metric.
+    pub metric: u32,
+    /// First hop from the computing router (equals `dest` for direct
+    /// neighbors).
+    pub next_hop: SystemId,
+    /// Number of hops.
+    pub hops: u32,
+}
+
+/// A link-state graph assembled from LSPs.
+#[derive(Debug, Clone, Default)]
+pub struct SpfGraph {
+    /// Directed advertised metrics: `(from, to) → metric`.
+    edges: HashMap<SystemId, HashMap<SystemId, u32>>,
+}
+
+impl SpfGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of LSPs (one per origin; later duplicates
+    /// overwrite earlier ones, mirroring LSDB replacement).
+    pub fn from_lsps<'a>(lsps: impl IntoIterator<Item = &'a Lsp>) -> Self {
+        let mut g = SpfGraph::new();
+        for lsp in lsps {
+            g.install(lsp);
+        }
+        g
+    }
+
+    /// Install (or replace) one origin's advertisements.
+    pub fn install(&mut self, lsp: &Lsp) {
+        let origin = lsp.id.system_id;
+        let out: HashMap<SystemId, u32> = lsp
+            .is_neighbors()
+            .iter()
+            .map(|e| (e.neighbor, e.metric))
+            .collect();
+        self.edges.insert(origin, out);
+    }
+
+    /// The usable (two-way-checked) neighbors of `from` with their
+    /// metrics: `from` must advertise the neighbor AND the neighbor must
+    /// advertise `from` back.
+    pub fn usable_neighbors(&self, from: SystemId) -> Vec<(SystemId, u32)> {
+        let Some(out) = self.edges.get(&from) else {
+            return Vec::new();
+        };
+        let mut v: Vec<(SystemId, u32)> = out
+            .iter()
+            .filter(|(n, _)| {
+                self.edges
+                    .get(n)
+                    .is_some_and(|back| back.contains_key(&from))
+            })
+            .map(|(n, m)| (*n, *m))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Systems present in the graph.
+    pub fn systems(&self) -> Vec<SystemId> {
+        let mut v: Vec<SystemId> = self.edges.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Dijkstra from `root`, returning routes to every reachable system
+    /// (excluding `root` itself), sorted by destination.
+    ///
+    /// Ties are broken deterministically toward the lexically smaller
+    /// next hop so results are reproducible.
+    pub fn spf(&self, root: SystemId) -> Vec<Route> {
+        #[derive(PartialEq, Eq)]
+        struct Item {
+            metric: u32,
+            hops: u32,
+            node: SystemId,
+            next_hop: SystemId,
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Min-heap: smaller metric first, then fewer hops, then
+                // smaller next hop for determinism.
+                other
+                    .metric
+                    .cmp(&self.metric)
+                    .then_with(|| other.hops.cmp(&self.hops))
+                    .then_with(|| other.next_hop.cmp(&self.next_hop))
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut done: HashSet<SystemId> = HashSet::new();
+        let mut routes: Vec<Route> = Vec::new();
+        let mut heap = BinaryHeap::new();
+        done.insert(root);
+        for (n, m) in self.usable_neighbors(root) {
+            heap.push(Item {
+                metric: m,
+                hops: 1,
+                node: n,
+                next_hop: n,
+            });
+        }
+        while let Some(item) = heap.pop() {
+            if !done.insert(item.node) {
+                continue;
+            }
+            routes.push(Route {
+                dest: item.node,
+                metric: item.metric,
+                next_hop: item.next_hop,
+                hops: item.hops,
+            });
+            for (n, m) in self.usable_neighbors(item.node) {
+                if !done.contains(&n) {
+                    heap.push(Item {
+                        metric: item.metric + m,
+                        hops: item.hops + 1,
+                        node: n,
+                        next_hop: item.next_hop,
+                    });
+                }
+            }
+        }
+        routes.sort_by_key(|r| r.dest);
+        routes
+    }
+
+    /// Is `dest` reachable from `root`?
+    pub fn reachable(&self, root: SystemId, dest: SystemId) -> bool {
+        root == dest || self.spf(root).iter().any(|r| r.dest == dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlv::IsReachEntry;
+
+    fn sysid(i: u32) -> SystemId {
+        SystemId::from_index(i)
+    }
+
+    fn lsp(origin: u32, neighbors: &[(u32, u32)]) -> Lsp {
+        let entries: Vec<IsReachEntry> = neighbors
+            .iter()
+            .map(|&(n, m)| IsReachEntry {
+                neighbor: sysid(n),
+                pseudonode: 0,
+                metric: m,
+            })
+            .collect();
+        Lsp::originate(sysid(origin), 1, &format!("r{origin}"), &entries, &[])
+    }
+
+    /// Triangle with a shortcut: 1-2 (10), 2-3 (10), 1-3 (50).
+    fn triangle() -> SpfGraph {
+        SpfGraph::from_lsps(&[
+            lsp(1, &[(2, 10), (3, 50)]),
+            lsp(2, &[(1, 10), (3, 10)]),
+            lsp(3, &[(2, 10), (1, 50)]),
+        ])
+    }
+
+    #[test]
+    fn picks_lower_metric_path() {
+        let g = triangle();
+        let routes = g.spf(sysid(1));
+        assert_eq!(routes.len(), 2);
+        let to3 = routes.iter().find(|r| r.dest == sysid(3)).unwrap();
+        // Via 2: 10 + 10 = 20, beats the direct 50.
+        assert_eq!(to3.metric, 20);
+        assert_eq!(to3.next_hop, sysid(2));
+        assert_eq!(to3.hops, 2);
+    }
+
+    #[test]
+    fn one_way_advertisement_is_not_an_edge() {
+        // 2 advertises 1 but 1 does not advertise 2 back (adjacency not
+        // fully up): the ISO two-way check must exclude it.
+        let g = SpfGraph::from_lsps(&[lsp(1, &[]), lsp(2, &[(1, 10)])]);
+        assert!(g.usable_neighbors(sysid(2)).is_empty());
+        assert!(!g.reachable(sysid(2), sysid(1)));
+    }
+
+    #[test]
+    fn withdrawal_reroutes_traffic() {
+        let mut g = triangle();
+        let before = g.spf(sysid(1));
+        assert_eq!(before.iter().find(|r| r.dest == sysid(3)).unwrap().metric, 20);
+        // Link 2-3 fails: both ends withdraw.
+        g.install(&lsp(2, &[(1, 10)]));
+        g.install(&lsp(3, &[(1, 50)]));
+        let after = g.spf(sysid(1));
+        let to3 = after.iter().find(|r| r.dest == sysid(3)).unwrap();
+        assert_eq!(to3.metric, 50, "falls back to the direct expensive link");
+        assert_eq!(to3.next_hop, sysid(3));
+    }
+
+    #[test]
+    fn partition_detected() {
+        let mut g = triangle();
+        // All of router 3's links go down.
+        g.install(&lsp(3, &[]));
+        assert!(!g.reachable(sysid(1), sysid(3)));
+        assert!(g.reachable(sysid(1), sysid(2)));
+    }
+
+    #[test]
+    fn spf_over_generated_topology_reaches_everyone() {
+        use faultline_topology::generator::CenicParams;
+        let topo = CenicParams::tiny(5).generate();
+        // Build every router's LSP from the topology.
+        let lsps: Vec<Lsp> = topo
+            .routers()
+            .iter()
+            .map(|r| {
+                let entries: Vec<IsReachEntry> = topo
+                    .links_of(r.id)
+                    .iter()
+                    .map(|&lid| {
+                        let l = topo.link(lid);
+                        IsReachEntry {
+                            neighbor: topo
+                                .router(l.other_end(r.id).expect("incident"))
+                                .system_id,
+                            pseudonode: 0,
+                            metric: l.metric,
+                        }
+                    })
+                    .collect();
+                Lsp::originate(r.system_id, 1, &r.hostname, &entries, &[])
+            })
+            .collect();
+        let g = SpfGraph::from_lsps(&lsps);
+        let root = topo.routers()[0].system_id;
+        let routes = g.spf(root);
+        assert_eq!(
+            routes.len(),
+            topo.routers().len() - 1,
+            "a healthy network is fully connected"
+        );
+        // Every route's metric is positive and hops bounded by router count.
+        for r in &routes {
+            assert!(r.metric > 0);
+            assert!((r.hops as usize) < topo.routers().len());
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths from 1 to 4: via 2 or via 3.
+        let g = SpfGraph::from_lsps(&[
+            lsp(1, &[(2, 10), (3, 10)]),
+            lsp(2, &[(1, 10), (4, 10)]),
+            lsp(3, &[(1, 10), (4, 10)]),
+            lsp(4, &[(2, 10), (3, 10)]),
+        ]);
+        let r1 = g.spf(sysid(1));
+        let r2 = g.spf(sysid(1));
+        assert_eq!(r1, r2);
+        let to4 = r1.iter().find(|r| r.dest == sysid(4)).unwrap();
+        assert_eq!(to4.metric, 20);
+        assert_eq!(to4.next_hop, sysid(2), "lexically smaller next hop wins ties");
+    }
+
+    #[test]
+    fn empty_graph_yields_no_routes() {
+        let g = SpfGraph::new();
+        assert!(g.spf(sysid(1)).is_empty());
+        assert!(g.systems().is_empty());
+        assert!(g.reachable(sysid(1), sysid(1)), "self is trivially reachable");
+    }
+}

@@ -1,0 +1,501 @@
+//! TLV codec for the LSP fields the paper relies on (Table 1).
+//!
+//! Each LSP body is a sequence of `type (1) | length (1) | value (length)`
+//! fields. The listener's entire methodology hinges on three of them:
+//!
+//! * **Extended IS Reachability (22)** — the list of adjacent system IDs.
+//!   A withdrawal here is the paper's DOWN event (§4.1).
+//! * **Extended IP Reachability (135)** — the list of locally attached
+//!   prefixes; because CENIC numbers every link from a unique /31, a
+//!   withdrawn /31 also identifies a link (§3.4, Table 2).
+//! * **Dynamic Hostname (137)** — maps the OSI system ID to the hostname
+//!   that syslog messages use.
+
+use crate::consts::tlv_type;
+use bytes::{Buf, BufMut};
+use faultline_topology::osi::SystemId;
+use faultline_topology::subnet::Subnet31;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// One neighbor entry in an Extended IS Reachability TLV (RFC 5305 §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IsReachEntry {
+    /// Neighbor system ID.
+    pub neighbor: SystemId,
+    /// Pseudonode number (0 on point-to-point links).
+    pub pseudonode: u8,
+    /// 24-bit wide metric.
+    pub metric: u32,
+}
+
+/// One prefix entry in an Extended IP Reachability TLV (RFC 5305 §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IpReachEntry {
+    /// 32-bit wide metric.
+    pub metric: u32,
+    /// Prefix base address.
+    pub prefix: Ipv4Addr,
+    /// Prefix length in bits (0–32).
+    pub prefix_len: u8,
+}
+
+impl IpReachEntry {
+    /// Build an entry advertising a point-to-point /31.
+    pub fn for_subnet(subnet: Subnet31, metric: u32) -> Self {
+        IpReachEntry {
+            metric,
+            prefix: subnet.low(),
+            prefix_len: Subnet31::PREFIX_LEN,
+        }
+    }
+
+    /// Interpret this entry as a /31 link subnet, if it is one.
+    pub fn as_subnet(&self) -> Option<Subnet31> {
+        (self.prefix_len == Subnet31::PREFIX_LEN).then(|| Subnet31::containing(self.prefix))
+    }
+}
+
+/// A decoded TLV.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tlv {
+    /// Area Addresses (type 1): list of variable-length area addresses.
+    AreaAddresses(Vec<Vec<u8>>),
+    /// Extended IS Reachability (type 22).
+    ExtIsReach(Vec<IsReachEntry>),
+    /// Protocols Supported (type 129): list of NLPIDs.
+    ProtocolsSupported(Vec<u8>),
+    /// Extended IP Reachability (type 135).
+    ExtIpReach(Vec<IpReachEntry>),
+    /// Dynamic Hostname (type 137).
+    DynamicHostname(String),
+    /// Any TLV type this codec does not interpret; preserved verbatim so
+    /// re-encoding is loss-free.
+    Unknown {
+        /// TLV type code.
+        typ: u8,
+        /// Raw value bytes.
+        value: Vec<u8>,
+    },
+}
+
+/// Error decoding a TLV sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlvError {
+    /// The buffer ended in the middle of a TLV header or value.
+    Truncated,
+    /// A TLV value did not parse under its declared type.
+    Malformed {
+        /// TLV type code that failed to parse.
+        typ: u8,
+        /// Description of the problem.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for TlvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlvError::Truncated => write!(f, "TLV sequence truncated"),
+            TlvError::Malformed { typ, reason } => {
+                write!(f, "malformed TLV type {typ}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TlvError {}
+
+impl Tlv {
+    /// The on-wire type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            Tlv::AreaAddresses(_) => tlv_type::AREA_ADDRESSES,
+            Tlv::ExtIsReach(_) => tlv_type::EXT_IS_REACH,
+            Tlv::ProtocolsSupported(_) => tlv_type::PROTOCOLS_SUPPORTED,
+            Tlv::ExtIpReach(_) => tlv_type::EXT_IP_REACH,
+            Tlv::DynamicHostname(_) => tlv_type::DYNAMIC_HOSTNAME,
+            Tlv::Unknown { typ, .. } => *typ,
+        }
+    }
+
+    /// Encode the value bytes (without the type/length header).
+    fn encode_value(&self, out: &mut Vec<u8>) {
+        match self {
+            Tlv::AreaAddresses(areas) => {
+                for a in areas {
+                    out.put_u8(a.len() as u8);
+                    out.put_slice(a);
+                }
+            }
+            Tlv::ExtIsReach(entries) => {
+                for e in entries {
+                    out.put_slice(e.neighbor.as_bytes());
+                    out.put_u8(e.pseudonode);
+                    // 24-bit metric, big-endian.
+                    out.put_u8((e.metric >> 16) as u8);
+                    out.put_u8((e.metric >> 8) as u8);
+                    out.put_u8(e.metric as u8);
+                    out.put_u8(0); // no sub-TLVs
+                }
+            }
+            Tlv::ProtocolsSupported(nlpids) => out.put_slice(nlpids),
+            Tlv::ExtIpReach(entries) => {
+                for e in entries {
+                    out.put_u32(e.metric);
+                    // Control byte: up/down bit clear, no sub-TLVs, prefix
+                    // length in the low 6 bits.
+                    out.put_u8(e.prefix_len & 0x3f);
+                    let octets = e.prefix.octets();
+                    let nbytes = (e.prefix_len as usize).div_ceil(8);
+                    out.put_slice(&octets[..nbytes]);
+                }
+            }
+            Tlv::DynamicHostname(name) => out.put_slice(name.as_bytes()),
+            Tlv::Unknown { value, .. } => out.put_slice(value),
+        }
+    }
+
+    /// Append this TLV (header + value) to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded value exceeds 255 bytes; callers are expected
+    /// to split long reachability lists across multiple TLVs (see
+    /// [`split_is_reach`] / [`split_ip_reach`]).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut value = Vec::new();
+        self.encode_value(&mut value);
+        assert!(value.len() <= 255, "TLV value exceeds 255 bytes; split it");
+        out.put_u8(self.type_code());
+        out.put_u8(value.len() as u8);
+        out.put_slice(&value);
+    }
+
+    /// Decode one TLV from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> Result<Tlv, TlvError> {
+        if buf.remaining() < 2 {
+            return Err(TlvError::Truncated);
+        }
+        let typ = buf.get_u8();
+        let len = buf.get_u8() as usize;
+        if buf.remaining() < len {
+            return Err(TlvError::Truncated);
+        }
+        let mut value = &buf[..len];
+        buf.advance(len);
+        match typ {
+            tlv_type::AREA_ADDRESSES => {
+                let mut areas = Vec::new();
+                while value.has_remaining() {
+                    let alen = value.get_u8() as usize;
+                    if value.remaining() < alen {
+                        return Err(TlvError::Malformed {
+                            typ,
+                            reason: "area address overruns TLV",
+                        });
+                    }
+                    areas.push(value[..alen].to_vec());
+                    value.advance(alen);
+                }
+                Ok(Tlv::AreaAddresses(areas))
+            }
+            tlv_type::EXT_IS_REACH => {
+                let mut entries = Vec::new();
+                while value.has_remaining() {
+                    if value.remaining() < 11 {
+                        return Err(TlvError::Malformed {
+                            typ,
+                            reason: "short IS reach entry",
+                        });
+                    }
+                    let mut sysid = [0u8; 6];
+                    value.copy_to_slice(&mut sysid);
+                    let pseudonode = value.get_u8();
+                    let metric = ((value.get_u8() as u32) << 16)
+                        | ((value.get_u8() as u32) << 8)
+                        | value.get_u8() as u32;
+                    let subtlv_len = value.get_u8() as usize;
+                    if value.remaining() < subtlv_len {
+                        return Err(TlvError::Malformed {
+                            typ,
+                            reason: "sub-TLVs overrun entry",
+                        });
+                    }
+                    value.advance(subtlv_len);
+                    entries.push(IsReachEntry {
+                        neighbor: SystemId(sysid),
+                        pseudonode,
+                        metric,
+                    });
+                }
+                Ok(Tlv::ExtIsReach(entries))
+            }
+            tlv_type::PROTOCOLS_SUPPORTED => Ok(Tlv::ProtocolsSupported(value.to_vec())),
+            tlv_type::EXT_IP_REACH => {
+                let mut entries = Vec::new();
+                while value.has_remaining() {
+                    if value.remaining() < 5 {
+                        return Err(TlvError::Malformed {
+                            typ,
+                            reason: "short IP reach entry",
+                        });
+                    }
+                    let metric = value.get_u32();
+                    let control = value.get_u8();
+                    if control & 0x40 != 0 {
+                        return Err(TlvError::Malformed {
+                            typ,
+                            reason: "sub-TLV flag unsupported",
+                        });
+                    }
+                    let prefix_len = control & 0x3f;
+                    if prefix_len > 32 {
+                        return Err(TlvError::Malformed {
+                            typ,
+                            reason: "prefix length > 32",
+                        });
+                    }
+                    let nbytes = (prefix_len as usize).div_ceil(8);
+                    if value.remaining() < nbytes {
+                        return Err(TlvError::Malformed {
+                            typ,
+                            reason: "prefix bytes overrun TLV",
+                        });
+                    }
+                    let mut octets = [0u8; 4];
+                    octets[..nbytes].copy_from_slice(&value[..nbytes]);
+                    value.advance(nbytes);
+                    entries.push(IpReachEntry {
+                        metric,
+                        prefix: Ipv4Addr::from(octets),
+                        prefix_len,
+                    });
+                }
+                Ok(Tlv::ExtIpReach(entries))
+            }
+            tlv_type::DYNAMIC_HOSTNAME => {
+                let name = std::str::from_utf8(value)
+                    .map_err(|_| TlvError::Malformed {
+                        typ,
+                        reason: "hostname not UTF-8",
+                    })?
+                    .to_string();
+                Ok(Tlv::DynamicHostname(name))
+            }
+            _ => Ok(Tlv::Unknown {
+                typ,
+                value: value.to_vec(),
+            }),
+        }
+    }
+
+    /// Decode an entire TLV sequence.
+    pub fn decode_all(mut buf: &[u8]) -> Result<Vec<Tlv>, TlvError> {
+        let mut tlvs = Vec::new();
+        while !buf.is_empty() {
+            tlvs.push(Tlv::decode(&mut buf)?);
+        }
+        Ok(tlvs)
+    }
+}
+
+/// Split an IS-reachability list into TLVs that respect the 255-byte value
+/// limit (11 bytes per entry → at most 23 entries per TLV).
+pub fn split_is_reach(entries: &[IsReachEntry]) -> Vec<Tlv> {
+    entries
+        .chunks(23)
+        .map(|c| Tlv::ExtIsReach(c.to_vec()))
+        .collect()
+}
+
+/// Split an IP-reachability list into TLVs that respect the 255-byte value
+/// limit (at most 9 bytes per entry → at most 28 entries per TLV).
+pub fn split_ip_reach(entries: &[IpReachEntry]) -> Vec<Tlv> {
+    entries
+        .chunks(28)
+        .map(|c| Tlv::ExtIpReach(c.to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(tlv: Tlv) -> Tlv {
+        let mut buf = Vec::new();
+        tlv.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let out = Tlv::decode(&mut slice).expect("decode");
+        assert!(slice.is_empty(), "decoder must consume the whole TLV");
+        out
+    }
+
+    #[test]
+    fn is_reach_round_trip() {
+        let tlv = Tlv::ExtIsReach(vec![
+            IsReachEntry {
+                neighbor: SystemId::from_index(1),
+                pseudonode: 0,
+                metric: 10,
+            },
+            IsReachEntry {
+                neighbor: SystemId::from_index(200),
+                pseudonode: 0,
+                metric: 0xfffffe,
+            },
+        ]);
+        assert_eq!(round_trip(tlv.clone()), tlv);
+    }
+
+    #[test]
+    fn ip_reach_round_trip() {
+        let tlv = Tlv::ExtIpReach(vec![
+            IpReachEntry {
+                metric: 10,
+                prefix: Ipv4Addr::new(137, 164, 0, 4),
+                prefix_len: 31,
+            },
+            IpReachEntry {
+                metric: 20,
+                prefix: Ipv4Addr::new(10, 0, 0, 0),
+                prefix_len: 8,
+            },
+            IpReachEntry {
+                metric: 30,
+                prefix: Ipv4Addr::new(0, 0, 0, 0),
+                prefix_len: 0,
+            },
+        ]);
+        assert_eq!(round_trip(tlv.clone()), tlv);
+    }
+
+    #[test]
+    fn hostname_round_trip() {
+        let tlv = Tlv::DynamicHostname("lax-agg-01".into());
+        assert_eq!(round_trip(tlv.clone()), tlv);
+    }
+
+    #[test]
+    fn area_and_protocols_round_trip() {
+        let t1 = Tlv::AreaAddresses(vec![vec![0x49, 0x00, 0x01]]);
+        let t2 = Tlv::ProtocolsSupported(vec![crate::consts::NLPID_IPV4]);
+        assert_eq!(round_trip(t1.clone()), t1);
+        assert_eq!(round_trip(t2.clone()), t2);
+    }
+
+    #[test]
+    fn unknown_tlv_preserved() {
+        let tlv = Tlv::Unknown {
+            typ: 99,
+            value: vec![1, 2, 3],
+        };
+        assert_eq!(round_trip(tlv.clone()), tlv);
+    }
+
+    #[test]
+    fn subnet_conversion() {
+        let s: Subnet31 = "137.164.0.8/31".parse().unwrap();
+        let e = IpReachEntry::for_subnet(s, 10);
+        assert_eq!(e.as_subnet(), Some(s));
+        let not31 = IpReachEntry {
+            metric: 1,
+            prefix: Ipv4Addr::new(10, 0, 0, 0),
+            prefix_len: 24,
+        };
+        assert_eq!(not31.as_subnet(), None);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert_eq!(Tlv::decode(&mut &[22u8][..]), Err(TlvError::Truncated));
+        assert_eq!(
+            Tlv::decode(&mut &[22u8, 5, 1, 2][..]),
+            Err(TlvError::Truncated)
+        );
+    }
+
+    #[test]
+    fn malformed_is_reach_rejected() {
+        // Declared length 5 is not a multiple of an entry.
+        let buf = [22u8, 5, 1, 2, 3, 4, 5];
+        assert!(matches!(
+            Tlv::decode(&mut &buf[..]),
+            Err(TlvError::Malformed { typ: 22, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_ip_prefix_len_rejected() {
+        // control byte 0x21 = prefix_len 33.
+        let buf = [135u8, 6, 0, 0, 0, 1, 0x21, 0xff];
+        assert!(matches!(
+            Tlv::decode(&mut &buf[..]),
+            Err(TlvError::Malformed { typ: 135, .. })
+        ));
+    }
+
+    #[test]
+    fn split_respects_limits() {
+        let entries: Vec<IsReachEntry> = (0..60)
+            .map(|i| IsReachEntry {
+                neighbor: SystemId::from_index(i),
+                pseudonode: 0,
+                metric: 10,
+            })
+            .collect();
+        let tlvs = split_is_reach(&entries);
+        assert_eq!(tlvs.len(), 3);
+        let mut buf = Vec::new();
+        for t in &tlvs {
+            t.encode(&mut buf); // must not panic
+        }
+        let decoded = Tlv::decode_all(&buf).unwrap();
+        let total: usize = decoded
+            .iter()
+            .map(|t| match t {
+                Tlv::ExtIsReach(e) => e.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn split_ip_reach_respects_limits() {
+        let entries: Vec<IpReachEntry> = (0..100)
+            .map(|i| IpReachEntry {
+                metric: i,
+                prefix: Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 0, 0, 0)) + i * 2),
+                prefix_len: 31,
+            })
+            .collect();
+        let tlvs = split_ip_reach(&entries);
+        let mut buf = Vec::new();
+        for t in &tlvs {
+            t.encode(&mut buf);
+        }
+        let total: usize = Tlv::decode_all(&buf)
+            .unwrap()
+            .iter()
+            .map(|t| match t {
+                Tlv::ExtIpReach(e) => e.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "split it")]
+    fn oversized_tlv_panics() {
+        let entries: Vec<IsReachEntry> = (0..30)
+            .map(|i| IsReachEntry {
+                neighbor: SystemId::from_index(i),
+                pseudonode: 0,
+                metric: 1,
+            })
+            .collect();
+        Tlv::ExtIsReach(entries).encode(&mut Vec::new());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the IS-IS wire formats and listener.
+
+use faultline_isis::checksum::{fletcher_compute, fletcher_verify};
+use faultline_isis::lsp::{Lsp, LspError};
+use faultline_isis::tlv::{IpReachEntry, IsReachEntry, Tlv};
+use faultline_topology::osi::SystemId;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_is_entry() -> impl Strategy<Value = IsReachEntry> {
+    (any::<u32>(), any::<u8>(), 0u32..=0xff_ffff).prop_map(|(n, p, m)| IsReachEntry {
+        neighbor: SystemId::from_index(n),
+        pseudonode: p,
+        metric: m,
+    })
+}
+
+fn arb_ip_entry() -> impl Strategy<Value = IpReachEntry> {
+    (any::<u32>(), any::<u32>(), 0u8..=32).prop_map(|(m, addr, len)| {
+        // Mask host bits so the prefix is canonical under truncation.
+        let masked = if len == 0 {
+            0
+        } else {
+            addr & (!0u32 << (32 - len as u32))
+        };
+        IpReachEntry {
+            metric: m,
+            prefix: Ipv4Addr::from(masked),
+            prefix_len: len,
+        }
+    })
+}
+
+proptest! {
+    /// Fletcher: a computed checksum always verifies, and any single-byte
+    /// corruption outside the checksum is detected.
+    #[test]
+    fn fletcher_detects_single_byte_corruption(
+        mut buf in proptest::collection::vec(any::<u8>(), 4..256),
+        offset_frac in 0.0f64..1.0,
+        corrupt_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let offset = ((buf.len() - 2) as f64 * offset_frac) as usize;
+        let ck = fletcher_compute(&buf, offset);
+        buf[offset] = (ck >> 8) as u8;
+        buf[offset + 1] = (ck & 0xff) as u8;
+        prop_assert!(fletcher_verify(&buf, offset));
+
+        let mut corrupt_at = (buf.len() as f64 * corrupt_frac) as usize % buf.len();
+        if corrupt_at == offset || corrupt_at == offset + 1 {
+            corrupt_at = (corrupt_at + 2) % buf.len();
+        }
+        if corrupt_at != offset && corrupt_at != offset + 1 {
+            buf[corrupt_at] ^= xor;
+            prop_assert!(!fletcher_verify(&buf, offset), "corruption at {corrupt_at} undetected");
+        }
+    }
+
+    /// IS-reachability TLVs round-trip for any entry list that fits.
+    #[test]
+    fn is_reach_tlv_round_trip(entries in proptest::collection::vec(arb_is_entry(), 0..=23)) {
+        let tlv = Tlv::ExtIsReach(entries);
+        let mut buf = Vec::new();
+        tlv.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        prop_assert_eq!(Tlv::decode(&mut slice).unwrap(), tlv);
+        prop_assert!(slice.is_empty());
+    }
+
+    /// IP-reachability TLVs round-trip for canonical prefixes.
+    #[test]
+    fn ip_reach_tlv_round_trip(entries in proptest::collection::vec(arb_ip_entry(), 0..=20)) {
+        let tlv = Tlv::ExtIpReach(entries);
+        let mut buf = Vec::new();
+        tlv.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        prop_assert_eq!(Tlv::decode(&mut slice).unwrap(), tlv);
+    }
+
+    /// Hostname TLVs round-trip any ASCII hostname.
+    #[test]
+    fn hostname_tlv_round_trip(name in "[a-zA-Z0-9.-]{0,63}") {
+        let tlv = Tlv::DynamicHostname(name);
+        let mut buf = Vec::new();
+        tlv.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        prop_assert_eq!(Tlv::decode(&mut slice).unwrap(), tlv);
+    }
+
+    /// Whole LSPs round-trip the wire for arbitrary contents, and any
+    /// single-byte corruption of the body is rejected.
+    #[test]
+    fn lsp_round_trip_and_corruption(
+        origin in any::<u32>(),
+        seq in 1u32..,
+        host in "[a-z0-9-]{1,20}",
+        is_entries in proptest::collection::vec(arb_is_entry(), 0..40),
+        ip_entries in proptest::collection::vec(arb_ip_entry(), 0..40),
+        corrupt_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let lsp = Lsp::originate(SystemId::from_index(origin), seq, &host, &is_entries, &ip_entries);
+        let wire = lsp.encode();
+        prop_assert_eq!(Lsp::decode(&wire).unwrap(), lsp);
+
+        // Corrupt one byte in the checksummed region (LSP ID onward,
+        // excluding the checksum field itself at offsets 24-25).
+        let mut corrupted = wire.clone();
+        let region = 12..wire.len();
+        let mut at = region.start + ((region.len() as f64) * corrupt_frac) as usize % region.len();
+        if at == 24 || at == 25 {
+            at = 26;
+        }
+        let new_byte = corrupted[at] ^ xor;
+        // Fletcher arithmetic is mod 255, so 0x00 and 0xFF are congruent:
+        // that one substitution is undetectable by design (ISO 8473).
+        let detectable = corrupted[at] % 255 != new_byte % 255;
+        corrupted[at] = new_byte;
+        match Lsp::decode(&corrupted) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // Corrupting the *lifetime* bytes can turn the LSP into a
+                // purge (checksum skipped); anything else must fail if the
+                // substitution is Fletcher-visible.
+                prop_assert!(
+                    decoded.is_purge() || !detectable,
+                    "undetected corruption at byte {at}"
+                );
+            }
+        }
+    }
+
+    /// Fragmented reachability (many entries) survives the TLV splitter.
+    #[test]
+    fn large_reachability_survives_split(n in 24usize..120) {
+        let entries: Vec<IsReachEntry> =
+            (0..n as u32).map(|i| IsReachEntry {
+                neighbor: SystemId::from_index(i),
+                pseudonode: 0,
+                metric: i,
+            }).collect();
+        let lsp = Lsp::originate(SystemId::from_index(1), 1, "r", &entries, &[]);
+        let back = Lsp::decode(&lsp.encode()).unwrap();
+        prop_assert_eq!(back.is_neighbors().len(), n);
+    }
+
+    /// Truncating an LSP at any point is always an error, never a panic.
+    #[test]
+    fn truncation_never_panics(
+        is_entries in proptest::collection::vec(arb_is_entry(), 0..10),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let lsp = Lsp::originate(SystemId::from_index(7), 3, "r7", &is_entries, &[]);
+        let wire = lsp.encode();
+        let cut = ((wire.len() - 1) as f64 * cut_frac) as usize;
+        let outcome = Lsp::decode(&wire[..cut]);
+        let rejected = matches!(
+            outcome,
+            Err(LspError::Truncated) | Err(LspError::BadLength { .. })
+        );
+        prop_assert!(rejected, "cut at {} accepted: {:?}", cut, outcome);
+    }
+}

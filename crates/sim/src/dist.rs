@@ -1,0 +1,193 @@
+//! Random samplers for the failure workload.
+//!
+//! The paper's Table 5 shows failure statistics whose medians sit orders
+//! of magnitude below their means (e.g. CPE failure duration: median 12 s,
+//! mean 1140 s) — classic heavy-tailed behaviour. The workload therefore
+//! needs lognormal and log-uniform samplers and weighted mixtures, built
+//! here on plain `rand` uniforms (the whitelisted dependency set has no
+//! `rand_distr`).
+
+use rand::Rng;
+
+/// Sample a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by drawing from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a lognormal with the given *median* and shape `sigma`
+/// (`ln X ~ N(ln median, sigma²)`). The mean is `median * exp(sigma²/2)`,
+/// so large sigma buys a long right tail without moving the median.
+pub fn lognormal_median<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    debug_assert!(median > 0.0 && sigma >= 0.0);
+    (median.ln() + sigma * standard_normal(rng)).exp()
+}
+
+/// Sample log-uniformly from `[lo, hi]`: the logarithm is uniform, so each
+/// decade gets equal probability mass.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(0.0 < lo && lo <= hi);
+    let u: f64 = rng.random();
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+/// Sample an exponential with the given mean.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+/// Sample a Poisson count with the given mean (Knuth's method; fine for
+/// the small means the workload uses).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    debug_assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation for large means keeps this O(1).
+        let x = mean + mean.sqrt() * standard_normal(rng);
+        return x.max(0.0).round() as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// A weighted mixture component: weight plus an inclusive log-uniform
+/// range in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixComponent {
+    /// Relative weight (need not be normalized).
+    pub weight: f64,
+    /// Lower bound, seconds.
+    pub lo_secs: f64,
+    /// Upper bound, seconds.
+    pub hi_secs: f64,
+}
+
+/// Sample a duration in seconds from a weighted log-uniform mixture.
+pub fn mixture_secs<R: Rng + ?Sized>(rng: &mut R, components: &[MixComponent]) -> f64 {
+    debug_assert!(!components.is_empty());
+    let total: f64 = components.iter().map(|c| c.weight).sum();
+    let mut pick = rng.random::<f64>() * total;
+    for c in components {
+        if pick < c.weight {
+            return log_uniform(rng, c.lo_secs, c.hi_secs);
+        }
+        pick -= c.weight;
+    }
+    let last = components.last().expect("non-empty");
+    log_uniform(rng, last.lo_secs, last.hi_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD157)
+    }
+
+    fn median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_the_median() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| lognormal_median(&mut r, 12.0, 1.8))
+            .collect();
+        let m = median(xs);
+        assert!((m - 12.0).abs() / 12.0 < 0.05, "median {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_exceeds_median_for_large_sigma() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| lognormal_median(&mut r, 12.0, 2.0))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // Theoretical mean: 12 * exp(2) ≈ 88.7.
+        assert!(mean > 40.0, "mean {mean} should be far above the median");
+    }
+
+    #[test]
+    fn log_uniform_respects_bounds_and_decades() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000).map(|_| log_uniform(&mut r, 1.0, 100.0)).collect();
+        assert!(xs.iter().all(|&x| (1.0..=100.0).contains(&x)));
+        // Equal mass per decade: about half below 10.
+        let below10 = xs.iter().filter(|&&x| x < 10.0).count() as f64 / xs.len() as f64;
+        assert!((below10 - 0.5).abs() < 0.02, "below10 {below10}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000).map(|_| exponential(&mut r, 42.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 42.0).abs() / 42.0 < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = rng();
+        for target in [0.5f64, 5.0, 80.0] {
+            let n = 50_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut r, target)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - target).abs() / target < 0.05,
+                "target {target} mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        let mut r = rng();
+        let comps = [
+            MixComponent {
+                weight: 3.0,
+                lo_secs: 1.0,
+                hi_secs: 10.0,
+            },
+            MixComponent {
+                weight: 1.0,
+                lo_secs: 1_000.0,
+                hi_secs: 10_000.0,
+            },
+        ];
+        let xs: Vec<f64> = (0..100_000).map(|_| mixture_secs(&mut r, &comps)).collect();
+        let short = xs.iter().filter(|&&x| x <= 10.0).count() as f64 / xs.len() as f64;
+        assert!((short - 0.75).abs() < 0.01, "short fraction {short}");
+    }
+}

@@ -1,0 +1,152 @@
+//! A minimal discrete-event scheduler.
+//!
+//! The scenario runner ([`crate::scenario`]) turns the ground truth into a
+//! few hundred thousand timed events (per-side failure detections, LSP
+//! floods and refreshes, syslog emissions, listener outages). This module
+//! provides the priority queue that drives them in time order with a
+//! stable FIFO tie-break, without requiring the event payload itself to be
+//! `Ord`.
+
+use faultline_topology::time::Timestamp;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: payload plus its due time and insertion sequence.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: Timestamp,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An event queue ordered by `(time, insertion order)`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Timestamp,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Timestamp::EPOCH,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at `at`. Events scheduled for the past are clamped
+    /// to the current time (they run next, in insertion order).
+    pub fn schedule(&mut self, at: Timestamp, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event, advancing the clock to its due time.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// The current simulation time (due time of the last popped event).
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_secs(5), "b");
+        q.schedule(Timestamp::from_secs(1), "a");
+        q.schedule(Timestamp::from_secs(9), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Timestamp::from_secs(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_and_past_events_clamp() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_secs(10), "late");
+        assert_eq!(q.pop().unwrap().0, Timestamp::from_secs(10));
+        assert_eq!(q.now(), Timestamp::from_secs(10));
+        // Scheduling in the past clamps to now.
+        q.schedule(Timestamp::from_secs(3), "past");
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(at, Timestamp::from_secs(10));
+        assert_eq!(e, "past");
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_secs(1), 1);
+        q.schedule(Timestamp::from_secs(100), 100);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        // Self-rescheduling pattern (like LSP refresh).
+        q.schedule(Timestamp::from_secs(50), 50);
+        assert_eq!(q.pop().unwrap().1, 50);
+        assert_eq!(q.pop().unwrap().1, 100);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

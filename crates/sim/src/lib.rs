@@ -1,0 +1,47 @@
+//! # faultline-sim
+//!
+//! Discrete-event failure simulator for the *faultline* reproduction of
+//! "A Comparison of Syslog and IS-IS for Network Failure Analysis"
+//! (IMC 2013).
+//!
+//! The paper's dataset — 13 months of contemporaneous IS-IS LSPs and
+//! router syslog from the CENIC network — is proprietary. This crate
+//! produces the synthetic equivalent: a seeded scenario generates a
+//! ground-truth failure history over a CENIC-like topology and *derives
+//! both observable datasets from the same underlying events*, so every
+//! disagreement between the syslog and IS-IS views arises mechanistically
+//! (message loss, flap-amplified loss, handshake aborts, delayed prefix
+//! flooding, listener outages) rather than by construction.
+//!
+//! Modules:
+//!
+//! * [`dist`] — the heavy-tailed samplers (lognormal, log-uniform
+//!   mixtures) the workload uses;
+//! * [`truth`] — the ground-truth event vocabulary: link failures with
+//!   causes, syslog-only pseudo-events, carrier blips;
+//! * [`workload`] — per-link renewal processes with distinct Core/CPE
+//!   profiles, flapping episodes, and maintenance windows;
+//! * [`engine`] — a binary-heap discrete-event scheduler;
+//! * [`routers`] — per-router IS-IS origination state (sequence numbers,
+//!   advertised adjacency/prefix sets, periodic refresh);
+//! * [`tickets`] — the operator trouble-ticket log used to verify
+//!   long-lasting failures (§4.2);
+//! * [`scenario`] — the end-to-end runner producing a
+//!   [`scenario::ScenarioData`] with the ground truth, the listener's
+//!   transition log, and the syslog collector archive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod routers;
+pub mod scenario;
+pub mod tickets;
+pub mod truth;
+pub mod workload;
+
+pub use scenario::{ScenarioData, ScenarioParams};
+pub use tickets::{Ticket, TicketLog};
+pub use truth::{FailureCause, GroundTruth, TruthFailure};
+pub use workload::WorkloadParams;

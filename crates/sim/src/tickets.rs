@@ -1,0 +1,253 @@
+//! Operator trouble tickets.
+//!
+//! §4.2 of the paper: the 25 syslog-reconstructed failures lasting more
+//! than 24 hours were manually verified against network trouble tickets,
+//! because *"one of the primary purposes of network trouble tickets is to
+//! document network events \[so\] we can reasonably expect (very) long
+//! lasting failures to be chronicled"*. This check removed ~6,000 hours of
+//! spurious downtime — almost twice the network's real downtime.
+//!
+//! The simulator opens a ticket for every sufficiently long ground-truth
+//! outage (always for maintenance); the sanitization step in
+//! `faultline-core` then replays the paper's verification procedure.
+
+use crate::truth::{FailureCause, GroundTruth};
+use faultline_topology::link::LinkId;
+use faultline_topology::time::{Duration, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One trouble ticket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ticket {
+    /// Affected link.
+    pub link: LinkId,
+    /// When the ticket was opened (shortly after the outage began).
+    pub opened: Timestamp,
+    /// When it was closed (shortly after restoration).
+    pub closed: Timestamp,
+    /// Free-text note.
+    pub note: String,
+}
+
+/// The operator's ticket archive.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TicketLog {
+    /// All tickets, sorted by `(link, opened)`.
+    pub tickets: Vec<Ticket>,
+}
+
+/// Parameters of the ticketing model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TicketParams {
+    /// Outages at least this long get a ticket (if the coverage draw
+    /// succeeds). The paper's verification threshold is 24 h; operators
+    /// ticket well below that.
+    pub min_duration: Duration,
+    /// Probability a qualifying non-maintenance outage is actually
+    /// documented (operators are not perfect record-keepers — the paper
+    /// notes trouble tickets' "own fidelity is known to be imperfect").
+    pub coverage: f64,
+    /// Maximum lag between outage start and ticket opening.
+    pub open_lag_max: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TicketParams {
+    fn default() -> Self {
+        TicketParams {
+            min_duration: Duration::from_hours(4),
+            coverage: 0.92,
+            open_lag_max: Duration::from_hours(2),
+            seed: 0x71C7,
+        }
+    }
+}
+
+impl TicketLog {
+    /// Generate the ticket archive from the ground truth.
+    pub fn generate(truth: &GroundTruth, params: &TicketParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut tickets = Vec::new();
+        for f in &truth.failures {
+            let qualifies = f.duration() >= params.min_duration;
+            if !qualifies {
+                continue;
+            }
+            let documented =
+                f.cause == FailureCause::Maintenance || rng.random::<f64>() < params.coverage;
+            if !documented {
+                continue;
+            }
+            let open_lag = Duration::from_millis(
+                rng.random_range(0..=params.open_lag_max.as_millis().max(1)),
+            );
+            let close_lag = Duration::from_millis(
+                rng.random_range(0..=params.open_lag_max.as_millis().max(1)),
+            );
+            tickets.push(Ticket {
+                link: f.link,
+                opened: f.start + open_lag,
+                closed: f.end + close_lag,
+                note: match f.cause {
+                    FailureCause::Maintenance => "scheduled maintenance".to_string(),
+                    _ => "unplanned outage".to_string(),
+                },
+            });
+        }
+        tickets.sort_by_key(|t| (t.link, t.opened));
+        TicketLog { tickets }
+    }
+
+    /// Does any ticket on `link` chronicle the interval `[start, end]`?
+    /// This is the §4.2 verification query. It is *strict*: the ticket's
+    /// opening and closing must each fall within `slack` of the
+    /// reconstructed endpoints. A merely overlapping ticket does not
+    /// verify a reconstructed failure whose extent disagrees with the
+    /// operator's record — e.g. a real 2-hour outage stretched to days by
+    /// a lost Up message is rejected, exactly the spurious downtime the
+    /// paper's manual check removed.
+    pub fn verifies(
+        &self,
+        link: LinkId,
+        start: Timestamp,
+        end: Timestamp,
+        slack: Duration,
+    ) -> bool {
+        self.tickets.iter().any(|t| {
+            t.link == link
+                && t.opened.abs_diff(start) <= slack
+                && t.closed.abs_diff(end) <= slack
+        })
+    }
+
+    /// Loose overlap query: does any ticket on `link` intersect the
+    /// interval at all (with `slack` padding)? Used for diagnostics.
+    pub fn overlaps(
+        &self,
+        link: LinkId,
+        start: Timestamp,
+        end: Timestamp,
+        slack: Duration,
+    ) -> bool {
+        self.tickets
+            .iter()
+            .any(|t| t.link == link && t.opened <= end + slack && t.closed + slack >= start)
+    }
+
+    /// Number of tickets.
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// True if no tickets exist.
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthFailure;
+
+    fn truth_with(failures: Vec<(u32, u64, u64, FailureCause)>) -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        for (l, s, e, c) in failures {
+            gt.failures.push(TruthFailure {
+                link: LinkId(l),
+                start: Timestamp::from_secs(s),
+                end: Timestamp::from_secs(e),
+                cause: c,
+                in_flap: false,
+            });
+        }
+        gt.normalize();
+        gt
+    }
+
+    #[test]
+    fn short_failures_get_no_ticket() {
+        let gt = truth_with(vec![(0, 0, 60, FailureCause::Protocol)]);
+        let log = TicketLog::generate(&gt, &TicketParams::default());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn maintenance_always_ticketed() {
+        let day = 86_400;
+        let gt = truth_with(vec![(0, 0, day, FailureCause::Maintenance)]);
+        let params = TicketParams {
+            coverage: 0.0, // even with zero coverage
+            ..TicketParams::default()
+        };
+        let log = TicketLog::generate(&gt, &params);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.tickets[0].note, "scheduled maintenance");
+    }
+
+    #[test]
+    fn verification_respects_link_and_overlap() {
+        let day = 86_400;
+        let gt = truth_with(vec![(3, 1000, 1000 + day, FailureCause::Maintenance)]);
+        let log = TicketLog::generate(&gt, &TicketParams::default());
+        let slack = Duration::from_hours(3);
+        assert!(log.verifies(
+            LinkId(3),
+            Timestamp::from_secs(1000),
+            Timestamp::from_secs(1000 + day),
+            slack
+        ));
+        // Wrong link.
+        assert!(!log.verifies(
+            LinkId(4),
+            Timestamp::from_secs(1000),
+            Timestamp::from_secs(1000 + day),
+            slack
+        ));
+        // Disjoint interval.
+        assert!(!log.verifies(
+            LinkId(3),
+            Timestamp::from_secs(20 * day),
+            Timestamp::from_secs(21 * day),
+            slack
+        ));
+    }
+
+    #[test]
+    fn coverage_is_partial_for_unplanned() {
+        let day = 86_400;
+        let mut failures = Vec::new();
+        for i in 0..200 {
+            failures.push((
+                i,
+                (i as u64) * 10 * day,
+                (i as u64) * 10 * day + day,
+                FailureCause::Physical,
+            ));
+        }
+        let gt = truth_with(failures);
+        let log = TicketLog::generate(
+            &gt,
+            &TicketParams {
+                coverage: 0.5,
+                ..TicketParams::default()
+            },
+        );
+        assert!(log.len() > 60 && log.len() < 140, "got {}", log.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let day = 86_400;
+        let gt = truth_with(vec![
+            (0, 0, day, FailureCause::Physical),
+            (1, 0, 2 * day, FailureCause::Maintenance),
+        ]);
+        let a = TicketLog::generate(&gt, &TicketParams::default());
+        let b = TicketLog::generate(&gt, &TicketParams::default());
+        assert_eq!(a.tickets, b.tickets);
+    }
+}

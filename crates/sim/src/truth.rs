@@ -1,0 +1,213 @@
+//! Ground-truth event vocabulary.
+//!
+//! Three distinct physical/protocol phenomena generate everything both
+//! monitoring systems observe. Keeping them separate is what lets the
+//! reproduction *mechanistically* produce the paper's Table 2 (IS vs IP
+//! reachability) and §4.3 (false-positive taxonomy):
+//!
+//! * [`TruthFailure`] — a real link failure: traffic-affecting, visible to
+//!   IS-IS. A *protocol* failure drops the adjacency while the interface
+//!   (and its /31) stays up; a *physical* failure takes both down.
+//! * [`PseudoEvent`] — a syslog-only artifact (aborted three-way
+//!   handshake, adjacency reset after recovery): the router logs an
+//!   ADJCHANGE pair but no LSP is flooded. These are the paper's
+//!   sub-second false positives.
+//! * [`CarrierBlip`] — a physical transient short enough that
+//!   carrier-delay suppression keeps the adjacency up: the interface (and
+//!   IP reachability) flaps and `%LINK` messages are logged, but IS
+//!   reachability never changes.
+
+use faultline_topology::link::LinkId;
+use faultline_topology::time::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Why a link failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// Loss of light / carrier: interface down at both ends, adjacency
+    /// torn down immediately, /31 withdrawn.
+    Physical,
+    /// Routing-protocol-level failure (lost hellos, CPU starvation):
+    /// adjacency drops on hold-timer expiry; the interface stays up and
+    /// the /31 stays advertised.
+    Protocol,
+    /// Operator-scheduled maintenance: long physical outage, documented in
+    /// a trouble ticket.
+    Maintenance,
+}
+
+/// One real, traffic-affecting link failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthFailure {
+    /// The failed link.
+    pub link: LinkId,
+    /// When the link actually failed.
+    pub start: Timestamp,
+    /// When the link actually recovered.
+    pub end: Timestamp,
+    /// Failure mechanism.
+    pub cause: FailureCause,
+    /// True if this failure belongs to a flapping episode (a run of
+    /// failures on the same link separated by short gaps). The paper's
+    /// flap threshold for *analysis* is a 10-minute gap (§4.1); the
+    /// generator tags episodes explicitly so tests can check the analysis
+    /// detection against generation.
+    pub in_flap: bool,
+}
+
+impl TruthFailure {
+    /// Failure duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// Kinds of syslog-only pseudo-events (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PseudoKind {
+    /// An IS-IS three-way handshake that starts and aborts: one router
+    /// logs Up then Down (or just a Down) within ≈1 s; no LSP.
+    AbortedHandshake,
+    /// An adjacency reset right after a longer failure: the router logs a
+    /// Down/Up pair without a new LSP being generated.
+    AdjacencyReset,
+}
+
+/// A syslog-only artifact on one end of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PseudoEvent {
+    /// The link whose adjacency the messages reference.
+    pub link: LinkId,
+    /// Which endpoint logs it: 0 = the link's `a` end, 1 = `b`.
+    pub side: u8,
+    /// When the Down message is logged.
+    pub at: Timestamp,
+    /// Gap between the Down and the Up message (≤ ~1 s).
+    pub width: Duration,
+    /// Artifact kind.
+    pub kind: PseudoKind,
+}
+
+/// A carrier transient visible to the interface but masked from the
+/// adjacency by carrier-delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CarrierBlip {
+    /// The blipping link.
+    pub link: LinkId,
+    /// When carrier drops.
+    pub at: Timestamp,
+    /// How long carrier stays down.
+    pub width: Duration,
+}
+
+/// The complete ground truth for a scenario.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Real failures, sorted by `(link, start)`.
+    pub failures: Vec<TruthFailure>,
+    /// Syslog-only pseudo-events.
+    pub pseudo_events: Vec<PseudoEvent>,
+    /// IP-only carrier blips.
+    pub blips: Vec<CarrierBlip>,
+}
+
+impl GroundTruth {
+    /// Total downtime across all real failures.
+    pub fn total_downtime(&self) -> Duration {
+        self.failures
+            .iter()
+            .fold(Duration::ZERO, |acc, f| acc.saturating_add(f.duration()))
+    }
+
+    /// Failures on one link, in start order.
+    pub fn failures_on(&self, link: LinkId) -> impl Iterator<Item = &TruthFailure> {
+        self.failures.iter().filter(move |f| f.link == link)
+    }
+
+    /// True if the link is actually down at `t`.
+    pub fn is_down_at(&self, link: LinkId, t: Timestamp) -> bool {
+        self.failures_on(link).any(|f| f.start <= t && t < f.end)
+    }
+
+    /// Sort invariant enforcement; generators call this once at the end.
+    pub fn normalize(&mut self) {
+        self.failures.sort_by_key(|f| (f.link, f.start));
+        self.pseudo_events.sort_by_key(|p| (p.link, p.at));
+        self.blips.sort_by_key(|b| (b.link, b.at));
+    }
+
+    /// Check that no two failures on the same link overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated (generator bug).
+    pub fn assert_disjoint(&self) {
+        for w in self.failures.windows(2) {
+            if w[0].link == w[1].link {
+                assert!(
+                    w[0].end <= w[1].start,
+                    "overlapping failures on {}: {:?} then {:?}",
+                    w[0].link,
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(link: u32, start: u64, end: u64) -> TruthFailure {
+        TruthFailure {
+            link: LinkId(link),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+            cause: FailureCause::Protocol,
+            in_flap: false,
+        }
+    }
+
+    #[test]
+    fn downtime_sums() {
+        let mut gt = GroundTruth::default();
+        gt.failures.push(f(0, 10, 20));
+        gt.failures.push(f(1, 0, 5));
+        assert_eq!(gt.total_downtime(), Duration::from_secs(15));
+    }
+
+    #[test]
+    fn is_down_at_boundaries() {
+        let mut gt = GroundTruth::default();
+        gt.failures.push(f(0, 10, 20));
+        assert!(!gt.is_down_at(LinkId(0), Timestamp::from_secs(9)));
+        assert!(gt.is_down_at(LinkId(0), Timestamp::from_secs(10)));
+        assert!(gt.is_down_at(LinkId(0), Timestamp::from_secs(19)));
+        assert!(!gt.is_down_at(LinkId(0), Timestamp::from_secs(20)));
+        assert!(!gt.is_down_at(LinkId(1), Timestamp::from_secs(15)));
+    }
+
+    #[test]
+    fn normalize_sorts() {
+        let mut gt = GroundTruth::default();
+        gt.failures.push(f(1, 50, 60));
+        gt.failures.push(f(0, 10, 20));
+        gt.failures.push(f(0, 5, 8));
+        gt.normalize();
+        assert_eq!(gt.failures[0].start, Timestamp::from_secs(5));
+        assert_eq!(gt.failures[2].link, LinkId(1));
+        gt.assert_disjoint();
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_detected() {
+        let mut gt = GroundTruth::default();
+        gt.failures.push(f(0, 10, 30));
+        gt.failures.push(f(0, 20, 40));
+        gt.normalize();
+        gt.assert_disjoint();
+    }
+}

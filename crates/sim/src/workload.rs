@@ -1,0 +1,590 @@
+//! Failure workload generator.
+//!
+//! Generates, per link, a renewal process of failures with the heavy-tailed
+//! per-link heterogeneity the paper measures (Table 5: per-link annualized
+//! failure counts whose mean is 2–4× the median), distinct Core/CPE
+//! profiles, explicit flapping episodes (runs of short failures separated
+//! by sub-10-minute gaps, §4.1), maintenance outages (the >24 h failures
+//! that trouble tickets document, §4.2), and the two syslog-only artifact
+//! processes of §4.3 (handshake aborts / adjacency resets, carrier blips).
+//!
+//! Every quantity is drawn from a seeded RNG; the same
+//! `(topology, WorkloadParams)` pair always yields the same ground truth.
+
+use crate::dist;
+use crate::truth::{CarrierBlip, FailureCause, GroundTruth, PseudoEvent, PseudoKind, TruthFailure};
+use faultline_topology::link::LinkClass;
+use faultline_topology::time::{Duration, Timestamp};
+use faultline_topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Failure-process parameters for one link class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassProfile {
+    /// Median annualized rate of standalone (non-flap) failures per link.
+    pub standalone_rate_median: f64,
+    /// Lognormal shape of per-link rate heterogeneity.
+    pub standalone_rate_sigma: f64,
+    /// Median annualized rate of flapping episodes per link.
+    pub flap_episode_rate_median: f64,
+    /// Lognormal shape of per-link episode-rate heterogeneity (flaky links
+    /// concentrate most episodes).
+    pub flap_episode_rate_sigma: f64,
+    /// Mean number of failures per flapping episode (geometric, ≥ 2).
+    pub flap_count_mean: f64,
+    /// Log-uniform bounds of a flap failure's duration, seconds.
+    pub flap_duration_secs: (f64, f64),
+    /// Log-uniform bounds of the up-gap between flap failures, seconds.
+    /// The upper bound stays below the paper's 10-minute flap threshold.
+    pub flap_gap_secs: (f64, f64),
+    /// Median of the lognormal standalone-failure duration, seconds.
+    pub duration_median_secs: f64,
+    /// Lognormal shape of standalone-failure durations.
+    pub duration_sigma: f64,
+    /// Fraction of standalone failures redrawn from the long-outage range.
+    pub long_fraction: f64,
+    /// Log-uniform bounds of long outages, seconds.
+    pub long_range_secs: (f64, f64),
+    /// Probability that a failure is physical (interface down; withdraws
+    /// IP reachability too) rather than protocol-only.
+    pub phys_fraction: f64,
+    /// Annualized rate of maintenance outages per link.
+    pub maintenance_rate: f64,
+    /// Log-uniform bounds of maintenance outages, seconds.
+    pub maintenance_range_secs: (f64, f64),
+    /// Annualized rate of carrier blips per link (IP-only transients).
+    pub blip_rate: f64,
+    /// Annualized rate of background handshake-abort pseudo-events.
+    pub pseudo_background_rate: f64,
+    /// Probability a real failure is followed by an adjacency-reset
+    /// pseudo-event a few seconds after recovery.
+    pub reset_after_failure_prob: f64,
+    /// Probability each flap failure additionally produces an
+    /// aborted-handshake pseudo-event (failed re-establishment attempt).
+    pub abort_per_flap_failure_prob: f64,
+}
+
+impl ClassProfile {
+    /// Core-link profile calibrated against Table 5's Core column.
+    pub fn core() -> Self {
+        ClassProfile {
+            standalone_rate_median: 4.2,
+            standalone_rate_sigma: 0.85,
+            flap_episode_rate_median: 0.42,
+            flap_episode_rate_sigma: 1.7,
+            flap_count_mean: 14.0,
+            flap_duration_secs: (3.0, 180.0),
+            flap_gap_secs: (3.0, 240.0),
+            duration_median_secs: 180.0,
+            duration_sigma: 2.3,
+            long_fraction: 0.015,
+            long_range_secs: (3_600.0, 172_800.0),
+            phys_fraction: 0.36,
+            maintenance_rate: 0.04,
+            maintenance_range_secs: (14_400.0, 259_200.0),
+            blip_rate: 6.0,
+            pseudo_background_rate: 0.6,
+            reset_after_failure_prob: 0.06,
+            abort_per_flap_failure_prob: 0.6,
+        }
+    }
+
+    /// CPE-link profile calibrated against Table 5's CPE column.
+    pub fn cpe() -> Self {
+        ClassProfile {
+            standalone_rate_median: 11.5,
+            standalone_rate_sigma: 1.0,
+            flap_episode_rate_median: 0.28,
+            flap_episode_rate_sigma: 2.3,
+            flap_count_mean: 15.0,
+            flap_duration_secs: (1.0, 30.0),
+            flap_gap_secs: (2.0, 200.0),
+            duration_median_secs: 60.0,
+            duration_sigma: 1.6,
+            long_fraction: 0.035,
+            long_range_secs: (3_600.0, 259_200.0),
+            phys_fraction: 0.36,
+            maintenance_rate: 0.03,
+            maintenance_range_secs: (14_400.0, 259_200.0),
+            blip_rate: 12.0,
+            pseudo_background_rate: 1.0,
+            reset_after_failure_prob: 0.1,
+            abort_per_flap_failure_prob: 0.75,
+        }
+    }
+}
+
+/// Workload parameters: one profile per class, plus the RNG seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Profile applied to backbone links.
+    pub core: ClassProfile,
+    /// Profile applied to CPE links.
+    pub cpe: ClassProfile,
+    /// Flap-episode rate multiplier for links whose individual failure
+    /// isolates a customer (single-point-of-failure tail circuits).
+    /// Flapping concentrates on long-haul optical paths, not short metro
+    /// tails (the authors' earlier SIGCOMM study of the same network
+    /// found exactly this), so SPOF links flap far less than average —
+    /// which is also why the paper's 2,440 syslog false positives, which
+    /// cluster around flapping, produce only 58 syslog-only isolating
+    /// events (§4.4).
+    pub spof_flap_factor: f64,
+    /// Measurement period length in days.
+    pub period_days: f64,
+    /// RNG seed (independent of the topology seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            core: ClassProfile::core(),
+            cpe: ClassProfile::cpe(),
+            spof_flap_factor: 0.1,
+            period_days: 389.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The active window of a link within the measurement period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkWindow {
+    /// Provisioning instant (≥ period start).
+    pub from: Timestamp,
+    /// Decommissioning instant (≤ period end).
+    pub to: Timestamp,
+}
+
+impl LinkWindow {
+    /// Window length.
+    pub fn len(&self) -> Duration {
+        self.to - self.from
+    }
+
+    /// Window length in fractional years, the annualization denominator of
+    /// Table 5.
+    pub fn years(&self) -> f64 {
+        self.len().as_years_f64()
+    }
+}
+
+impl WorkloadParams {
+    /// Compute each link's active window: full-lifetime links span the
+    /// whole period; short-lifetime links are placed at a seeded random
+    /// offset. Deterministic per `(params.seed, link id)`.
+    pub fn link_windows(&self, topo: &Topology) -> Vec<LinkWindow> {
+        let period = Duration::from_millis((self.period_days * 86_400_000.0) as u64);
+        topo.links()
+            .iter()
+            .map(|l| {
+                let mut rng = StdRng::seed_from_u64(self.seed ^ (0x11AC << 32) ^ l.id.0 as u64);
+                let life_ms = (l.lifetime_days * 86_400_000.0) as u64;
+                if life_ms >= period.as_millis() {
+                    LinkWindow {
+                        from: Timestamp::EPOCH,
+                        to: Timestamp::EPOCH + period,
+                    }
+                } else {
+                    let slack = period.as_millis() - life_ms;
+                    let offset = rng.random_range(0..=slack);
+                    LinkWindow {
+                        from: Timestamp::from_millis(offset),
+                        to: Timestamp::from_millis(offset + life_ms),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Generate the full ground truth for a topology.
+    pub fn generate(&self, topo: &Topology) -> GroundTruth {
+        let windows = self.link_windows(topo);
+        let mut gt = GroundTruth::default();
+        for link in topo.links() {
+            let profile = match link.class {
+                LinkClass::Core => &self.core,
+                LinkClass::Cpe => &self.cpe,
+            };
+            // Single-point-of-failure tails flap less (see field doc).
+            let flap_factor =
+                if !faultline_topology::graph::isolated_under(topo, &[link.id]).is_empty() {
+                    self.spof_flap_factor
+                } else {
+                    1.0
+                };
+            let window = windows[link.id.0 as usize];
+            // Independent stream per link so links are order-independent.
+            let mut rng = StdRng::seed_from_u64(self.seed ^ ((link.id.0 as u64) << 20));
+            generate_link(&mut rng, link.id, profile, flap_factor, window, &mut gt);
+        }
+        gt.normalize();
+        gt.assert_disjoint();
+        gt
+    }
+}
+
+/// Sample a standalone failure duration.
+fn standalone_duration(rng: &mut StdRng, p: &ClassProfile) -> Duration {
+    let secs = if rng.random::<f64>() < p.long_fraction {
+        dist::log_uniform(rng, p.long_range_secs.0, p.long_range_secs.1)
+    } else {
+        dist::lognormal_median(rng, p.duration_median_secs, p.duration_sigma)
+    };
+    Duration::from_millis((secs.max(0.5) * 1_000.0) as u64)
+}
+
+fn generate_link(
+    rng: &mut StdRng,
+    link: faultline_topology::link::LinkId,
+    p: &ClassProfile,
+    flap_factor: f64,
+    window: LinkWindow,
+    gt: &mut GroundTruth,
+) {
+    let years = window.years();
+    let span_ms = window.len().as_millis();
+    if span_ms == 0 {
+        return;
+    }
+    let uniform_in_window =
+        |rng: &mut StdRng| window.from + Duration::from_millis(rng.random_range(0..span_ms));
+
+    let mut failures: Vec<TruthFailure> = Vec::new();
+
+    // --- Standalone failures -------------------------------------------
+    let rate = dist::lognormal_median(rng, p.standalone_rate_median, p.standalone_rate_sigma);
+    for _ in 0..dist::poisson(rng, rate * years) {
+        let start = uniform_in_window(rng);
+        let dur = standalone_duration(rng, p);
+        let cause = if rng.random::<f64>() < p.phys_fraction {
+            FailureCause::Physical
+        } else {
+            FailureCause::Protocol
+        };
+        failures.push(TruthFailure {
+            link,
+            start,
+            end: start + dur,
+            cause,
+            in_flap: false,
+        });
+    }
+
+    // --- Maintenance outages --------------------------------------------
+    for _ in 0..dist::poisson(rng, p.maintenance_rate * years) {
+        let start = uniform_in_window(rng);
+        let secs = dist::log_uniform(rng, p.maintenance_range_secs.0, p.maintenance_range_secs.1);
+        failures.push(TruthFailure {
+            link,
+            start,
+            end: start + Duration::from_millis((secs * 1_000.0) as u64),
+            cause: FailureCause::Maintenance,
+            in_flap: false,
+        });
+    }
+
+    // --- Flapping episodes -----------------------------------------------
+    let ep_rate =
+        dist::lognormal_median(rng, p.flap_episode_rate_median, p.flap_episode_rate_sigma)
+            * flap_factor;
+    for _ in 0..dist::poisson(rng, ep_rate * years) {
+        let mut t = uniform_in_window(rng);
+        // Geometric count with mean `flap_count_mean`, at least 2.
+        let q = 1.0 / (p.flap_count_mean - 1.0).max(1.0);
+        let mut count = 2u64;
+        while rng.random::<f64>() > q && count < 60 {
+            count += 1;
+        }
+        let cause = if rng.random::<f64>() < p.phys_fraction {
+            FailureCause::Physical
+        } else {
+            FailureCause::Protocol
+        };
+        for _ in 0..count {
+            let dur_secs = dist::log_uniform(rng, p.flap_duration_secs.0, p.flap_duration_secs.1);
+            let gap_secs = dist::log_uniform(rng, p.flap_gap_secs.0, p.flap_gap_secs.1);
+            let end = t + Duration::from_millis((dur_secs * 1_000.0) as u64);
+            if end >= window.to {
+                break;
+            }
+            failures.push(TruthFailure {
+                link,
+                start: t,
+                end,
+                cause,
+                in_flap: true,
+            });
+            t = end + Duration::from_millis((gap_secs * 1_000.0) as u64);
+        }
+    }
+
+    // --- Resolve overlaps ---------------------------------------------
+    // Failures are generated independently; keep the earliest-starting of
+    // any overlapping pair and require a 1-second up-gap between
+    // consecutive failures so the two observation pipelines always see
+    // distinguishable transitions.
+    failures.sort_by_key(|f| f.start);
+    let min_gap = Duration::SECOND;
+    let mut kept: Vec<TruthFailure> = Vec::with_capacity(failures.len());
+    for f in failures {
+        let mut f = f;
+        if f.end > window.to {
+            f.end = window.to;
+        }
+        if f.end <= f.start {
+            continue;
+        }
+        match kept.last() {
+            Some(prev) if f.start < prev.end + min_gap => continue,
+            _ => kept.push(f),
+        }
+    }
+
+    // --- Adjacency-reset pseudo-events after recoveries -------------------
+    for i in 0..kept.len() {
+        if rng.random::<f64>() >= p.reset_after_failure_prob {
+            continue;
+        }
+        // The reset happens after the adjacency has fully re-established,
+        // i.e. after both ends' Up messages (handshake + skew take up to
+        // ~11 s); the scenario runner additionally drops any pseudo-event
+        // that would interleave with scheduled adjacency messages.
+        let delay = Duration::from_millis(rng.random_range(12_000..20_000));
+        let at = kept[i].end + delay;
+        let width = Duration::from_millis(rng.random_range(200..=1_000));
+        let clear_until = at + width + Duration::SECOND;
+        let next_start = kept.get(i + 1).map(|n| n.start);
+        if clear_until >= window.to || next_start.is_some_and(|s| clear_until >= s) {
+            continue;
+        }
+        gt.pseudo_events.push(PseudoEvent {
+            link,
+            side: rng.random_range(0..2),
+            at,
+            width,
+            kind: PseudoKind::AdjacencyReset,
+        });
+    }
+
+    // --- Aborted handshakes during flap recoveries -------------------------
+    for i in 0..kept.len() {
+        if !kept[i].in_flap || rng.random::<f64>() >= p.abort_per_flap_failure_prob {
+            continue;
+        }
+        let at = kept[i].end + Duration::from_millis(rng.random_range(12_000..20_000));
+        let width = Duration::from_millis(rng.random_range(200..=1_000));
+        let clear_until = at + width + Duration::SECOND;
+        let next_start = kept.get(i + 1).map(|n| n.start);
+        if clear_until >= window.to || next_start.is_some_and(|s| clear_until >= s) {
+            continue;
+        }
+        gt.pseudo_events.push(PseudoEvent {
+            link,
+            side: rng.random_range(0..2),
+            at,
+            width,
+            kind: PseudoKind::AbortedHandshake,
+        });
+    }
+
+    // --- Background handshake aborts ---------------------------------------
+    // Background aborts are a transmission-quality phenomenon like
+    // flapping, so they scale with the same per-link factor.
+    for _ in 0..dist::poisson(rng, p.pseudo_background_rate * flap_factor * years) {
+        let at = uniform_in_window(rng);
+        let width = Duration::from_millis(rng.random_range(200..=1_000));
+        // Skip if it would land inside or adjacent to a real failure: the
+        // syslog stream must stay interpretable as alternating states.
+        let clashes = kept.iter().any(|f| {
+            at + width + Duration::SECOND >= f.start.saturating_sub(Duration::SECOND)
+                && at <= f.end + Duration::from_secs(11)
+        });
+        if clashes || at + width >= window.to {
+            continue;
+        }
+        gt.pseudo_events.push(PseudoEvent {
+            link,
+            side: rng.random_range(0..2),
+            at,
+            width,
+            kind: PseudoKind::AbortedHandshake,
+        });
+    }
+
+    // --- Carrier blips ------------------------------------------------------
+    for _ in 0..dist::poisson(rng, p.blip_rate * years) {
+        let at = uniform_in_window(rng);
+        let width = Duration::from_millis(rng.random_range(100..=2_000));
+        let clashes = kept
+            .iter()
+            .any(|f| at + width >= f.start && at <= f.end + Duration::SECOND);
+        if clashes || at + width >= window.to {
+            continue;
+        }
+        gt.blips.push(CarrierBlip { link, at, width });
+    }
+
+    gt.failures.extend(kept);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_topology::generator::CenicParams;
+    use faultline_topology::link::LinkId;
+
+    fn small_truth() -> (Topology, GroundTruth, WorkloadParams) {
+        let topo = CenicParams::tiny(7).generate();
+        let params = WorkloadParams {
+            period_days: 30.0,
+            seed: 99,
+            ..WorkloadParams::default()
+        };
+        let gt = params.generate(&topo);
+        (topo, gt, params)
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = CenicParams::tiny(7).generate();
+        let params = WorkloadParams {
+            period_days: 30.0,
+            seed: 99,
+            ..WorkloadParams::default()
+        };
+        let a = params.generate(&topo);
+        let b = params.generate(&topo);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.pseudo_events, b.pseudo_events);
+        assert_eq!(a.blips, b.blips);
+    }
+
+    #[test]
+    fn failures_disjoint_with_gap() {
+        let (_, gt, _) = small_truth();
+        for w in gt.failures.windows(2) {
+            if w[0].link == w[1].link {
+                assert!(w[0].end + Duration::SECOND <= w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn all_events_within_link_windows() {
+        let (topo, gt, params) = small_truth();
+        let windows = params.link_windows(&topo);
+        for f in &gt.failures {
+            let w = windows[f.link.0 as usize];
+            assert!(f.start >= w.from && f.end <= w.to, "{f:?} outside {w:?}");
+        }
+        for b in &gt.blips {
+            let w = windows[b.link.0 as usize];
+            assert!(b.at >= w.from && b.at + b.width <= w.to);
+        }
+        for p in &gt.pseudo_events {
+            let w = windows[p.link.0 as usize];
+            assert!(p.at >= w.from && p.at + p.width < w.to);
+        }
+    }
+
+    #[test]
+    fn pseudo_events_never_overlap_failures() {
+        let (_, gt, _) = small_truth();
+        for p in &gt.pseudo_events {
+            assert!(
+                !gt.is_down_at(p.link, p.at) && !gt.is_down_at(p.link, p.at + p.width),
+                "pseudo event inside a real failure: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blips_never_overlap_failures() {
+        let (_, gt, _) = small_truth();
+        for b in &gt.blips {
+            assert!(!gt.is_down_at(b.link, b.at));
+            assert!(!gt.is_down_at(b.link, b.at + b.width));
+        }
+    }
+
+    #[test]
+    fn full_scale_counts_in_paper_range() {
+        let topo = CenicParams::default().generate();
+        let gt = WorkloadParams::default().generate(&topo);
+        let n = gt.failures.len();
+        // Paper: 11,213 IS-IS failures over the period. Accept a broad
+        // band; table-level calibration is checked in EXPERIMENTS.md.
+        assert!(
+            (6_000..20_000).contains(&n),
+            "failure count {n} far from paper scale"
+        );
+        let downtime_h = gt.total_downtime().as_hours_f64();
+        assert!(
+            (1_500.0..9_000.0).contains(&downtime_h),
+            "downtime {downtime_h}h far from paper scale (3,648h)"
+        );
+        // Flap share: the majority of CPE failures should sit in episodes.
+        let flap = gt.failures.iter().filter(|f| f.in_flap).count();
+        assert!(flap * 3 > n, "flap share too low: {flap}/{n}");
+        // Pseudo events at the scale of the paper's 2,440 false positives.
+        let pe = gt.pseudo_events.len();
+        assert!((800..6_000).contains(&pe), "pseudo events {pe}");
+    }
+
+    #[test]
+    fn windows_cover_short_lifetimes() {
+        let topo = CenicParams::default().generate();
+        let params = WorkloadParams::default();
+        let windows = params.link_windows(&topo);
+        let period = Duration::from_days(389);
+        for (l, w) in topo.links().iter().zip(&windows) {
+            assert!(w.to <= Timestamp::EPOCH + period);
+            let expected = (l.lifetime_days * 86_400_000.0) as u64;
+            assert!(
+                (w.len().as_millis() as i64 - expected as i64).abs() <= 1,
+                "window length mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn per_link_heterogeneity_is_heavy_tailed() {
+        let topo = CenicParams::default().generate();
+        let gt = WorkloadParams::default().generate(&topo);
+        let mut counts = vec![0usize; topo.links().len()];
+        for f in &gt.failures {
+            counts[f.link.0 as usize] += 1;
+        }
+        counts.sort_unstable();
+        let median = counts[counts.len() / 2] as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(
+            mean > 1.5 * median,
+            "per-link failure counts should be skewed: mean {mean}, median {median}"
+        );
+    }
+
+    #[test]
+    fn core_failures_last_longer_than_cpe_in_median() {
+        let topo = CenicParams::default().generate();
+        let gt = WorkloadParams::default().generate(&topo);
+        let mut core: Vec<u64> = Vec::new();
+        let mut cpe: Vec<u64> = Vec::new();
+        for f in &gt.failures {
+            match topo.link(LinkId(f.link.0)).class {
+                LinkClass::Core => core.push(f.duration().as_millis()),
+                LinkClass::Cpe => cpe.push(f.duration().as_millis()),
+            }
+        }
+        core.sort_unstable();
+        cpe.sort_unstable();
+        assert!(
+            core[core.len() / 2] > cpe[cpe.len() / 2],
+            "Table 5: Core median duration (42s) exceeds CPE (12s)"
+        );
+    }
+}

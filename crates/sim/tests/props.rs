@@ -1,0 +1,96 @@
+//! Property-based tests for the simulator: workload invariants and
+//! scenario-level conservation laws.
+
+use faultline_sim::scenario::{run, ScenarioParams};
+use faultline_sim::tickets::{TicketLog, TicketParams};
+use faultline_sim::workload::WorkloadParams;
+use faultline_topology::generator::CenicParams;
+use faultline_topology::time::Duration;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ground truth is well-formed for arbitrary seeds: disjoint per-link
+    /// failures with the enforced up-gap, events inside link windows,
+    /// pseudo-events and blips never inside real failures.
+    #[test]
+    fn ground_truth_invariants(topo_seed in any::<u64>(), wl_seed in any::<u64>()) {
+        let topo = CenicParams::tiny(topo_seed).generate();
+        let params = WorkloadParams {
+            period_days: 45.0,
+            seed: wl_seed,
+            ..WorkloadParams::default()
+        };
+        let gt = params.generate(&topo);
+        gt.assert_disjoint();
+        let windows = params.link_windows(&topo);
+        for f in &gt.failures {
+            let w = windows[f.link.0 as usize];
+            prop_assert!(f.start >= w.from && f.end <= w.to);
+            prop_assert!(f.end > f.start);
+        }
+        for p in &gt.pseudo_events {
+            prop_assert!(!gt.is_down_at(p.link, p.at));
+            prop_assert!(!gt.is_down_at(p.link, p.at + p.width));
+        }
+        for b in &gt.blips {
+            prop_assert!(!gt.is_down_at(b.link, b.at));
+        }
+    }
+
+    /// Tickets only reference long-enough failures and carry sane spans.
+    #[test]
+    fn ticket_invariants(seed in any::<u64>()) {
+        let topo = CenicParams::tiny(seed).generate();
+        let wl = WorkloadParams {
+            period_days: 60.0,
+            seed: seed ^ 0xFF,
+            ..WorkloadParams::default()
+        };
+        let gt = wl.generate(&topo);
+        let params = TicketParams::default();
+        let log = TicketLog::generate(&gt, &params);
+        for t in &log.tickets {
+            prop_assert!(t.closed > t.opened);
+            // Each ticket must chronicle some real failure on the link.
+            let chronicled = gt.failures_on(t.link).any(|f| {
+                f.duration() >= params.min_duration
+                    && t.opened >= f.start
+                    && t.opened <= f.start + params.open_lag_max
+            });
+            prop_assert!(chronicled, "orphan ticket {t:?}");
+        }
+    }
+
+    /// Scenario conservation: the collector holds exactly the delivered
+    /// messages (plus spurious copies), and the listener accounts for
+    /// every flooded LSP.
+    #[test]
+    fn scenario_conservation(seed in any::<u64>()) {
+        let data = run(&ScenarioParams::tiny(seed));
+        let s = data.transport_stats;
+        prop_assert_eq!(
+            s.offered,
+            s.delivered + s.dropped_random + s.dropped_overload_pair + s.dropped_overload_msg
+        );
+        prop_assert_eq!(data.raw_syslog_lines as u64, s.delivered + s.spurious);
+        let l = data.listener_stats;
+        prop_assert_eq!(
+            data.lsps_flooded,
+            l.lsps_installed + l.lsps_ignored + l.lsps_invalid + l.lsps_missed_offline
+        );
+        prop_assert_eq!(l.lsps_invalid, 0);
+    }
+
+    /// Syslog message timestamps never precede the ground-truth failure
+    /// that caused them by more than the detection model allows.
+    #[test]
+    fn syslog_timestamps_in_period(seed in any::<u64>()) {
+        let data = run(&ScenarioParams::tiny(seed));
+        let horizon = Duration::from_days(31);
+        for m in &data.syslog {
+            prop_assert!(m.event.at.as_millis() <= horizon.as_millis() + 3_600_000);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Calendar rendering of simulation time in Cisco syslog format.
+//!
+//! The scenario epoch is fixed at **Oct 20 2010 00:00:00 UTC**, the start
+//! of the paper's measurement period. Routers are configured with
+//! `service timestamps log datetime msec year` (so the textual format is
+//! `Oct 20 2010 04:12:33.123`), which keeps parsing unambiguous — classic
+//! year-less RFC 3164 timestamps would be ambiguous across the 13-month
+//! window.
+
+use faultline_topology::time::Timestamp;
+
+/// Month abbreviations in Cisco/RFC 3164 style.
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Days per month for a non-leap and a leap year.
+fn days_in_month(year: u32, month0: usize) -> u64 {
+    const D: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    if month0 == 1 && is_leap(year) {
+        29
+    } else {
+        D[month0]
+    }
+}
+
+fn is_leap(year: u32) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+/// The calendar date of the scenario epoch.
+const EPOCH_YEAR: u32 = 2010;
+const EPOCH_MONTH0: usize = 9; // October
+const EPOCH_DAY: u64 = 20;
+
+/// A broken-down calendar instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalTime {
+    /// Full year, e.g. 2010.
+    pub year: u32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+    /// Millisecond 0–999.
+    pub millis: u16,
+}
+
+/// Convert a simulation timestamp to calendar form.
+pub fn to_calendar(ts: Timestamp) -> CalTime {
+    let mut days = ts.as_millis() / 86_400_000;
+    let rem_ms = ts.as_millis() % 86_400_000;
+    let mut year = EPOCH_YEAR;
+    let mut month0 = EPOCH_MONTH0;
+    let mut day = EPOCH_DAY; // 1-based
+    while days > 0 {
+        let dim = days_in_month(year, month0);
+        let left_in_month = dim - day;
+        if days <= left_in_month {
+            day += days;
+            days = 0;
+        } else {
+            days -= left_in_month + 1;
+            day = 1;
+            month0 += 1;
+            if month0 == 12 {
+                month0 = 0;
+                year += 1;
+            }
+        }
+    }
+    CalTime {
+        year,
+        month: month0 as u8 + 1,
+        day: day as u8,
+        hour: (rem_ms / 3_600_000) as u8,
+        minute: (rem_ms / 60_000 % 60) as u8,
+        second: (rem_ms / 1_000 % 60) as u8,
+        millis: (rem_ms % 1_000) as u16,
+    }
+}
+
+/// Convert a calendar instant back to a simulation timestamp.
+///
+/// Returns `None` for dates before the epoch.
+pub fn from_calendar(c: &CalTime) -> Option<Timestamp> {
+    // Count days from the epoch date to the given date.
+    let mut days: i64 = 0;
+    let (mut y, mut m0, mut d) = (EPOCH_YEAR, EPOCH_MONTH0, EPOCH_DAY);
+    let target = (c.year, c.month as usize - 1, c.day as u64);
+    if (c.year, c.month as usize - 1, c.day as u64) < (y, m0, d) {
+        return None;
+    }
+    while (y, m0, d) < target {
+        // Jump whole months where possible for efficiency.
+        if (y, m0) < (target.0, target.1) {
+            days += (days_in_month(y, m0) - d + 1) as i64;
+            d = 1;
+            m0 += 1;
+            if m0 == 12 {
+                m0 = 0;
+                y += 1;
+            }
+        } else {
+            days += (target.2 - d) as i64;
+            d = target.2;
+        }
+    }
+    let ms = days as u64 * 86_400_000
+        + c.hour as u64 * 3_600_000
+        + c.minute as u64 * 60_000
+        + c.second as u64 * 1_000
+        + c.millis as u64;
+    Some(Timestamp::from_millis(ms))
+}
+
+/// Render in Cisco `datetime msec year` style: `Oct 20 2010 04:12:33.123`.
+pub fn render(ts: Timestamp) -> String {
+    let c = to_calendar(ts);
+    format!(
+        "{} {} {} {:02}:{:02}:{:02}.{:03}",
+        MONTHS[c.month as usize - 1],
+        c.day,
+        c.year,
+        c.hour,
+        c.minute,
+        c.second,
+        c.millis
+    )
+}
+
+/// Parse the output of [`render`]. Returns `None` on any malformation.
+pub fn parse(text: &str) -> Option<Timestamp> {
+    let mut parts = text.split_whitespace();
+    let mon = parts.next()?;
+    let day: u8 = parts.next()?.parse().ok()?;
+    let year: u32 = parts.next()?.parse().ok()?;
+    let hms = parts.next()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let month = MONTHS.iter().position(|m| *m == mon)? as u8 + 1;
+    let (h, rest) = hms.split_once(':')?;
+    let (m, rest) = rest.split_once(':')?;
+    let (s, ms) = rest.split_once('.')?;
+    if ms.len() != 3 {
+        return None;
+    }
+    let c = CalTime {
+        year,
+        month,
+        day,
+        hour: h.parse().ok()?,
+        minute: m.parse().ok()?,
+        second: s.parse().ok()?,
+        millis: ms.parse().ok()?,
+    };
+    // Validate field ranges by round-tripping through the converter.
+    if c.hour > 23 || c.minute > 59 || c.second > 59 || c.day == 0 {
+        return None;
+    }
+    if c.month as usize > 12 || c.day as u64 > days_in_month(c.year, c.month as usize - 1) {
+        return None;
+    }
+    from_calendar(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_topology::time::Duration;
+
+    #[test]
+    fn epoch_renders_as_study_start() {
+        assert_eq!(render(Timestamp::EPOCH), "Oct 20 2010 00:00:00.000");
+    }
+
+    #[test]
+    fn crosses_month_and_year_boundaries() {
+        // 12 days later: Nov 1 2010.
+        let t = Timestamp::EPOCH + Duration::from_days(12);
+        assert_eq!(render(t), "Nov 1 2010 00:00:00.000");
+        // 73 days later: Jan 1 2011 (12 + 30 + 31 = 73).
+        let t = Timestamp::EPOCH + Duration::from_days(73);
+        assert_eq!(render(t), "Jan 1 2011 00:00:00.000");
+    }
+
+    #[test]
+    fn end_of_study_period() {
+        // Paper's period ends Nov 11 2011: Oct 20 2010 + 387 days.
+        let t = Timestamp::EPOCH + Duration::from_days(387);
+        assert_eq!(render(t), "Nov 11 2011 00:00:00.000");
+    }
+
+    #[test]
+    fn round_trip_across_two_years() {
+        for days in [0u64, 1, 11, 12, 45, 72, 73, 100, 200, 365, 366, 389, 500] {
+            for extra_ms in [0u64, 1, 59_999, 86_399_999] {
+                let t = Timestamp::EPOCH + Duration::from_days(days) + Duration::from_millis(extra_ms);
+                let text = render(t);
+                assert_eq!(parse(&text), Some(t), "failed for {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn leap_year_2012_handled() {
+        // 2012 is a leap year; Feb 29 2012 exists (day 497 from epoch).
+        // Oct 20 2010 -> Feb 29 2012: 73 (to Jan 1 2011) + 365 (to Jan 1 2012) + 31 + 28 = 497.
+        let t = Timestamp::EPOCH + Duration::from_days(497);
+        assert_eq!(render(t), "Feb 29 2012 00:00:00.000");
+        assert_eq!(parse("Feb 29 2012 00:00:00.000"), Some(t));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(parse(""), None);
+        assert_eq!(parse("Oct 20 2010"), None);
+        assert_eq!(parse("Foo 20 2010 00:00:00.000"), None);
+        assert_eq!(parse("Oct 32 2010 00:00:00.000"), None);
+        assert_eq!(parse("Oct 20 2010 25:00:00.000"), None);
+        assert_eq!(parse("Oct 20 2010 00:00:00.00"), None);
+        assert_eq!(parse("Oct 19 2010 00:00:00.000"), None, "before epoch");
+        assert_eq!(parse("Feb 29 2011 00:00:00.000"), None, "not a leap year");
+    }
+}

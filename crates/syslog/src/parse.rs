@@ -1,0 +1,285 @@
+//! Parser recovering structured [`LinkEvent`]s from raw syslog lines.
+//!
+//! The paper's pipeline receives *"the subset of these messages that
+//! pertain to the link, link protocol, and IS-IS routing protocol"*
+//! (§3.3). Production logs contain plenty of other mnemonics, so the
+//! parser distinguishes three outcomes: a structured link-state event, a
+//! recognizable-but-irrelevant message, and garbage.
+
+use crate::caltime;
+use crate::message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
+use faultline_topology::interface::InterfaceName;
+use faultline_topology::router::RouterOs;
+
+/// Outcome of parsing one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A link-state message the study uses.
+    Event(SyslogMessage),
+    /// Well-formed syslog, but not one of the studied mnemonics.
+    Irrelevant,
+    /// Not parseable as a syslog line.
+    Garbage,
+}
+
+/// Parse one raw line as produced by [`SyslogMessage::render`].
+pub fn parse_line(line: &str) -> Parsed {
+    // <PRI>SEQ: HOST: TIMESTAMP: %BODY
+    let Some(rest) = line.strip_prefix('<') else {
+        return Parsed::Garbage;
+    };
+    let Some((pri, rest)) = rest.split_once('>') else {
+        return Parsed::Garbage;
+    };
+    if pri.parse::<u8>().is_err() {
+        return Parsed::Garbage;
+    }
+    let Some((seq, rest)) = rest.split_once(": ") else {
+        return Parsed::Garbage;
+    };
+    let Ok(seq) = seq.parse::<u64>() else {
+        return Parsed::Garbage;
+    };
+    let Some((host, rest)) = rest.split_once(": ") else {
+        return Parsed::Garbage;
+    };
+    // ": %" separates the timestamp from the body in every rendered
+    // message (the HH:MM:SS colons are never followed by " %").
+    let (ts_text, body) = match rest.split_once(": %") {
+        Some((t, b)) => (t, b),
+        None => return Parsed::Garbage,
+    };
+    let Some(at) = caltime::parse(ts_text) else {
+        return Parsed::Garbage;
+    };
+
+    parse_body(at, host, body, seq)
+}
+
+fn parse_body(at: faultline_topology::time::Timestamp, host: &str, body: &str, seq: u64) -> Parsed {
+    if let Some(rest) = body.strip_prefix("CLNS-5-ADJCHANGE: ISIS: Adjacency to ") {
+        return parse_adjchange(at, host, rest, seq, RouterOs::Ios);
+    }
+    if let Some(rest) = body.strip_prefix("ROUTING-ISIS-4-ADJCHANGE: Adjacency to ") {
+        return parse_adjchange(at, host, rest, seq, RouterOs::IosXr);
+    }
+    if let Some(rest) = body.strip_prefix("LINK-3-UPDOWN: Interface ") {
+        // "IFACE, changed state to Down"
+        let Some((iface, state)) = rest.split_once(", changed state to ") else {
+            return Parsed::Garbage;
+        };
+        let up = match state {
+            "Up" | "up" => true,
+            "Down" | "down" => false,
+            _ => return Parsed::Garbage,
+        };
+        return Parsed::Event(SyslogMessage {
+            seq,
+            event: LinkEvent {
+                at,
+                host: host.to_string(),
+                interface: InterfaceName::expand(iface),
+                kind: LinkEventKind::Link,
+                up,
+            },
+            os: RouterOs::Ios,
+        });
+    }
+    if let Some(rest) = body.strip_prefix("LINEPROTO-5-UPDOWN: Line protocol on Interface ") {
+        let Some((iface, state)) = rest.split_once(", changed state to ") else {
+            return Parsed::Garbage;
+        };
+        let up = match state {
+            "Up" | "up" => true,
+            "Down" | "down" => false,
+            _ => return Parsed::Garbage,
+        };
+        return Parsed::Event(SyslogMessage {
+            seq,
+            event: LinkEvent {
+                at,
+                host: host.to_string(),
+                interface: InterfaceName::expand(iface),
+                kind: LinkEventKind::LineProtocol,
+                up,
+            },
+            os: RouterOs::Ios,
+        });
+    }
+    // Anything else with a plausible mnemonic shape is irrelevant, not
+    // garbage.
+    if body.split(':').next().is_some_and(|m| {
+        let mut parts = m.split('-');
+        matches!(
+            (parts.next(), parts.next(), parts.next()),
+            (Some(f), Some(s), Some(_)) if !f.is_empty() && s.parse::<u8>().is_ok()
+        )
+    }) {
+        return Parsed::Irrelevant;
+    }
+    Parsed::Garbage
+}
+
+fn parse_adjchange(
+    at: faultline_topology::time::Timestamp,
+    host: &str,
+    rest: &str,
+    seq: u64,
+    os: RouterOs,
+) -> Parsed {
+    // IOS:    "NEIGHBOR (IFACE) Up, detail"
+    // IOS XR: "NEIGHBOR (IFACE) (L2) Up, detail"
+    let Some((neighbor, rest)) = rest.split_once(" (") else {
+        return Parsed::Garbage;
+    };
+    let Some((iface, rest)) = rest.split_once(") ") else {
+        return Parsed::Garbage;
+    };
+    let rest = match os {
+        RouterOs::IosXr => match rest.strip_prefix("(L2) ") {
+            Some(r) => r,
+            None => return Parsed::Garbage,
+        },
+        RouterOs::Ios => rest,
+    };
+    let Some((state, detail)) = rest.split_once(", ") else {
+        return Parsed::Garbage;
+    };
+    let up = match state {
+        "Up" => true,
+        "Down" => false,
+        _ => return Parsed::Garbage,
+    };
+    Parsed::Event(SyslogMessage {
+        seq,
+        event: LinkEvent {
+            at,
+            host: host.to_string(),
+            interface: InterfaceName::expand(iface),
+            kind: LinkEventKind::IsisAdjacency {
+                neighbor: neighbor.to_string(),
+                detail: AdjChangeDetail::from_text(detail),
+            },
+            up,
+        },
+        os,
+    })
+}
+
+/// Parse a whole archive of lines, dropping everything that is not a
+/// studied link-state event. Returns `(events, irrelevant, garbage)`
+/// counts alongside the events.
+pub fn parse_archive<'a>(
+    lines: impl IntoIterator<Item = &'a str>,
+) -> (Vec<SyslogMessage>, u64, u64) {
+    let mut events = Vec::new();
+    let mut irrelevant = 0;
+    let mut garbage = 0;
+    for line in lines {
+        match parse_line(line) {
+            Parsed::Event(m) => events.push(m),
+            Parsed::Irrelevant => irrelevant += 1,
+            Parsed::Garbage => garbage += 1,
+        }
+    }
+    (events, irrelevant, garbage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_topology::time::Timestamp;
+
+    fn sample(os: RouterOs, kind: LinkEventKind, up: bool) -> SyslogMessage {
+        SyslogMessage {
+            seq: 42,
+            event: LinkEvent {
+                at: Timestamp::from_millis(86_400_000 + 3_723_456),
+                host: "lax-agg-01".into(),
+                interface: InterfaceName::ten_gig(5),
+                kind,
+                up,
+            },
+            os,
+        }
+    }
+
+    #[test]
+    fn round_trips_every_message_family() {
+        let cases = vec![
+            sample(
+                RouterOs::Ios,
+                LinkEventKind::IsisAdjacency {
+                    neighbor: "sac-agg-01".into(),
+                    detail: AdjChangeDetail::HoldTimeExpired,
+                },
+                false,
+            ),
+            sample(
+                RouterOs::IosXr,
+                LinkEventKind::IsisAdjacency {
+                    neighbor: "cust001-gw1".into(),
+                    detail: AdjChangeDetail::NewAdjacency,
+                },
+                true,
+            ),
+            sample(RouterOs::Ios, LinkEventKind::Link, false),
+            sample(RouterOs::Ios, LinkEventKind::LineProtocol, true),
+        ];
+        for m in cases {
+            let line = m.render();
+            match parse_line(&line) {
+                Parsed::Event(back) => assert_eq!(back, m, "line: {line}"),
+                other => panic!("expected event for {line}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn irrelevant_mnemonics_classified() {
+        let line = "<189>7: lax-agg-01: Oct 21 2010 01:02:03.004: %SYS-5-CONFIG_I: Configured from console";
+        assert_eq!(parse_line(line), Parsed::Irrelevant);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(parse_line(""), Parsed::Garbage);
+        assert_eq!(parse_line("not syslog at all"), Parsed::Garbage);
+        assert_eq!(parse_line("<abc>1: h: Oct 21 2010 00:00:00.000: %LINK-3-UPDOWN: x"), Parsed::Garbage);
+        assert_eq!(
+            parse_line("<189>1: h: BADTIME: %LINK-3-UPDOWN: Interface Gi0/0, changed state to Down"),
+            Parsed::Garbage
+        );
+        // ADJCHANGE with mangled structure.
+        assert_eq!(
+            parse_line("<189>1: h: Oct 21 2010 00:00:00.000: %CLNS-5-ADJCHANGE: ISIS: Adjacency to x"),
+            Parsed::Garbage
+        );
+    }
+
+    #[test]
+    fn archive_parse_counts() {
+        let m = sample(RouterOs::Ios, LinkEventKind::Link, true);
+        let line = m.render();
+        let lines = vec![
+            line.as_str(),
+            "<189>7: h: Oct 21 2010 01:02:03.004: %SYS-5-CONFIG_I: Configured",
+            "garbage",
+        ];
+        let (events, irrelevant, garbage) = parse_archive(lines);
+        assert_eq!(events.len(), 1);
+        assert_eq!(irrelevant, 1);
+        assert_eq!(garbage, 1);
+    }
+
+    #[test]
+    fn short_interface_names_expanded() {
+        let line = "<189>1: h: Oct 21 2010 00:00:00.000: %LINK-3-UPDOWN: Interface Te0/0/0/5, changed state to Down";
+        match parse_line(line) {
+            Parsed::Event(m) => {
+                assert_eq!(m.event.interface.as_str(), "TenGigE0/0/0/5");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the syslog substrate.
+
+use faultline_syslog::caltime;
+use faultline_syslog::message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
+use faultline_syslog::parse::{parse_line, Parsed};
+use faultline_syslog::transport::{LossyTransport, TransportConfig};
+use faultline_topology::interface::InterfaceName;
+use faultline_topology::router::RouterOs;
+use faultline_topology::time::Timestamp;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = LinkEventKind> {
+    prop_oneof![
+        ("[a-z][a-z0-9-]{0,20}", arb_detail()).prop_map(|(n, d)| {
+            LinkEventKind::IsisAdjacency {
+                neighbor: n,
+                detail: d,
+            }
+        }),
+        Just(LinkEventKind::Link),
+        Just(LinkEventKind::LineProtocol),
+    ]
+}
+
+fn arb_detail() -> impl Strategy<Value = AdjChangeDetail> {
+    prop_oneof![
+        Just(AdjChangeDetail::NewAdjacency),
+        Just(AdjChangeDetail::HoldTimeExpired),
+        Just(AdjChangeDetail::InterfaceDown),
+        Just(AdjChangeDetail::AdjacencyReset),
+    ]
+}
+
+fn arb_iface() -> impl Strategy<Value = InterfaceName> {
+    prop_oneof![
+        (0u32..64).prop_map(InterfaceName::ten_gig),
+        (0u32..64).prop_map(InterfaceName::gig),
+    ]
+}
+
+proptest! {
+    /// Calendar rendering round-trips for any instant within ~3 years of
+    /// the epoch.
+    #[test]
+    fn caltime_round_trip(ms in 0u64..(1_000 * 86_400_000)) {
+        let t = Timestamp::from_millis(ms);
+        prop_assert_eq!(caltime::parse(&caltime::render(t)), Some(t));
+    }
+
+    /// Calendar conversion is strictly monotone.
+    #[test]
+    fn caltime_monotone(a in 0u64..(900 * 86_400_000), d in 1u64..86_400_000) {
+        let ta = caltime::render(Timestamp::from_millis(a));
+        let tb = caltime::render(Timestamp::from_millis(a + d));
+        prop_assert_ne!(ta, tb);
+    }
+
+    /// Every renderable message parses back to itself, for both OS
+    /// grammars and all message families.
+    #[test]
+    fn message_render_parse_round_trip(
+        seq in any::<u64>(),
+        at in 0u64..(500 * 86_400_000),
+        host in "[a-z][a-z0-9-]{0,20}",
+        iface in arb_iface(),
+        kind in arb_kind(),
+        up in any::<bool>(),
+        xr in any::<bool>(),
+    ) {
+        let msg = SyslogMessage {
+            seq,
+            event: LinkEvent {
+                at: Timestamp::from_millis(at),
+                host,
+                interface: iface,
+                kind,
+                up,
+            },
+            os: if xr { RouterOs::IosXr } else { RouterOs::Ios },
+        };
+        let line = msg.render();
+        match parse_line(&line) {
+            Parsed::Event(back) => {
+                // %LINK/%LINEPROTO don't encode the OS; normalize it.
+                let mut expect = msg.clone();
+                if !matches!(expect.event.kind, LinkEventKind::IsisAdjacency { .. }) {
+                    expect.os = RouterOs::Ios;
+                }
+                prop_assert_eq!(back, expect, "line: {}", line);
+            }
+            other => prop_assert!(false, "line {} -> {:?}", line, other),
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(line in ".{0,200}") {
+        let _ = parse_line(&line);
+    }
+
+    /// The parser never panics on mutated valid lines either.
+    #[test]
+    fn parser_total_on_mutations(
+        at in 0u64..(400 * 86_400_000),
+        cut in 0usize..100,
+    ) {
+        let msg = SyslogMessage {
+            seq: 1,
+            event: LinkEvent {
+                at: Timestamp::from_millis(at),
+                host: "r1".into(),
+                interface: InterfaceName::gig(0),
+                kind: LinkEventKind::Link,
+                up: true,
+            },
+            os: RouterOs::Ios,
+        };
+        let line = msg.render();
+        let cut = cut.min(line.len());
+        let _ = parse_line(&line[..cut]);
+        let _ = parse_line(&line[cut..]);
+    }
+
+    /// Transport conservation: offered = delivered + all drop counters;
+    /// and a lossless transport is the identity.
+    #[test]
+    fn transport_conserves_messages(seed in any::<u64>(), n in 1u64..300) {
+        let mut t = LossyTransport::new(TransportConfig { seed, ..TransportConfig::default() });
+        for i in 0..n {
+            let m = SyslogMessage {
+                seq: i,
+                event: LinkEvent {
+                    at: Timestamp::from_millis(i * 7_000),
+                    host: "r1".into(),
+                    interface: InterfaceName::gig(0),
+                    kind: LinkEventKind::IsisAdjacency {
+                        neighbor: "r2".into(),
+                        detail: AdjChangeDetail::HoldTimeExpired,
+                    },
+                    up: i % 2 == 1,
+                },
+                os: RouterOs::Ios,
+            };
+            t.send(m);
+        }
+        let s = t.stats();
+        prop_assert_eq!(
+            s.offered,
+            s.delivered + s.dropped_random + s.dropped_overload_pair + s.dropped_overload_msg
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Customers (the institutions CENIC serves) and what it means for one to
+//! be isolated.
+//!
+//! §4.4 of the paper: CENIC's value is connectivity, so the high-level
+//! metric compared between syslog and IS-IS is *customer isolation* — a
+//! customer is isolated when no up-path exists from any of its CPE routers
+//! to the provider backbone. Because most customers are multi-homed and
+//! the backbone has rings, detecting isolation needs simultaneous state
+//! for several links, which is exactly where reconstruction error
+//! amplifies.
+
+use crate::router::RouterId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense index of a customer within a [`crate::Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CustomerId(pub u32);
+
+impl fmt::Display for CustomerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A customer institution: a named site with one or more CPE routers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Customer {
+    /// Dense topology index.
+    pub id: CustomerId,
+    /// Site name, e.g. `cust042`.
+    pub name: String,
+    /// The CPE routers on this customer's premises. The customer is
+    /// reachable as long as at least one of them can reach a Core router
+    /// over up links.
+    pub cpe_routers: Vec<RouterId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Customer {
+            id: CustomerId(7),
+            name: "cust007".into(),
+            cpe_routers: vec![RouterId(61), RouterId(62)],
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Customer>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,469 @@
+//! Deterministic CENIC-like topology generator.
+//!
+//! The paper's dataset is proprietary, so the reproduction synthesizes a
+//! network with the same structural properties (§3.1, Table 1):
+//!
+//! * 60 Core backbone routers joined by 10 GE links into a ring-plus-chords
+//!   backbone (rings are what make single backbone failures survivable and
+//!   what makes isolation analysis interesting, §4.4);
+//! * 175 CPE routers, each single- or dual-homed into the backbone;
+//! * 84 Core links and 215 CPE links (including parallel links);
+//! * 26 router pairs with *multi-link adjacencies* (parallel physical
+//!   links), which the IS reachability field cannot tell apart (§3.4);
+//! * ~120 customer institutions, some with multiple CPE routers;
+//! * every link numbered from a unique /31 out of a provider /16.
+//!
+//! Generation is fully deterministic given the seed, so every experiment
+//! binary reproduces the identical network.
+
+use crate::customer::{Customer, CustomerId};
+use crate::interface::InterfaceName;
+use crate::link::{Endpoint, Link, LinkClass, LinkId};
+use crate::osi::SystemId;
+use crate::router::{Router, RouterClass, RouterId, RouterOs};
+use crate::subnet::SubnetAllocator;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// California city codes used to name backbone routers, mirroring the
+/// regional-PoP naming style of real CENIC devices.
+const CITY_CODES: &[&str] = &[
+    "lax", "sac", "sdg", "fre", "oak", "riv", "svl", "tus", "slo", "bak", "eur", "rdg", "mod",
+    "mry", "sba", "sfo", "frg", "cor", "tri", "san",
+];
+
+/// Parameters for the CENIC-like generator. Defaults reproduce the scale
+/// of Table 1 in the paper.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CenicParams {
+    /// Number of backbone routers (paper: 60).
+    pub core_routers: usize,
+    /// Number of customer-premises routers (paper: 175).
+    pub cpe_routers: usize,
+    /// Total backbone links including parallel ones (paper: 84).
+    pub core_links: usize,
+    /// Total CPE links including parallel ones (paper: 215).
+    pub cpe_links: usize,
+    /// Router pairs carrying parallel links (paper: 26). Split between
+    /// core and CPE pairs by the generator.
+    pub multi_link_pairs: usize,
+    /// Number of customer institutions (paper: >120).
+    pub customers: usize,
+    /// Fraction of links provisioned or decommissioned mid-study, i.e.
+    /// with a lifetime shorter than the full measurement period.
+    pub short_lifetime_fraction: f64,
+    /// Measurement period length in days (paper: Oct 20 2010 – Nov 11
+    /// 2011 = 387 days; we use 389 to match the paper's "13 months").
+    pub period_days: f64,
+    /// RNG seed; the same seed always yields the same topology.
+    pub seed: u64,
+}
+
+impl Default for CenicParams {
+    fn default() -> Self {
+        CenicParams {
+            core_routers: 60,
+            cpe_routers: 175,
+            core_links: 84,
+            cpe_links: 215,
+            multi_link_pairs: 26,
+            customers: 130,
+            short_lifetime_fraction: 0.08,
+            period_days: 389.0,
+            seed: 42,
+        }
+    }
+}
+
+impl CenicParams {
+    /// A scaled-down network for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        CenicParams {
+            core_routers: 8,
+            cpe_routers: 12,
+            core_links: 11,
+            cpe_links: 15,
+            multi_link_pairs: 2,
+            customers: 9,
+            short_lifetime_fraction: 0.1,
+            period_days: 30.0,
+            seed,
+        }
+    }
+
+    /// Generate the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (e.g. fewer core links
+    /// than needed for the backbone ring, or fewer CPE links than CPE
+    /// routers).
+    pub fn generate(&self) -> Topology {
+        assert!(self.core_routers >= 3, "backbone ring needs >= 3 routers");
+        assert!(
+            self.core_links >= self.core_routers,
+            "core links must at least close the backbone ring"
+        );
+        assert!(
+            self.cpe_links >= self.cpe_routers,
+            "every CPE router needs at least one uplink"
+        );
+        assert!(
+            self.customers <= self.cpe_routers,
+            "each customer needs at least one CPE router"
+        );
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut routers = Vec::with_capacity(self.core_routers + self.cpe_routers);
+        let mut links: Vec<Link> = Vec::with_capacity(self.core_links + self.cpe_links);
+        let mut subnets = SubnetAllocator::cenic();
+        // Next free interface slot per router.
+        let mut next_slot = vec![0u32; self.core_routers + self.cpe_routers];
+        // Unordered router pairs already joined at least once.
+        let mut joined: HashSet<(u32, u32)> = HashSet::new();
+        let mut parallel_groups: u16 = 0;
+
+        // --- Core routers -------------------------------------------------
+        for i in 0..self.core_routers {
+            let city = CITY_CODES[i % CITY_CODES.len()];
+            let nth = i / CITY_CODES.len() + 1;
+            routers.push(Router {
+                id: RouterId(i as u32),
+                hostname: format!("{city}-agg-{nth:02}"),
+                class: RouterClass::Core,
+                // Offset core system-id indices by 1 so index 0 is unused
+                // (matches common operator practice of reserving .0).
+                system_id: SystemId::from_index(i as u32 + 1),
+                // Most of the backbone runs IOS XR; a tail of older IOS
+                // devices keeps both syslog grammars in play.
+                os: if i % 5 == 4 { RouterOs::Ios } else { RouterOs::IosXr },
+            });
+        }
+
+        // --- CPE routers and customers ------------------------------------
+        // Distribute CPE routers over customers: every customer gets one,
+        // the remainder go to random customers as second/third routers.
+        let mut cpe_of_customer: Vec<Vec<RouterId>> = vec![Vec::new(); self.customers];
+        for j in 0..self.cpe_routers {
+            let rid = RouterId((self.core_routers + j) as u32);
+            let cust = if j < self.customers {
+                j
+            } else {
+                rng.random_range(0..self.customers)
+            };
+            let gw_n = cpe_of_customer[cust].len() + 1;
+            cpe_of_customer[cust].push(rid);
+            routers.push(Router {
+                id: rid,
+                hostname: format!("cust{cust:03}-gw{gw_n}"),
+                class: RouterClass::Cpe,
+                system_id: SystemId::from_index(rid.0 + 1),
+                os: RouterOs::Ios,
+            });
+        }
+        let customers: Vec<Customer> = cpe_of_customer
+            .into_iter()
+            .enumerate()
+            .map(|(i, cpe_routers)| Customer {
+                id: CustomerId(i as u32),
+                name: format!("cust{i:03}"),
+                cpe_routers,
+            })
+            .collect();
+
+        // Split the multi-link budget: roughly a third of the parallel
+        // pairs live in the backbone, the rest on access links. This puts
+        // ~17% of all physical links inside multi-link adjacencies,
+        // matching the paper's "blind to 20% of links" observation.
+        let core_parallel_pairs = (self.multi_link_pairs / 3)
+            .min(self.core_links.saturating_sub(self.core_routers));
+        let cpe_parallel_pairs = (self.multi_link_pairs - core_parallel_pairs)
+            .min(self.cpe_links.saturating_sub(self.cpe_routers));
+
+        let period = self.period_days;
+        let short_frac = self.short_lifetime_fraction;
+        let lifetime = |rng: &mut StdRng| -> f64 {
+            if rng.random::<f64>() < short_frac {
+                // Provisioned mid-study: uniform between 20% and 90% of the
+                // period.
+                period * rng.random_range(0.2..0.9)
+            } else {
+                period
+            }
+        };
+
+        // --- Backbone ring -------------------------------------------------
+        let mut add_link = |rng: &mut StdRng,
+                            links: &mut Vec<Link>,
+                            next_slot: &mut Vec<u32>,
+                            a: u32,
+                            b: u32,
+                            class: LinkClass,
+                            parallel_group: Option<u16>| {
+            let ifa = match routers[a as usize].class {
+                RouterClass::Core => InterfaceName::ten_gig(next_slot[a as usize]),
+                RouterClass::Cpe => InterfaceName::gig(next_slot[a as usize]),
+            };
+            let ifb = match routers[b as usize].class {
+                RouterClass::Core => InterfaceName::ten_gig(next_slot[b as usize]),
+                RouterClass::Cpe => InterfaceName::gig(next_slot[b as usize]),
+            };
+            next_slot[a as usize] += 1;
+            next_slot[b as usize] += 1;
+            let metric = match class {
+                LinkClass::Core => *[10u32, 20, 50, 100].choose(rng).expect("non-empty"),
+                LinkClass::Cpe => 1000,
+            };
+            links.push(Link {
+                id: LinkId(links.len() as u32),
+                a: Endpoint {
+                    router: RouterId(a),
+                    interface: ifa,
+                },
+                b: Endpoint {
+                    router: RouterId(b),
+                    interface: ifb,
+                },
+                class,
+                subnet: subnets.alloc().expect("provider /16 not exhausted"),
+                metric,
+                parallel_group,
+                lifetime_days: lifetime(rng),
+            });
+        };
+
+        for i in 0..self.core_routers {
+            let j = (i + 1) % self.core_routers;
+            joined.insert(pair(i as u32, j as u32));
+            add_link(
+                &mut rng,
+                &mut links,
+                &mut next_slot,
+                i as u32,
+                j as u32,
+                LinkClass::Core,
+                None,
+            );
+        }
+
+        // --- Backbone chords -----------------------------------------------
+        let chord_budget = self.core_links - self.core_routers - core_parallel_pairs;
+        let mut added = 0;
+        let mut guard = 0;
+        while added < chord_budget {
+            guard += 1;
+            assert!(guard < 100_000, "chord generation failed to converge");
+            let a = rng.random_range(0..self.core_routers) as u32;
+            let b = rng.random_range(0..self.core_routers) as u32;
+            if a == b || joined.contains(&pair(a, b)) {
+                continue;
+            }
+            joined.insert(pair(a, b));
+            add_link(&mut rng, &mut links, &mut next_slot, a, b, LinkClass::Core, None);
+            added += 1;
+        }
+
+        // --- Core multi-link (parallel) adjacencies -------------------------
+        // Duplicate randomly chosen existing core adjacencies.
+        for _ in 0..core_parallel_pairs {
+            let (a, b, group) = loop {
+                let pick = rng.random_range(0..links.len());
+                if links[pick].class != LinkClass::Core || links[pick].parallel_group.is_some() {
+                    continue;
+                }
+                parallel_groups += 1;
+                let g = parallel_groups;
+                links[pick].parallel_group = Some(g);
+                break (links[pick].a.router.0, links[pick].b.router.0, g);
+            };
+            add_link(
+                &mut rng,
+                &mut links,
+                &mut next_slot,
+                a,
+                b,
+                LinkClass::Core,
+                Some(group),
+            );
+        }
+
+        // --- CPE uplinks -----------------------------------------------------
+        // First pass: every CPE router gets one uplink to a random core
+        // router (weighted toward low-index "hub" routers).
+        let hub = |rng: &mut StdRng, n: usize| -> u32 {
+            // Zipf-ish: square a uniform draw to favour hubs.
+            let u: f64 = rng.random();
+            ((u * u) * n as f64) as u32
+        };
+        for j in 0..self.cpe_routers {
+            let cpe = (self.core_routers + j) as u32;
+            let core = hub(&mut rng, self.core_routers);
+            joined.insert(pair(cpe, core));
+            add_link(&mut rng, &mut links, &mut next_slot, cpe, core, LinkClass::Cpe, None);
+        }
+
+        // Second pass: dual-home a subset of CPE routers to a *different*
+        // core router.
+        let dual_budget = self.cpe_links - self.cpe_routers - cpe_parallel_pairs;
+        let mut added = 0;
+        let mut guard = 0;
+        while added < dual_budget {
+            guard += 1;
+            assert!(guard < 100_000, "dual-homing failed to converge");
+            let j = rng.random_range(0..self.cpe_routers);
+            let cpe = (self.core_routers + j) as u32;
+            let core = hub(&mut rng, self.core_routers);
+            if joined.contains(&pair(cpe, core)) {
+                continue;
+            }
+            joined.insert(pair(cpe, core));
+            add_link(&mut rng, &mut links, &mut next_slot, cpe, core, LinkClass::Cpe, None);
+            added += 1;
+        }
+
+        // Third pass: CPE multi-link adjacencies (parallel access links).
+        for _ in 0..cpe_parallel_pairs {
+            let (a, b, group) = loop {
+                let pick = rng.random_range(0..links.len());
+                if links[pick].class != LinkClass::Cpe || links[pick].parallel_group.is_some() {
+                    continue;
+                }
+                parallel_groups += 1;
+                let g = parallel_groups;
+                links[pick].parallel_group = Some(g);
+                break (links[pick].a.router.0, links[pick].b.router.0, g);
+            };
+            add_link(
+                &mut rng,
+                &mut links,
+                &mut next_slot,
+                a,
+                b,
+                LinkClass::Cpe,
+                Some(group),
+            );
+        }
+
+        Topology::new(routers, links, customers)
+    }
+}
+
+fn pair(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_scale() {
+        let t = CenicParams::default().generate();
+        assert_eq!(t.router_count(RouterClass::Core), 60);
+        assert_eq!(t.router_count(RouterClass::Cpe), 175);
+        assert_eq!(t.link_count(LinkClass::Core), 84);
+        assert_eq!(t.link_count(LinkClass::Cpe), 215);
+        assert_eq!(t.multi_link_pairs(), 26);
+        assert_eq!(t.customers().len(), 130);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CenicParams::default().generate();
+        let b = CenicParams::default().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CenicParams::default().generate();
+        let b = CenicParams {
+            seed: 7,
+            ..CenicParams::default()
+        }
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_customer_has_a_router_and_every_cpe_belongs_to_one() {
+        let t = CenicParams::default().generate();
+        let mut seen = std::collections::HashSet::new();
+        for c in t.customers() {
+            assert!(!c.cpe_routers.is_empty(), "{} has no CPE router", c.name);
+            for r in &c.cpe_routers {
+                assert!(seen.insert(*r), "CPE router in two customers");
+                assert_eq!(t.router(*r).class, RouterClass::Cpe);
+            }
+        }
+        assert_eq!(seen.len(), 175);
+    }
+
+    #[test]
+    fn parallel_links_share_router_pair() {
+        let t = CenicParams::default().generate();
+        use std::collections::HashMap;
+        let mut groups: HashMap<u16, Vec<&crate::link::Link>> = HashMap::new();
+        for l in t.links() {
+            if let Some(g) = l.parallel_group {
+                groups.entry(g).or_default().push(l);
+            }
+        }
+        assert_eq!(groups.len(), 26);
+        for (_, ls) in groups {
+            assert!(ls.len() >= 2);
+            let (a, b) = (ls[0].a.router, ls[0].b.router);
+            for l in &ls {
+                assert!(l.joins(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn no_failures_means_no_isolation() {
+        let t = CenicParams::default().generate();
+        assert!(crate::graph::isolated_under(&t, &[]).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_within_period() {
+        let p = CenicParams::default();
+        let t = p.generate();
+        for l in t.links() {
+            assert!(l.lifetime_days > 0.0 && l.lifetime_days <= p.period_days);
+        }
+        // Some but not all links should be short-lived.
+        let short = t
+            .links()
+            .iter()
+            .filter(|l| l.lifetime_days < p.period_days)
+            .count();
+        assert!(short > 0 && short < t.links().len());
+    }
+
+    #[test]
+    fn tiny_params_generate() {
+        let t = CenicParams::tiny(1).generate();
+        assert_eq!(t.router_count(RouterClass::Core), 8);
+        assert_eq!(t.multi_link_pairs(), 2);
+    }
+
+    #[test]
+    fn interfaces_unique_per_router() {
+        // Topology::new would panic on duplicates; just exercise a few seeds.
+        for seed in 0..5 {
+            CenicParams {
+                seed,
+                ..CenicParams::default()
+            }
+            .generate();
+        }
+    }
+}

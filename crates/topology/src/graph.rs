@@ -1,0 +1,324 @@
+//! Graph reachability and customer-isolation primitives.
+//!
+//! §4.4 of the paper reconstructs, from each data source, the periods when
+//! a customer was *isolated* — cut off from the backbone. Because CPE sites
+//! can be multi-homed and the backbone is ring-structured, isolation is a
+//! property of the *set* of simultaneously-down links, not of any single
+//! link. [`LinkStateView`] tracks that set incrementally and answers
+//! isolation queries with a BFS over up links.
+
+use crate::customer::CustomerId;
+use crate::link::LinkId;
+use crate::router::{RouterClass, RouterId};
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// A mutable view of which links are currently down, supporting
+/// reachability and isolation queries against a fixed topology.
+#[derive(Debug, Clone)]
+pub struct LinkStateView<'a> {
+    topo: &'a Topology,
+    down: Vec<bool>,
+    down_count: usize,
+}
+
+impl<'a> LinkStateView<'a> {
+    /// Start with every link up.
+    pub fn all_up(topo: &'a Topology) -> Self {
+        LinkStateView {
+            down: vec![false; topo.links().len()],
+            down_count: 0,
+            topo,
+        }
+    }
+
+    /// Mark a link down. Idempotent.
+    pub fn set_down(&mut self, link: LinkId) {
+        let slot = &mut self.down[link.0 as usize];
+        if !*slot {
+            *slot = true;
+            self.down_count += 1;
+        }
+    }
+
+    /// Mark a link up. Idempotent.
+    pub fn set_up(&mut self, link: LinkId) {
+        let slot = &mut self.down[link.0 as usize];
+        if *slot {
+            *slot = false;
+            self.down_count -= 1;
+        }
+    }
+
+    /// Is the link currently marked down?
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.down[link.0 as usize]
+    }
+
+    /// Number of links currently down.
+    pub fn down_count(&self) -> usize {
+        self.down_count
+    }
+
+    /// Links currently down.
+    pub fn down_links(&self) -> Vec<LinkId> {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
+    /// BFS from `start` over up links; returns whether any Core router is
+    /// reachable. Short-circuits as soon as one is found.
+    pub fn reaches_core(&self, start: RouterId) -> bool {
+        if self.topo.router(start).class == RouterClass::Core {
+            return true;
+        }
+        let n = self.topo.routers().len();
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[start.0 as usize] = true;
+        queue.push_back(start);
+        while let Some(r) = queue.pop_front() {
+            for &lid in self.topo.links_of(r) {
+                if self.is_down(lid) {
+                    continue;
+                }
+                let link = self.topo.link(lid);
+                let next = link
+                    .other_end(r)
+                    .expect("links_of returns only incident links");
+                if seen[next.0 as usize] {
+                    continue;
+                }
+                if self.topo.router(next).class == RouterClass::Core {
+                    return true;
+                }
+                seen[next.0 as usize] = true;
+                queue.push_back(next);
+            }
+        }
+        false
+    }
+
+    /// Is the customer isolated right now? A customer is isolated when none
+    /// of its CPE routers can reach any Core router over up links.
+    ///
+    /// Note the paper's framing ("the set of links that would isolate a
+    /// customer"): for single-homed sites this reduces to the access link
+    /// being down, but multi-homed sites and backbone partitions need the
+    /// full reachability check.
+    pub fn is_isolated(&self, customer: CustomerId) -> bool {
+        let c = self.topo.customer(customer);
+        !c.cpe_routers.iter().any(|&r| self.reaches_core(r))
+    }
+
+    /// All customers isolated under the current link state.
+    pub fn isolated_customers(&self) -> Vec<CustomerId> {
+        self.topo
+            .customers()
+            .iter()
+            .filter(|c| self.is_isolated(c.id))
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// The customers whose isolation status could possibly be affected by
+    /// the given links: those whose CPE routers lie in the connected
+    /// components touching the links. Used to prune isolation sweeps.
+    pub fn customers_touching(&self, links: &[LinkId]) -> Vec<CustomerId> {
+        // Conservative but cheap: any customer with a CPE router within the
+        // same component as either endpoint of a down link. For the network
+        // sizes in the paper (<250 routers) a full scan is already fast, so
+        // we simply return customers whose access paths include one of the
+        // named links' endpoints; callers may still test all customers.
+        let mut touched = vec![false; self.topo.routers().len()];
+        for &lid in links {
+            let l = self.topo.link(lid);
+            touched[l.a.router.0 as usize] = true;
+            touched[l.b.router.0 as usize] = true;
+        }
+        self.topo
+            .customers()
+            .iter()
+            .filter(|c| {
+                c.cpe_routers.iter().any(|r| {
+                    touched[r.0 as usize]
+                        || self.topo.links_of(*r).iter().any(|l| {
+                            let link = self.topo.link(*l);
+                            touched[link.a.router.0 as usize]
+                                || touched[link.b.router.0 as usize]
+                        })
+                })
+            })
+            .map(|c| c.id)
+            .collect()
+    }
+}
+
+/// Compute, for every customer, whether it is isolated when exactly the
+/// links in `down` are failed. Convenience wrapper used by tests and the
+/// isolation analysis.
+pub fn isolated_under(topo: &Topology, down: &[LinkId]) -> Vec<CustomerId> {
+    let mut view = LinkStateView::all_up(topo);
+    for &l in down {
+        view.set_down(l);
+    }
+    view.isolated_customers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::customer::Customer;
+    use crate::interface::InterfaceName;
+    use crate::link::{Endpoint, Link, LinkClass};
+    use crate::osi::SystemId;
+    use crate::router::{Router, RouterOs};
+    use crate::subnet::Subnet31;
+    use std::net::Ipv4Addr;
+
+    /// Core ring a-b-c, CPE `d` dual-homed to a and b, CPE `e` single-homed
+    /// to c.
+    fn ringed() -> Topology {
+        let mk_router = |i: u32, h: &str, class| Router {
+            id: RouterId(i),
+            hostname: h.into(),
+            class,
+            system_id: SystemId::from_index(i),
+            os: RouterOs::Ios,
+        };
+        let routers = vec![
+            mk_router(0, "a", RouterClass::Core),
+            mk_router(1, "b", RouterClass::Core),
+            mk_router(2, "c", RouterClass::Core),
+            mk_router(3, "d", RouterClass::Cpe),
+            mk_router(4, "e", RouterClass::Cpe),
+        ];
+        let mut subnet = 0u32;
+        let mut mk_link = |i: u32, x: u32, y: u32, class| {
+            let s = Subnet31::new(Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 0, 0, 0)) + subnet));
+            subnet += 2;
+            Link {
+                id: LinkId(i),
+                a: Endpoint {
+                    router: RouterId(x),
+                    interface: InterfaceName::ten_gig(i),
+                },
+                b: Endpoint {
+                    router: RouterId(y),
+                    interface: InterfaceName::ten_gig(i + 100),
+                },
+                class,
+                subnet: s,
+                metric: 10,
+                parallel_group: None,
+                lifetime_days: 389.0,
+            }
+        };
+        let links = vec![
+            mk_link(0, 0, 1, LinkClass::Core),
+            mk_link(1, 1, 2, LinkClass::Core),
+            mk_link(2, 2, 0, LinkClass::Core),
+            mk_link(3, 0, 3, LinkClass::Cpe),
+            mk_link(4, 1, 3, LinkClass::Cpe),
+            mk_link(5, 2, 4, LinkClass::Cpe),
+        ];
+        let customers = vec![
+            Customer {
+                id: CustomerId(0),
+                name: "dual".into(),
+                cpe_routers: vec![RouterId(3)],
+            },
+            Customer {
+                id: CustomerId(1),
+                name: "single".into(),
+                cpe_routers: vec![RouterId(4)],
+            },
+        ];
+        Topology::new(routers, links, customers)
+    }
+
+    #[test]
+    fn no_failures_no_isolation() {
+        let t = ringed();
+        assert!(isolated_under(&t, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_homed_isolated_by_access_link() {
+        let t = ringed();
+        assert_eq!(isolated_under(&t, &[LinkId(5)]), vec![CustomerId(1)]);
+    }
+
+    #[test]
+    fn dual_homed_survives_one_access_link() {
+        let t = ringed();
+        assert!(isolated_under(&t, &[LinkId(3)]).is_empty());
+        assert!(isolated_under(&t, &[LinkId(4)]).is_empty());
+    }
+
+    #[test]
+    fn dual_homed_isolated_by_both_access_links() {
+        let t = ringed();
+        assert_eq!(
+            isolated_under(&t, &[LinkId(3), LinkId(4)]),
+            vec![CustomerId(0)]
+        );
+    }
+
+    #[test]
+    fn ring_masks_single_core_failure() {
+        let t = ringed();
+        // Any one backbone link down: nobody isolated (ring reroutes).
+        for l in [LinkId(0), LinkId(1), LinkId(2)] {
+            assert!(isolated_under(&t, &[l]).is_empty());
+        }
+    }
+
+    #[test]
+    fn incremental_view_matches_batch() {
+        let t = ringed();
+        let mut v = LinkStateView::all_up(&t);
+        v.set_down(LinkId(3));
+        v.set_down(LinkId(4));
+        assert!(v.is_isolated(CustomerId(0)));
+        v.set_up(LinkId(4));
+        assert!(!v.is_isolated(CustomerId(0)));
+        assert_eq!(v.down_count(), 1);
+        assert_eq!(v.down_links(), vec![LinkId(3)]);
+    }
+
+    #[test]
+    fn set_operations_idempotent() {
+        let t = ringed();
+        let mut v = LinkStateView::all_up(&t);
+        v.set_down(LinkId(0));
+        v.set_down(LinkId(0));
+        assert_eq!(v.down_count(), 1);
+        v.set_up(LinkId(0));
+        v.set_up(LinkId(0));
+        assert_eq!(v.down_count(), 0);
+    }
+
+    #[test]
+    fn core_router_always_reaches_core() {
+        let t = ringed();
+        let mut v = LinkStateView::all_up(&t);
+        for l in 0..6 {
+            v.set_down(LinkId(l));
+        }
+        assert!(v.reaches_core(RouterId(0)));
+        assert!(!v.reaches_core(RouterId(3)));
+    }
+
+    #[test]
+    fn customers_touching_includes_affected() {
+        let t = ringed();
+        let v = LinkStateView::all_up(&t);
+        let touched = v.customers_touching(&[LinkId(5)]);
+        assert!(touched.contains(&CustomerId(1)));
+    }
+}

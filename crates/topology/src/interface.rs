@@ -1,0 +1,104 @@
+//! Interface naming.
+//!
+//! Syslog messages identify the local end of a link by interface name
+//! (`%CLNS-5-ADJCHANGE: ISIS: Adjacency to ... (TenGigE0/1/0/3) Up`),
+//! while IS-IS LSPs identify the remote end by system ID. The paper's
+//! matching step (§3.4) joins the two through the interface-to-link map
+//! recovered from router configs, so interface names must be stable,
+//! unique per router, and parseable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Cisco-style interface name, e.g. `TenGigE0/1/0/3` or
+/// `GigabitEthernet0/2`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InterfaceName(pub String);
+
+impl InterfaceName {
+    /// Generate the `slot`-th backbone-facing 10 GE interface name in IOS XR
+    /// style. CENIC's backbone is 10 Gbit/s (§3.1).
+    pub fn ten_gig(slot: u32) -> Self {
+        InterfaceName(format!("TenGigE0/{}/0/{}", slot / 4, slot % 4))
+    }
+
+    /// Generate the `slot`-th customer-facing 1 GE interface name in classic
+    /// IOS style.
+    pub fn gig(slot: u32) -> Self {
+        InterfaceName(format!("GigabitEthernet0/{}", slot))
+    }
+
+    /// The textual name as it appears in configs and syslog.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Abbreviated form used by some syslog messages (`Te0/1/0/3`,
+    /// `Gi0/2`). The parser accepts both long and short forms.
+    pub fn short(&self) -> String {
+        if let Some(rest) = self.0.strip_prefix("TenGigE") {
+            format!("Te{rest}")
+        } else if let Some(rest) = self.0.strip_prefix("GigabitEthernet") {
+            format!("Gi{rest}")
+        } else {
+            self.0.clone()
+        }
+    }
+
+    /// Expand a possibly abbreviated interface name to its long form.
+    pub fn expand(text: &str) -> InterfaceName {
+        if let Some(rest) = text.strip_prefix("Te").filter(|r| r.starts_with(char::is_numeric)) {
+            InterfaceName(format!("TenGigE{rest}"))
+        } else if let Some(rest) = text.strip_prefix("Gi").filter(|r| r.starts_with(char::is_numeric))
+        {
+            InterfaceName(format!("GigabitEthernet{rest}"))
+        } else {
+            InterfaceName(text.to_string())
+        }
+    }
+}
+
+impl fmt::Display for InterfaceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for InterfaceName {
+    fn from(s: &str) -> Self {
+        InterfaceName(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_gig_layout() {
+        assert_eq!(InterfaceName::ten_gig(0).as_str(), "TenGigE0/0/0/0");
+        assert_eq!(InterfaceName::ten_gig(5).as_str(), "TenGigE0/1/0/1");
+    }
+
+    #[test]
+    fn short_and_expand_round_trip() {
+        for name in [InterfaceName::ten_gig(7), InterfaceName::gig(2)] {
+            assert_eq!(InterfaceName::expand(&name.short()), name);
+            assert_eq!(InterfaceName::expand(name.as_str()), name);
+        }
+    }
+
+    #[test]
+    fn expand_leaves_unknown_prefixes_alone() {
+        assert_eq!(InterfaceName::expand("Loopback0").as_str(), "Loopback0");
+        // "Test0" starts with "Te" but is followed by 's', not a digit.
+        assert_eq!(InterfaceName::expand("Test0").as_str(), "Test0");
+    }
+
+    #[test]
+    fn names_unique_across_slots() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = (0..64).map(InterfaceName::ten_gig).collect();
+        assert_eq!(names.len(), 64);
+    }
+}

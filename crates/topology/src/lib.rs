@@ -1,0 +1,51 @@
+//! # faultline-topology
+//!
+//! Network topology substrate for the *faultline* reproduction of
+//! "A Comparison of Syslog and IS-IS for Network Failure Analysis"
+//! (Turner et al., IMC 2013).
+//!
+//! The paper studies the CENIC network: 60 *Core* backbone routers and 175
+//! *CPE* (customer-premises equipment) routers joined by point-to-point
+//! links that are numbered out of unique /31 subnets. The analysis pipeline
+//! never sees the real topology directly — it recovers the link inventory by
+//! *mining router configuration files*, exactly as the paper does. This crate
+//! therefore provides:
+//!
+//! * a typed model of routers, interfaces, links, and customers
+//!   ([`Topology`], [`Router`], [`Link`], [`Customer`]);
+//! * OSI/IS-IS addressing primitives ([`osi::SystemId`], [`osi::Net`]);
+//! * a deterministic CENIC-like topology generator
+//!   ([`generator::CenicParams`]) with ring-structured backbone,
+//!   single/dual-homed CPE routers, and multi-link (parallel) adjacencies;
+//! * Cisco-IOS-style configuration rendering ([`config::render_config`]) and
+//!   a configuration *miner* ([`config::mine`]) that recovers the link
+//!   inventory from rendered configs, pairing interfaces through their
+//!   shared /31 subnets;
+//! * graph reachability and customer-isolation primitives ([`graph`]).
+//!
+//! All simulation timestamps across the workspace use [`time::Timestamp`]
+//! (milliseconds since the scenario epoch), defined here because this crate
+//! is the root of the workspace dependency graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod customer;
+pub mod generator;
+pub mod graph;
+pub mod interface;
+pub mod link;
+pub mod osi;
+pub mod router;
+pub mod subnet;
+pub mod time;
+pub mod topology;
+
+pub use customer::{Customer, CustomerId};
+pub use interface::InterfaceName;
+pub use link::{Endpoint, Link, LinkClass, LinkId, LinkName};
+pub use osi::{Net, SystemId};
+pub use router::{Router, RouterClass, RouterId, RouterOs};
+pub use time::{Duration, Timestamp};
+pub use topology::Topology;

@@ -1,0 +1,110 @@
+//! Router model: identity, class, operating system, and naming.
+
+use crate::osi::{Net, SystemId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense index of a router within a [`crate::Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RouterId(pub u32);
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Whether a router is part of the provider backbone or sits on a customer
+/// premises. The paper reports every per-link statistic split along this
+/// axis (Table 5) because Core and CPE links have very different failure
+/// profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterClass {
+    /// Backbone router (CENIC has 60).
+    Core,
+    /// Customer-premises router (CENIC has 175).
+    Cpe,
+}
+
+impl fmt::Display for RouterClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterClass::Core => write!(f, "Core"),
+            RouterClass::Cpe => write!(f, "CPE"),
+        }
+    }
+}
+
+/// Router operating-system family. CENIC mixes classic IOS and IOS XR
+/// devices, which is why the paper lists *two* adjacency-change syslog
+/// mnemonics (`%CLNS-5-ADJCHANGE` for IOS, `%ROUTING-ISIS-4-ADJCHANGE` for
+/// IOS XR, Table 1). The syslog substrate selects the message grammar from
+/// this field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterOs {
+    /// Classic Cisco IOS (emits `%CLNS-5-ADJCHANGE`).
+    Ios,
+    /// Cisco IOS XR (emits `%ROUTING-ISIS-4-ADJCHANGE`).
+    IosXr,
+}
+
+/// A router in the modeled network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Router {
+    /// Dense topology index.
+    pub id: RouterId,
+    /// Human-readable hostname, e.g. `lax-agg-01` or `cust042-gw1`.
+    /// This is the name that appears in syslog messages and in the IS-IS
+    /// Dynamic Hostname TLV.
+    pub hostname: String,
+    /// Core or CPE.
+    pub class: RouterClass,
+    /// IS-IS system ID; appears in LSP IDs and IS Reachability TLVs.
+    pub system_id: SystemId,
+    /// Operating-system family, drives the syslog message grammar.
+    pub os: RouterOs,
+}
+
+impl Router {
+    /// Full Network Entity Title for this router (single-area network).
+    pub fn net(&self) -> Net {
+        Net::new(self.system_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Router {
+        Router {
+            id: RouterId(3),
+            hostname: "lax-agg-01".into(),
+            class: RouterClass::Core,
+            system_id: SystemId::from_index(3),
+            os: RouterOs::IosXr,
+        }
+    }
+
+    #[test]
+    fn net_embeds_system_id() {
+        let r = sample();
+        assert_eq!(r.net().system_id, r.system_id);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(RouterClass::Core.to_string(), "Core");
+        assert_eq!(RouterClass::Cpe.to_string(), "CPE");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Router = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

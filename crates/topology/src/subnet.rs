@@ -1,0 +1,202 @@
+//! /31 point-to-point subnet allocation.
+//!
+//! CENIC numbers every point-to-point link out of a unique /31 (RFC 3021)
+//! subnet (§3.4 of the paper). Uniqueness is what lets the *IP
+//! reachability* field of an LSP identify a specific physical link, and
+//! what lets the config miner pair up the two interfaces of a link without
+//! trusting description strings. The allocator hands out consecutive /31s
+//! from a provider block (the real CENIC uses `137.164.0.0/16`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// A /31 subnet holding exactly the two endpoint addresses of a
+/// point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Subnet31 {
+    /// The even (low) address of the pair; the network address of the /31.
+    pub base: Ipv4Addr,
+}
+
+impl Subnet31 {
+    /// Prefix length of a point-to-point subnet.
+    pub const PREFIX_LEN: u8 = 31;
+
+    /// Construct from the low address; the low bit must be clear.
+    pub fn new(base: Ipv4Addr) -> Self {
+        debug_assert_eq!(
+            u32::from(base) & 1,
+            0,
+            "a /31 base address must be even"
+        );
+        Subnet31 { base }
+    }
+
+    /// The first (even) host address, assigned to the lexically smaller
+    /// endpoint of the link.
+    pub fn low(&self) -> Ipv4Addr {
+        self.base
+    }
+
+    /// The second (odd) host address.
+    pub fn high(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.base) | 1)
+    }
+
+    /// True if `addr` is one of the two addresses in this subnet.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & !1 == u32::from(self.base)
+    }
+
+    /// The /31 that contains `addr`.
+    pub fn containing(addr: Ipv4Addr) -> Self {
+        Subnet31 {
+            base: Ipv4Addr::from(u32::from(addr) & !1),
+        }
+    }
+
+    /// Dotted-decimal netmask for config rendering (`255.255.255.254`).
+    pub fn netmask() -> Ipv4Addr {
+        Ipv4Addr::new(255, 255, 255, 254)
+    }
+}
+
+impl fmt::Display for Subnet31 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/31", self.base)
+    }
+}
+
+/// Error parsing a [`Subnet31`] from `a.b.c.d/31` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSubnetError;
+
+impl fmt::Display for ParseSubnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid /31 subnet")
+    }
+}
+
+impl std::error::Error for ParseSubnetError {}
+
+impl FromStr for Subnet31 {
+    type Err = ParseSubnetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(ParseSubnetError)?;
+        if len != "31" {
+            return Err(ParseSubnetError);
+        }
+        let addr: Ipv4Addr = addr.parse().map_err(|_| ParseSubnetError)?;
+        if u32::from(addr) & 1 != 0 {
+            return Err(ParseSubnetError);
+        }
+        Ok(Subnet31::new(addr))
+    }
+}
+
+/// Sequential allocator of /31 subnets from a provider block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubnetAllocator {
+    next: u32,
+    limit: u32,
+}
+
+impl SubnetAllocator {
+    /// Allocate out of the CENIC-style provider block `137.164.0.0/16`.
+    pub fn cenic() -> Self {
+        let base = u32::from(Ipv4Addr::new(137, 164, 0, 0));
+        SubnetAllocator {
+            next: base,
+            limit: base + (1 << 16),
+        }
+    }
+
+    /// Allocate out of an arbitrary block of `2^(32-prefix_len)` addresses.
+    pub fn new(base: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 31, "block must hold at least one /31");
+        let base = u32::from(base) & !((1u64 << (32 - prefix_len)) - 1) as u32;
+        SubnetAllocator {
+            next: base,
+            limit: base.saturating_add(1 << (32 - prefix_len)),
+        }
+    }
+
+    /// Hand out the next unused /31, or `None` if the block is exhausted.
+    pub fn alloc(&mut self) -> Option<Subnet31> {
+        if self.next + 1 >= self.limit {
+            return None;
+        }
+        let s = Subnet31::new(Ipv4Addr::from(self.next));
+        self.next += 2;
+        Some(s)
+    }
+
+    /// How many /31s remain.
+    pub fn remaining(&self) -> u32 {
+        (self.limit - self.next) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_hands_out_disjoint_subnets() {
+        let mut a = SubnetAllocator::cenic();
+        let s1 = a.alloc().unwrap();
+        let s2 = a.alloc().unwrap();
+        assert_ne!(s1, s2);
+        assert!(!s1.contains(s2.low()));
+        assert!(!s1.contains(s2.high()));
+    }
+
+    #[test]
+    fn low_high_are_in_subnet() {
+        let s = Subnet31::new(Ipv4Addr::new(137, 164, 0, 4));
+        assert!(s.contains(s.low()));
+        assert!(s.contains(s.high()));
+        assert_eq!(s.high(), Ipv4Addr::new(137, 164, 0, 5));
+    }
+
+    #[test]
+    fn containing_recovers_subnet_from_either_address() {
+        let s = Subnet31::new(Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(Subnet31::containing(s.low()), s);
+        assert_eq!(Subnet31::containing(s.high()), s);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let s = Subnet31::new(Ipv4Addr::new(137, 164, 1, 2));
+        assert_eq!(s.to_string(), "137.164.1.2/31");
+        assert_eq!(s.to_string().parse::<Subnet31>().unwrap(), s);
+    }
+
+    #[test]
+    fn parse_rejects_odd_base_and_wrong_prefix() {
+        assert!("10.0.0.1/31".parse::<Subnet31>().is_err());
+        assert!("10.0.0.0/30".parse::<Subnet31>().is_err());
+        assert!("10.0.0.0".parse::<Subnet31>().is_err());
+    }
+
+    #[test]
+    fn allocator_exhausts_cleanly() {
+        let mut a = SubnetAllocator::new(Ipv4Addr::new(10, 0, 0, 0), 30);
+        assert_eq!(a.remaining(), 2);
+        assert!(a.alloc().is_some());
+        assert!(a.alloc().is_some());
+        assert!(a.alloc().is_none());
+        assert_eq!(a.remaining(), 0);
+    }
+
+    #[test]
+    fn cenic_block_holds_enough_links() {
+        // The study network has ~300 links; the /16 must hold far more.
+        let a = SubnetAllocator::cenic();
+        assert!(a.remaining() > 30_000);
+    }
+}

@@ -1,0 +1,276 @@
+//! Simulation time base shared by every faultline crate.
+//!
+//! The paper's analysis operates on wall-clock timestamps taken from syslog
+//! messages and from the IS-IS listener's packet-arrival clock. In the
+//! reproduction everything runs on a single simulated clock, expressed as
+//! milliseconds since the *scenario epoch* (the start of the measurement
+//! period, the paper's Oct. 20, 2010). Millisecond resolution is enough to
+//! express sub-second pseudo-failures (§4.3 of the paper) while keeping all
+//! arithmetic in `u64`/`i64`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulated clock: milliseconds since the scenario epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+/// A span of simulated time in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Timestamp {
+    /// The scenario epoch (t = 0).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Build a timestamp from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000)
+    }
+
+    /// Build a timestamp from milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Absolute difference between two instants.
+    pub fn abs_diff(self, other: Timestamp) -> Duration {
+        Duration(self.0.abs_diff(other.0))
+    }
+
+    /// Saturating subtraction of a duration, clamping at the epoch.
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Checked subtraction of another instant, `None` if `other` is later.
+    pub fn checked_duration_since(self, other: Timestamp) -> Option<Duration> {
+        self.0.checked_sub(other.0).map(Duration)
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+    /// One second.
+    pub const SECOND: Duration = Duration(1_000);
+    /// One minute.
+    pub const MINUTE: Duration = Duration(60_000);
+    /// One hour.
+    pub const HOUR: Duration = Duration(3_600_000);
+    /// One day.
+    pub const DAY: Duration = Duration(86_400_000);
+
+    /// Build from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000)
+    }
+
+    /// Build from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+
+    /// Build from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        Duration(hours * 3_600_000)
+    }
+
+    /// Build from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        Duration(days * 86_400_000)
+    }
+
+    /// Milliseconds in this span.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds in this span (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds in this span.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Fractional hours in this span.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// Fractional days in this span.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400_000.0
+    }
+
+    /// Fractional (365-day) years in this span; used to annualize rates.
+    pub fn as_years_f64(self) -> f64 {
+        self.0 as f64 / (365.0 * 86_400_000.0)
+    }
+
+    /// Saturating sum of two spans.
+    pub fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+
+    /// Multiply the span by a non-negative float, rounding to milliseconds.
+    pub fn mul_f64(self, k: f64) -> Duration {
+        debug_assert!(k >= 0.0, "duration scale factor must be non-negative");
+        Duration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 - d.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, other: Timestamp) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    fn add_assign(&mut self, other: Duration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+    fn sub(self, other: Duration) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    /// Renders as `D+HH:MM:SS.mmm` (day offset plus time of day), the format
+    /// used by example binaries when printing event timelines.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0 % 1_000;
+        let s = self.0 / 1_000;
+        let (days, rem) = (s / 86_400, s % 86_400);
+        let (h, m, sec) = (rem / 3_600, (rem % 3_600) / 60, rem % 60);
+        write!(f, "{days}+{h:02}:{m:02}:{sec:02}.{ms:03}")
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.as_secs_f64();
+        if secs < 60.0 {
+            write!(f, "{secs:.3}s")
+        } else if secs < 3_600.0 {
+            write!(f, "{:.1}m", secs / 60.0)
+        } else if secs < 86_400.0 {
+            write!(f, "{:.1}h", secs / 3_600.0)
+        } else {
+            write!(f, "{:.1}d", secs / 86_400.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic_round_trips() {
+        let t = Timestamp::from_secs(10);
+        let d = Duration::from_millis(2_500);
+        assert_eq!((t + d).as_millis(), 12_500);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Timestamp::from_millis(1_000);
+        let b = Timestamp::from_millis(4_200);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b), Duration::from_millis(3_200));
+    }
+
+    #[test]
+    fn duration_unit_constructors_agree() {
+        assert_eq!(Duration::from_hours(1), Duration::HOUR);
+        assert_eq!(Duration::from_days(1), Duration::DAY);
+        assert_eq!(Duration::from_secs(60), Duration::MINUTE);
+    }
+
+    #[test]
+    fn annualization_of_one_year_is_one() {
+        let year = Duration::from_days(365);
+        assert!((year.as_years_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Timestamp::from_millis(90_061_001); // 1 day, 1h 1m 1.001s
+        assert_eq!(t.to_string(), "1+01:01:01.001");
+        assert_eq!(Duration::from_millis(1_500).to_string(), "1.500s");
+        assert_eq!(Duration::from_secs(90).to_string(), "1.5m");
+        assert_eq!(Duration::from_hours(30).to_string(), "1.2d");
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_epoch() {
+        let t = Timestamp::from_secs(1);
+        assert_eq!(t.saturating_sub(Duration::from_secs(5)), Timestamp::EPOCH);
+    }
+
+    #[test]
+    fn checked_duration_since_none_when_earlier() {
+        let a = Timestamp::from_secs(1);
+        let b = Timestamp::from_secs(2);
+        assert_eq!(a.checked_duration_since(b), None);
+        assert_eq!(b.checked_duration_since(a), Some(Duration::SECOND));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(Duration::from_millis(1000).mul_f64(1.5), Duration(1500));
+        assert_eq!(Duration::from_millis(3).mul_f64(0.5), Duration(2)); // 1.5 rounds to 2
+    }
+}

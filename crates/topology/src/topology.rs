@@ -1,0 +1,367 @@
+//! The assembled network: routers, links, customers, and lookup maps.
+
+use crate::customer::{Customer, CustomerId};
+use crate::interface::InterfaceName;
+use crate::link::{Link, LinkClass, LinkId, LinkName};
+use crate::osi::SystemId;
+use crate::router::{Router, RouterClass, RouterId};
+use crate::subnet::Subnet31;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A complete modeled network.
+///
+/// Construction goes through [`Topology::new`], which validates the dense
+/// indexing and builds the lookup maps both data pipelines need:
+///
+/// * syslog side: `(hostname, interface) → link`;
+/// * IS-IS side: `(system-id pair) → link` (IS reachability) and
+///   `/31 subnet → link` (IP reachability);
+/// * matching: `link → canonical LinkName`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    customers: Vec<Customer>,
+    #[serde(skip)]
+    index: Option<Box<TopologyIndex>>,
+}
+
+/// Derived lookup structures; rebuilt on demand after deserialization.
+#[derive(Debug, Clone, Default)]
+struct TopologyIndex {
+    by_hostname: HashMap<String, RouterId>,
+    by_sysid: HashMap<SystemId, RouterId>,
+    by_iface: HashMap<(RouterId, InterfaceName), LinkId>,
+    by_pair: HashMap<(RouterId, RouterId), Vec<LinkId>>,
+    by_subnet: HashMap<Subnet31, LinkId>,
+    links_of_router: HashMap<RouterId, Vec<LinkId>>,
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.routers == other.routers
+            && self.links == other.links
+            && self.customers == other.customers
+    }
+}
+
+impl Topology {
+    /// Assemble and validate a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are not dense (router `i` must have `RouterId(i)`),
+    /// if a link references an unknown router, if two links share a /31, or
+    /// if an interface terminates two links.
+    pub fn new(routers: Vec<Router>, links: Vec<Link>, customers: Vec<Customer>) -> Self {
+        for (i, r) in routers.iter().enumerate() {
+            assert_eq!(r.id.0 as usize, i, "router ids must be dense");
+        }
+        for (i, l) in links.iter().enumerate() {
+            assert_eq!(l.id.0 as usize, i, "link ids must be dense");
+            assert!(
+                (l.a.router.0 as usize) < routers.len()
+                    && (l.b.router.0 as usize) < routers.len(),
+                "link references unknown router"
+            );
+            assert_ne!(l.a.router, l.b.router, "self-links are not allowed");
+        }
+        for (i, c) in customers.iter().enumerate() {
+            assert_eq!(c.id.0 as usize, i, "customer ids must be dense");
+        }
+        let mut t = Topology {
+            routers,
+            links,
+            customers,
+            index: None,
+        };
+        t.build_index();
+        t
+    }
+
+    fn build_index(&mut self) {
+        let mut ix = TopologyIndex::default();
+        for r in &self.routers {
+            let prev = ix.by_hostname.insert(r.hostname.clone(), r.id);
+            assert!(prev.is_none(), "duplicate hostname {}", r.hostname);
+            let prev = ix.by_sysid.insert(r.system_id, r.id);
+            assert!(prev.is_none(), "duplicate system id {}", r.system_id);
+        }
+        for l in &self.links {
+            for ep in [&l.a, &l.b] {
+                let prev = ix
+                    .by_iface
+                    .insert((ep.router, ep.interface.clone()), l.id);
+                assert!(
+                    prev.is_none(),
+                    "interface {}:{} terminates two links",
+                    ep.router,
+                    ep.interface
+                );
+                ix.links_of_router.entry(ep.router).or_default().push(l.id);
+            }
+            let key = Self::pair_key(l.a.router, l.b.router);
+            ix.by_pair.entry(key).or_default().push(l.id);
+            let prev = ix.by_subnet.insert(l.subnet, l.id);
+            assert!(prev.is_none(), "two links share subnet {}", l.subnet);
+        }
+        self.index = Some(Box::new(ix));
+    }
+
+    fn index(&self) -> &TopologyIndex {
+        self.index
+            .as_deref()
+            .expect("topology index present (always built by constructors)")
+    }
+
+    /// Rebuild internal lookup maps (call after `serde` deserialization).
+    pub fn reindex(&mut self) {
+        self.build_index();
+    }
+
+    fn pair_key(a: RouterId, b: RouterId) -> (RouterId, RouterId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// All routers, indexed by `RouterId`.
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// All links, indexed by `LinkId`.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All customers, indexed by `CustomerId`.
+    pub fn customers(&self) -> &[Customer] {
+        &self.customers
+    }
+
+    /// Router by id.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0 as usize]
+    }
+
+    /// Link by id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Customer by id.
+    pub fn customer(&self, id: CustomerId) -> &Customer {
+        &self.customers[id.0 as usize]
+    }
+
+    /// Look a router up by hostname (as seen in syslog).
+    pub fn router_by_hostname(&self, hostname: &str) -> Option<RouterId> {
+        self.index().by_hostname.get(hostname).copied()
+    }
+
+    /// Look a router up by IS-IS system ID (as seen in LSPs).
+    pub fn router_by_system_id(&self, sysid: SystemId) -> Option<RouterId> {
+        self.index().by_sysid.get(&sysid).copied()
+    }
+
+    /// The link terminating on `(router, interface)`, the syslog-side key.
+    pub fn link_by_interface(&self, router: RouterId, iface: &InterfaceName) -> Option<LinkId> {
+        self.index()
+            .by_iface
+            .get(&(router, iface.clone()))
+            .copied()
+    }
+
+    /// All links joining an unordered router pair. More than one entry means
+    /// a *multi-link adjacency*: IS reachability alone cannot tell the
+    /// parallel links apart (§3.4).
+    pub fn links_between(&self, a: RouterId, b: RouterId) -> &[LinkId] {
+        self.index()
+            .by_pair
+            .get(&Self::pair_key(a, b))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The unique link numbered from `subnet`, the IP-reachability-side key.
+    pub fn link_by_subnet(&self, subnet: Subnet31) -> Option<LinkId> {
+        self.index().by_subnet.get(&subnet).copied()
+    }
+
+    /// All links touching a router.
+    pub fn links_of(&self, router: RouterId) -> &[LinkId] {
+        self.index()
+            .links_of_router
+            .get(&router)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Canonical §3.4 link name for a link.
+    pub fn link_name(&self, id: LinkId) -> LinkName {
+        let l = self.link(id);
+        LinkName::new(
+            &self.router(l.a.router).hostname,
+            l.a.interface.as_str(),
+            &self.router(l.b.router).hostname,
+            l.b.interface.as_str(),
+        )
+    }
+
+    /// Number of routers of a class.
+    pub fn router_count(&self, class: RouterClass) -> usize {
+        self.routers.iter().filter(|r| r.class == class).count()
+    }
+
+    /// Number of links of a class.
+    pub fn link_count(&self, class: LinkClass) -> usize {
+        self.links.iter().filter(|l| l.class == class).count()
+    }
+
+    /// Router pairs connected by more than one physical link.
+    pub fn multi_link_pairs(&self) -> usize {
+        self.index()
+            .by_pair
+            .values()
+            .filter(|v| v.len() > 1)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Endpoint;
+    use crate::router::RouterOs;
+    use std::net::Ipv4Addr;
+
+    fn tiny() -> Topology {
+        let routers = vec![
+            Router {
+                id: RouterId(0),
+                hostname: "a".into(),
+                class: RouterClass::Core,
+                system_id: SystemId::from_index(0),
+                os: RouterOs::IosXr,
+            },
+            Router {
+                id: RouterId(1),
+                hostname: "b".into(),
+                class: RouterClass::Core,
+                system_id: SystemId::from_index(1),
+                os: RouterOs::Ios,
+            },
+            Router {
+                id: RouterId(2),
+                hostname: "c".into(),
+                class: RouterClass::Cpe,
+                system_id: SystemId::from_index(2),
+                os: RouterOs::Ios,
+            },
+        ];
+        let links = vec![
+            Link {
+                id: LinkId(0),
+                a: Endpoint {
+                    router: RouterId(0),
+                    interface: InterfaceName::ten_gig(0),
+                },
+                b: Endpoint {
+                    router: RouterId(1),
+                    interface: InterfaceName::ten_gig(0),
+                },
+                class: LinkClass::Core,
+                subnet: Subnet31::new(Ipv4Addr::new(10, 0, 0, 0)),
+                metric: 10,
+                parallel_group: None,
+                lifetime_days: 389.0,
+            },
+            Link {
+                id: LinkId(1),
+                a: Endpoint {
+                    router: RouterId(1),
+                    interface: InterfaceName::gig(0),
+                },
+                b: Endpoint {
+                    router: RouterId(2),
+                    interface: InterfaceName::gig(0),
+                },
+                class: LinkClass::Cpe,
+                subnet: Subnet31::new(Ipv4Addr::new(10, 0, 0, 2)),
+                metric: 100,
+                parallel_group: None,
+                lifetime_days: 389.0,
+            },
+        ];
+        let customers = vec![Customer {
+            id: CustomerId(0),
+            name: "cust000".into(),
+            cpe_routers: vec![RouterId(2)],
+        }];
+        Topology::new(routers, links, customers)
+    }
+
+    #[test]
+    fn lookups_work() {
+        let t = tiny();
+        assert_eq!(t.router_by_hostname("b"), Some(RouterId(1)));
+        assert_eq!(t.router_by_system_id(SystemId::from_index(2)), Some(RouterId(2)));
+        assert_eq!(
+            t.link_by_interface(RouterId(0), &InterfaceName::ten_gig(0)),
+            Some(LinkId(0))
+        );
+        assert_eq!(
+            t.link_by_subnet(Subnet31::new(Ipv4Addr::new(10, 0, 0, 2))),
+            Some(LinkId(1))
+        );
+        assert_eq!(t.links_between(RouterId(0), RouterId(1)), &[LinkId(0)]);
+        assert_eq!(t.links_between(RouterId(1), RouterId(0)), &[LinkId(0)]);
+        assert_eq!(t.links_of(RouterId(1)), &[LinkId(0), LinkId(1)]);
+    }
+
+    #[test]
+    fn counts() {
+        let t = tiny();
+        assert_eq!(t.router_count(RouterClass::Core), 2);
+        assert_eq!(t.router_count(RouterClass::Cpe), 1);
+        assert_eq!(t.link_count(LinkClass::Core), 1);
+        assert_eq!(t.link_count(LinkClass::Cpe), 1);
+        assert_eq!(t.multi_link_pairs(), 0);
+    }
+
+    #[test]
+    fn link_name_canonical() {
+        let t = tiny();
+        assert_eq!(
+            t.link_name(LinkId(0)).to_string(),
+            "(a:TenGigE0/0/0/0, b:TenGigE0/0/0/0)"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_and_reindex() {
+        let t = tiny();
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Topology = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(back, t);
+        assert_eq!(back.router_by_hostname("c"), Some(RouterId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rejects_non_dense_router_ids() {
+        let r = Router {
+            id: RouterId(5),
+            hostname: "x".into(),
+            class: RouterClass::Core,
+            system_id: SystemId::from_index(5),
+            os: RouterOs::Ios,
+        };
+        Topology::new(vec![r], vec![], vec![]);
+    }
+}

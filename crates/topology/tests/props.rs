@@ -1,0 +1,132 @@
+//! Property-based tests for the topology substrate.
+
+use faultline_topology::interface::InterfaceName;
+use faultline_topology::link::LinkName;
+use faultline_topology::osi::{Net, SystemId};
+use faultline_topology::subnet::{Subnet31, SubnetAllocator};
+use faultline_topology::time::{Duration, Timestamp};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Canonical link names are invariant under endpoint order.
+    #[test]
+    fn link_name_order_independent(
+        h1 in "[a-z]{1,12}", p1 in "[A-Za-z0-9/]{1,10}",
+        h2 in "[a-z]{1,12}", p2 in "[A-Za-z0-9/]{1,10}",
+    ) {
+        prop_assert_eq!(
+            LinkName::new(&h1, &p1, &h2, &p2),
+            LinkName::new(&h2, &p2, &h1, &p1)
+        );
+    }
+
+    /// System IDs round-trip their textual form for any index.
+    #[test]
+    fn system_id_text_round_trip(idx in any::<u32>()) {
+        let id = SystemId::from_index(idx);
+        let text = id.to_string();
+        prop_assert_eq!(text.parse::<SystemId>().unwrap(), id);
+        prop_assert_eq!(id.index(), idx);
+    }
+
+    /// NETs round-trip their textual form.
+    #[test]
+    fn net_text_round_trip(idx in any::<u32>()) {
+        let net = Net::new(SystemId::from_index(idx));
+        prop_assert_eq!(net.to_string().parse::<Net>().unwrap(), net);
+    }
+
+    /// A /31 contains exactly its two addresses and `containing` inverts
+    /// `low`/`high`.
+    #[test]
+    fn subnet31_contains_its_pair(base in any::<u32>()) {
+        let base = base & !1;
+        let s = Subnet31::new(Ipv4Addr::from(base));
+        prop_assert!(s.contains(s.low()));
+        prop_assert!(s.contains(s.high()));
+        prop_assert_eq!(Subnet31::containing(s.low()), s);
+        prop_assert_eq!(Subnet31::containing(s.high()), s);
+        // Neighbouring addresses outside the pair are not contained.
+        if base > 0 {
+            prop_assert!(!s.contains(Ipv4Addr::from(base - 1)));
+        }
+        if base < u32::MAX - 1 {
+            prop_assert!(!s.contains(Ipv4Addr::from(base + 2)));
+        }
+    }
+
+    /// The allocator never hands out overlapping subnets.
+    #[test]
+    fn allocator_subnets_disjoint(n in 1usize..200) {
+        let mut alloc = SubnetAllocator::cenic();
+        let subnets: Vec<Subnet31> = (0..n).map(|_| alloc.alloc().unwrap()).collect();
+        for (i, a) in subnets.iter().enumerate() {
+            for b in &subnets[i + 1..] {
+                prop_assert!(!a.contains(b.low()) && !a.contains(b.high()));
+            }
+        }
+    }
+
+    /// Interface short/expand is a retraction: expand(short(x)) == x.
+    #[test]
+    fn interface_short_expand_retraction(slot in 0u32..1000) {
+        for name in [InterfaceName::ten_gig(slot), InterfaceName::gig(slot)] {
+            prop_assert_eq!(InterfaceName::expand(&name.short()), name.clone());
+        }
+    }
+
+    /// Timestamp/Duration arithmetic is consistent: (t + d) - t == d and
+    /// abs_diff is symmetric.
+    #[test]
+    fn time_arithmetic(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let ts = Timestamp::from_millis(t);
+        let dur = Duration::from_millis(d);
+        prop_assert_eq!((ts + dur) - ts, dur);
+        let other = Timestamp::from_millis(d);
+        prop_assert_eq!(ts.abs_diff(other), other.abs_diff(ts));
+    }
+
+    /// Calendar-free display of durations never panics and units nest.
+    #[test]
+    fn duration_display_total(ms in any::<u32>()) {
+        let d = Duration::from_millis(ms as u64);
+        let _ = d.to_string();
+        prop_assert!(d.as_secs_f64() >= 0.0);
+        prop_assert!(d.as_hours_f64() <= d.as_secs_f64());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any tiny generated topology is internally consistent: mining its
+    /// rendered configs recovers exactly its links.
+    #[test]
+    fn generated_topologies_mine_cleanly(seed in any::<u64>()) {
+        let topo = faultline_topology::generator::CenicParams::tiny(seed).generate();
+        let mined = faultline_topology::config::mine_topology(&topo);
+        prop_assert_eq!(mined.links.len(), topo.links().len());
+        prop_assert!(mined.unpaired.is_empty());
+        for r in topo.routers() {
+            prop_assert_eq!(mined.system_ids.get(&r.hostname), Some(&r.system_id));
+        }
+    }
+
+    /// No generated topology isolates anyone with all links up, and
+    /// downing every CPE link isolates every customer.
+    #[test]
+    fn isolation_extremes(seed in any::<u64>()) {
+        use faultline_topology::graph::isolated_under;
+        let topo = faultline_topology::generator::CenicParams::tiny(seed).generate();
+        prop_assert!(isolated_under(&topo, &[]).is_empty());
+        let cpe_links: Vec<_> = topo
+            .links()
+            .iter()
+            .filter(|l| l.class == faultline_topology::link::LinkClass::Cpe)
+            .map(|l| l.id)
+            .collect();
+        let isolated = isolated_under(&topo, &cpe_links);
+        prop_assert_eq!(isolated.len(), topo.customers().len());
+    }
+}
