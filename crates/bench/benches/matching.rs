@@ -49,13 +49,7 @@ fn bench_matching(c: &mut Criterion) {
         let left = synth_failures(n, 300, 1);
         let right = synth_failures(n, 300, 2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                match_failures(
-                    black_box(&left),
-                    black_box(&right),
-                    Duration::from_secs(10),
-                )
-            })
+            b.iter(|| match_failures(black_box(&left), black_box(&right), Duration::from_secs(10)))
         });
     }
     g.finish();

@@ -6,7 +6,7 @@
 //! The harness re-runs the whole pipeline under each strategy and reports
 //! the absolute downtime error against the IS-IS reconstruction.
 
-use faultline_core::{Analysis, AnalysisConfig, AmbiguityStrategy};
+use faultline_core::{AmbiguityStrategy, Analysis, AnalysisConfig};
 
 fn main() {
     let data = faultline_bench::paper_scenario();

@@ -30,14 +30,19 @@ fn main() {
 
     // Show context for a sample.
     for p in doubles.iter().take(8) {
-        println!("\n== double-down on {:?}: {} .. {}", a.table.name(p.link), p.first, p.second);
+        println!(
+            "\n== double-down on {:?}: {} .. {}",
+            a.table.name(p.link),
+            p.first,
+            p.second
+        );
         let margin = Duration::from_secs(90);
         for m in &a.messages {
-            if m.link == p.link
-                && m.at + margin >= p.first
-                && m.at <= p.second + margin
-            {
-                println!("  msg {} {:?} {:?} {:?} host={}", m.at, m.direction, m.family, m.detail, m.host);
+            if m.link == p.link && m.at + margin >= p.first && m.at <= p.second + margin {
+                println!(
+                    "  msg {} {:?} {:?} {:?} host={}",
+                    m.at, m.direction, m.family, m.detail, m.host
+                );
             }
         }
     }

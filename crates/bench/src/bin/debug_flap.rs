@@ -63,17 +63,17 @@ fn main() {
     }
     println!("-- syslog transitions in window --");
     for t in &a.syslog_transitions {
-        if t.link == ep.link
-            && t.at + margin >= ep.from
-            && t.at <= ep.to + margin
-        {
+        if t.link == ep.link && t.at + margin >= ep.from && t.at <= ep.to + margin {
             println!("  {} {:?}", t.at, t.direction);
         }
     }
     println!("-- raw resolved messages in window --");
     for m in &a.messages {
         if m.link == ep.link && m.at + margin >= ep.from && m.at <= ep.to + margin {
-            println!("  {} {:?} {:?} host={}", m.at, m.direction, m.family, m.host);
+            println!(
+                "  {} {:?} {:?} host={}",
+                m.at, m.direction, m.family, m.host
+            );
         }
     }
 }

@@ -34,8 +34,13 @@ fn main() -> std::io::Result<()> {
     let fig = analysis.figure1();
     ecdf_csv(
         BufWriter::new(File::create("results/figure1a_duration.csv")?),
-        &[("syslog", &fig.duration_secs.0), ("isis", &fig.duration_secs.1)],
+        &[
+            ("syslog", &fig.duration_secs.0),
+            ("isis", &fig.duration_secs.1),
+        ],
     )?;
-    eprintln!("wrote results/failures_isis.csv, failures_syslog.csv, per_link.csv, figure1a_duration.csv");
+    eprintln!(
+        "wrote results/failures_isis.csv, failures_syslog.csv, per_link.csv, figure1a_duration.csv"
+    );
     Ok(())
 }

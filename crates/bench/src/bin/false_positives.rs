@@ -12,8 +12,7 @@ fn main() {
     let report = analysis.false_positives();
 
     let total = report.short_count + report.long_count;
-    let total_hours =
-        (report.short_downtime_ms + report.long_downtime_ms) as f64 / 3_600_000.0;
+    let total_hours = (report.short_downtime_ms + report.long_downtime_ms) as f64 / 3_600_000.0;
     println!("Syslog false positives (no matching IS-IS failure)");
     println!(
         "  total           : {} ({:.0}% of {} syslog failures), {:.1} h downtime",

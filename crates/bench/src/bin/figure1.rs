@@ -56,7 +56,10 @@ fn main() {
         ascii_cdf(
             "Figure 1(a) failure duration (CPE)",
             "seconds",
-            &[("syslog", &fig.duration_secs.0), ("isis", &fig.duration_secs.1)],
+            &[
+                ("syslog", &fig.duration_secs.0),
+                ("isis", &fig.duration_secs.1)
+            ],
             &log_points(1.0, 10_000.0, 15),
             true,
         )
@@ -66,7 +69,10 @@ fn main() {
         ascii_cdf(
             "Figure 1(b) annualized downtime (CPE)",
             "hours",
-            &[("syslog", &fig.downtime_hours.0), ("isis", &fig.downtime_hours.1)],
+            &[
+                ("syslog", &fig.downtime_hours.0),
+                ("isis", &fig.downtime_hours.1)
+            ],
             &log_points(0.01, 300.0, 15),
             true,
         )

@@ -1,0 +1,86 @@
+//! Per-stage pipeline instrumentation: runs the canonical paper-scale
+//! analysis once serially (`threads = 1`) and once with automatic
+//! fan-out, prints both [`faultline_core::PipelineReport`]s, and writes
+//! the timings as the first `BENCH_*.json` datapoint under `results/`.
+//!
+//! ```sh
+//! cargo run --release --bin pipeline_report            # paper scenario
+//! cargo run --release --bin pipeline_report -- --sweep # + scaling sweep
+//! ```
+//!
+//! The serial and parallel runs must produce byte-identical tables — the
+//! binary asserts it — so the report differences are timing only.
+
+use faultline_bench::{analyze_with, paper_scenario};
+use faultline_core::export::pipeline_report_json;
+use faultline_core::{AnalysisConfig, ParallelismConfig, PipelineReport};
+use faultline_sim::scenario::{run, ScenarioParams};
+use serde_json::json;
+
+fn config_with(par: ParallelismConfig) -> AnalysisConfig {
+    AnalysisConfig {
+        parallelism: par,
+        ..AnalysisConfig::default()
+    }
+}
+
+fn main() {
+    let sweep = std::env::args().any(|a| a == "--sweep");
+    let data = paper_scenario();
+    let mut runs: Vec<serde_json::Value> = Vec::new();
+
+    let mut table4_serial = String::new();
+    for (label, par) in [
+        ("serial", ParallelismConfig::SERIAL),
+        ("parallel", ParallelismConfig::default()),
+    ] {
+        println!("== {label} (threads = {}) ==", par.effective_threads());
+        let a = analyze_with(&data, config_with(par));
+        println!("{}", a.report);
+        let table4 = format!("{}", a.table4());
+        if label == "serial" {
+            table4_serial = table4;
+        } else {
+            assert_eq!(
+                table4, table4_serial,
+                "thread count changed the analysis results"
+            );
+            println!("serial and parallel table 4 are identical ✓");
+        }
+        runs.push(report_json(label, &a.report));
+    }
+
+    if sweep {
+        for scale in [0.25, 0.5, 1.0] {
+            let params = ScenarioParams::sized(42, scale, 97.25);
+            println!("== sweep: scale {scale} ==");
+            let data = run(&params);
+            let a = analyze_with(&data, AnalysisConfig::default());
+            println!("{}", a.report);
+            runs.push(report_json(&format!("sweep_{scale}"), &a.report));
+        }
+    }
+
+    let doc = json!({
+        "bench": "pipeline_report",
+        "scenario": "paper_389d",
+        "seed": 42,
+        "runs": runs,
+    });
+    let path = "results/BENCH_pipeline.json";
+    match std::fs::File::create(path) {
+        Ok(f) => {
+            serde_json::to_writer_pretty(f, &doc).expect("serialize BENCH json");
+            println!("wrote {path}");
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn report_json(label: &str, report: &PipelineReport) -> serde_json::Value {
+    let mut buf = Vec::new();
+    pipeline_report_json(&mut buf, report).expect("in-memory write");
+    let mut v: serde_json::Value = serde_json::from_slice(&buf).expect("report is valid JSON");
+    v["label"] = json!(label);
+    v
+}

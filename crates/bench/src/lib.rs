@@ -30,16 +30,26 @@ pub fn paper_scenario() -> ScenarioData {
     data
 }
 
-/// Run the full analysis pipeline on a scenario.
+/// Run the full analysis pipeline on a scenario with the default
+/// configuration, printing the per-stage [`faultline_core::PipelineReport`]
+/// to stderr.
 pub fn analyze(data: &ScenarioData) -> Analysis<'_> {
+    analyze_with(data, AnalysisConfig::default())
+}
+
+/// Run the full analysis pipeline on a scenario with an explicit
+/// configuration (e.g. a specific [`faultline_core::ParallelismConfig`]),
+/// printing the per-stage report to stderr.
+pub fn analyze_with(data: &ScenarioData, config: AnalysisConfig) -> Analysis<'_> {
     let t0 = std::time::Instant::now();
-    let a = Analysis::new(data, AnalysisConfig::default());
+    let a = Analysis::run(data, config);
     eprintln!(
         "analysis: {} syslog failures, {} IS-IS failures in {:.1}s",
         a.syslog_failures.len(),
         a.isis_failures.len(),
         t0.elapsed().as_secs_f64()
     );
+    eprintln!("{}", a.report);
     a
 }
 
@@ -54,7 +64,17 @@ pub fn ascii_cdf(
     use std::fmt::Write;
     let mut out = String::new();
     writeln!(out, "{title}").unwrap();
-    writeln!(out, "  {:>12}  {}", xlabel, series.iter().map(|(n, _)| format!("{n:>8}")).collect::<Vec<_>>().join(" ")).unwrap();
+    writeln!(
+        out,
+        "  {:>12}  {}",
+        xlabel,
+        series
+            .iter()
+            .map(|(n, _)| format!("{n:>8}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    )
+    .unwrap();
     for &x in xs {
         let cells: Vec<String> = series
             .iter()

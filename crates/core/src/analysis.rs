@@ -7,22 +7,27 @@
 //! `faultline-bench` print these structures; integration tests assert on
 //! their fields.
 
-use crate::flap::{detect_episodes, FlapIndex};
+use crate::flap::{detect_episodes_par, FlapIndex};
 use crate::fp::{
-    classify_ambiguous, classify_false_positives, AmbiguityCounts, FpReport, LinkStateTimeline,
+    classify_ambiguous_par, classify_false_positives_par, AmbiguityCounts, FpReport,
+    LinkStateTimeline,
 };
 use crate::isolation::{self, IsolationComparison, IsolationOutcome};
 use crate::ks::{ks_two_sample, KsResult};
 use crate::linktable::{self, LinkIx, LinkTable};
 use crate::matching::{
-    match_failures, match_fraction, match_transitions_to_messages, FailureMatching,
+    match_failures_par, match_fraction, match_transitions_to_messages, FailureMatching,
     TransitionMatchCounts,
 };
-use crate::reconstruct::{dedup_syslog, reconstruct, AmbiguityStrategy, Failure, Reconstruction};
+use crate::observe::{self, PipelineCounters, PipelineReport};
+use crate::par::ParallelismConfig;
+use crate::reconstruct::{
+    dedup_syslog_par, reconstruct_par, AmbiguityStrategy, Failure, Reconstruction,
+};
 use crate::sanitize::{remove_offline_spanning, verify_long_failures, SanitizeReport};
 use crate::stats::{metric_samples, Ecdf, MetricSamples, Summary};
 use crate::transitions::{
-    isis_link_transitions, resolve_syslog, IsisMergeStats, LinkTransition, MessageFamily,
+    isis_link_transitions_par, resolve_syslog, IsisMergeStats, LinkTransition, MessageFamily,
     ResolvedMessage, SyslogResolveStats,
 };
 use faultline_isis::listener::{ReachabilityKind, TransitionDirection};
@@ -33,6 +38,7 @@ use faultline_topology::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Tunable analysis parameters, defaulted to the paper's choices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,6 +59,11 @@ pub struct AnalysisConfig {
     pub short_fp_threshold: Duration,
     /// Double-message interpretation (§4.3).
     pub strategy: AmbiguityStrategy,
+    /// Per-link fan-out configuration. Not part of the paper:
+    /// `threads = 1` reproduces the serial pipeline, and every thread
+    /// count yields identical results (see `tests/determinism.rs`).
+    #[serde(default)]
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for AnalysisConfig {
@@ -66,6 +77,7 @@ impl Default for AnalysisConfig {
             ticket_slack: Duration::from_hours(3),
             short_fp_threshold: Duration::from_secs(10),
             strategy: AmbiguityStrategy::PreviousState,
+            parallelism: ParallelismConfig::default(),
         }
     }
 }
@@ -106,11 +118,53 @@ pub struct Analysis<'a> {
     pub isis_sanitize: SanitizeReport,
     /// Sanitization counters, syslog side.
     pub syslog_sanitize: SanitizeReport,
+    /// Failure matching between the sanitized sets (syslog on the left),
+    /// computed once during the run.
+    pub matching: FailureMatching,
+    /// Per-stage counters and wall-clock timings for this run.
+    pub report: PipelineReport,
 }
 
 impl<'a> Analysis<'a> {
-    /// Run the pipeline.
+    /// Run the pipeline. Alias of [`Analysis::run`], kept for existing
+    /// callers.
     pub fn new(data: &'a ScenarioData, config: AnalysisConfig) -> Self {
+        Analysis::run(data, config)
+    }
+
+    /// Run the full pipeline once: resolution → transition extraction →
+    /// reconstruction → sanitization → failure matching. Per-link stages
+    /// fan out according to `config.parallelism`; the result is identical
+    /// for every thread count. Stage timings and counters land in
+    /// [`Analysis::report`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faultline_core::{Analysis, AnalysisConfig};
+    /// use faultline_sim::scenario::{run, ScenarioParams};
+    ///
+    /// let data = run(&ScenarioParams::tiny(7));
+    /// let analysis = Analysis::run(&data, AnalysisConfig::default());
+    /// assert!(analysis.table4().isis_failures > 0);
+    /// // The run carries its own per-stage accounting.
+    /// assert!(analysis.report.stage("reconstruct").is_some());
+    /// assert!(analysis.report.counters.syslog_ingested > 0);
+    /// ```
+    pub fn run(data: &'a ScenarioData, config: AnalysisConfig) -> Self {
+        let par_cfg = config.parallelism;
+        let mut report = PipelineReport::new(par_cfg.effective_threads());
+        let run_started = Instant::now();
+        observe::narrate(|| {
+            format!(
+                "pipeline start: {} syslog messages, {} listener transitions, {} thread(s)",
+                data.syslog.len(),
+                data.transitions.len(),
+                par_cfg.effective_threads()
+            )
+        });
+
+        let t = Instant::now();
         let table = linktable::from_scenario(data);
         let mut link_of_ix = HashMap::new();
         for l in data.topology.links() {
@@ -118,17 +172,63 @@ impl<'a> Analysis<'a> {
                 link_of_ix.insert(ix, l.id);
             }
         }
+        report.record_stage(
+            "link_table",
+            data.topology.links().len() as u64,
+            table.len() as u64,
+            t.elapsed(),
+        );
 
+        let t = Instant::now();
         let (messages, resolve_stats) = resolve_syslog(&data.syslog, &table);
-        let (is_transitions, is_stats) =
-            isis_link_transitions(&data.transitions, &table, ReachabilityKind::IsReach);
-        let (ip_transitions, ip_stats) =
-            isis_link_transitions(&data.transitions, &table, ReachabilityKind::IpReach);
-        let syslog_transitions = dedup_syslog(&messages, config.dedup_window);
+        report.record_stage(
+            "resolve_syslog",
+            data.syslog.len() as u64,
+            messages.len() as u64,
+            t.elapsed(),
+        );
 
-        let isis_recon = reconstruct(&is_transitions, config.strategy);
-        let syslog_recon = reconstruct(&syslog_transitions, config.strategy);
+        let t = Instant::now();
+        let (is_transitions, is_stats) = isis_link_transitions_par(
+            &data.transitions,
+            &table,
+            ReachabilityKind::IsReach,
+            &par_cfg,
+        );
+        let (ip_transitions, ip_stats) = isis_link_transitions_par(
+            &data.transitions,
+            &table,
+            ReachabilityKind::IpReach,
+            &par_cfg,
+        );
+        report.record_stage(
+            "isis_transitions",
+            is_stats.raw + ip_stats.raw,
+            (is_transitions.len() + ip_transitions.len()) as u64,
+            t.elapsed(),
+        );
 
+        let t = Instant::now();
+        let syslog_transitions = dedup_syslog_par(&messages, config.dedup_window, &par_cfg);
+        report.record_stage(
+            "dedup_syslog",
+            messages.len() as u64,
+            syslog_transitions.len() as u64,
+            t.elapsed(),
+        );
+
+        let t = Instant::now();
+        let isis_recon = reconstruct_par(&is_transitions, config.strategy, &par_cfg);
+        let syslog_recon = reconstruct_par(&syslog_transitions, config.strategy, &par_cfg);
+        let reconstructed = (isis_recon.failures.len() + syslog_recon.failures.len()) as u64;
+        report.record_stage(
+            "reconstruct",
+            (is_transitions.len() + syslog_transitions.len()) as u64,
+            reconstructed,
+            t.elapsed(),
+        );
+
+        let t = Instant::now();
         let mut isis_sanitize = SanitizeReport::default();
         let isis_failures = remove_offline_spanning(
             isis_recon.failures.clone(),
@@ -167,6 +267,37 @@ impl<'a> Analysis<'a> {
             .into_iter()
             .filter(|f| table.is_resolvable(f.link))
             .collect();
+        let survived = (isis_failures.len() + syslog_failures.len()) as u64;
+        report.record_stage("sanitize", reconstructed, survived, t.elapsed());
+
+        let t = Instant::now();
+        let matching = match_failures_par(
+            &syslog_failures,
+            &isis_failures,
+            config.match_window,
+            &par_cfg,
+        );
+        report.record_stage(
+            "match_failures",
+            survived,
+            matching.matched.len() as u64,
+            t.elapsed(),
+        );
+
+        report.counters = PipelineCounters {
+            syslog_ingested: data.syslog.len() as u64,
+            isis_ingested: is_stats.raw + ip_stats.raw,
+            transitions_derived: (is_transitions.len()
+                + ip_transitions.len()
+                + syslog_transitions.len()) as u64,
+            failures_reconstructed: reconstructed,
+            failures_after_sanitize: survived,
+            sanitize_dropped: reconstructed - survived,
+            failures_matched: matching.matched.len() as u64,
+            ambiguous_periods: (isis_recon.ambiguous.len() + syslog_recon.ambiguous.len()) as u64,
+        };
+        report.total_micros = run_started.elapsed().as_micros() as u64;
+        observe::narrate(|| format!("pipeline done in {:.3} ms", report.total_millis()));
 
         Analysis {
             data,
@@ -186,6 +317,8 @@ impl<'a> Analysis<'a> {
             syslog_failures,
             isis_sanitize,
             syslog_sanitize,
+            matching,
+            report,
         }
     }
 
@@ -254,11 +387,18 @@ impl<'a> Analysis<'a> {
     /// syslog messages, plus the flapping share of unmatched transitions.
     pub fn table3(&self) -> Table3 {
         let isis_msgs = self.family(MessageFamily::IsisAdjacency);
-        let (down, up) =
-            match_transitions_to_messages(&self.is_transitions, &isis_msgs, self.config.match_window);
+        let (down, up) = match_transitions_to_messages(
+            &self.is_transitions,
+            &isis_msgs,
+            self.config.match_window,
+        );
         // Flapping share of unmatched transitions (§4.1's 67%/61%).
         let flaps = FlapIndex::new(
-            &detect_episodes(&self.isis_recon.failures, self.config.flap_gap),
+            &detect_episodes_par(
+                &self.isis_recon.failures,
+                self.config.flap_gap,
+                &self.config.parallelism,
+            ),
             self.config.flap_pad,
         );
         let mut unmatched_down_in_flap = 0u64;
@@ -271,8 +411,10 @@ impl<'a> Analysis<'a> {
         // distance instead: a transition is "unmatched" here if no message
         // of its direction lies within the window, which upper-bounds the
         // matcher's `none` count and tracks it closely in practice.)
-        let mut by_key: HashMap<(LinkIx, TransitionDirection), Vec<faultline_topology::time::Timestamp>> =
-            HashMap::new();
+        let mut by_key: HashMap<
+            (LinkIx, TransitionDirection),
+            Vec<faultline_topology::time::Timestamp>,
+        > = HashMap::new();
         for m in &isis_msgs {
             by_key.entry((m.link, m.direction)).or_default().push(m.at);
         }
@@ -283,7 +425,8 @@ impl<'a> Analysis<'a> {
             let near = by_key
                 .get(&(t.link, t.direction))
                 .map(|v| {
-                    let i = v.partition_point(|&at| at < t.at.saturating_sub(self.config.match_window));
+                    let i =
+                        v.partition_point(|&at| at < t.at.saturating_sub(self.config.match_window));
                     v[i..]
                         .iter()
                         .take_while(|&&at| at <= t.at + self.config.match_window)
@@ -318,17 +461,16 @@ impl<'a> Analysis<'a> {
     }
 
     /// Failure matching between the sanitized sets (syslog on the left).
+    /// Computed once by [`Analysis::run`]; this returns a copy for
+    /// callers that want to own it — read [`Analysis::matching`] to
+    /// borrow instead.
     pub fn failure_matching(&self) -> FailureMatching {
-        match_failures(
-            &self.syslog_failures,
-            &self.isis_failures,
-            self.config.match_window,
-        )
+        self.matching.clone()
     }
 
     /// Table 4: failure counts and downtime hours after sanitization.
     pub fn table4(&self) -> Table4 {
-        let matching = self.failure_matching();
+        let matching = &self.matching;
         let isis_downtime: f64 = self
             .isis_failures
             .iter()
@@ -415,7 +557,12 @@ impl<'a> Analysis<'a> {
             .filter(|p| self.table.is_resolvable(p.link))
             .copied()
             .collect();
-        let (_, counts) = classify_ambiguous(&ambiguous, &timeline, self.config.match_window);
+        let (_, counts) = classify_ambiguous_par(
+            &ambiguous,
+            &timeline,
+            self.config.match_window,
+            &self.config.parallelism,
+        );
         (
             Table6 {
                 counts,
@@ -427,7 +574,7 @@ impl<'a> Analysis<'a> {
 
     /// §4.3 false-positive report: syslog failures with no IS-IS match.
     pub fn false_positives(&self) -> FpReport {
-        let matching = self.failure_matching();
+        let matching = &self.matching;
         let mut fps: Vec<Failure> = matching
             .left_only
             .iter()
@@ -436,10 +583,19 @@ impl<'a> Analysis<'a> {
             .collect();
         fps.sort_by_key(|f| (f.link, f.start));
         let flaps = FlapIndex::new(
-            &detect_episodes(&self.isis_failures, self.config.flap_gap),
+            &detect_episodes_par(
+                &self.isis_failures,
+                self.config.flap_gap,
+                &self.config.parallelism,
+            ),
             self.config.flap_pad,
         );
-        classify_false_positives(&fps, &flaps, self.config.short_fp_threshold)
+        classify_false_positives_par(
+            &fps,
+            &flaps,
+            self.config.short_fp_threshold,
+            &self.config.parallelism,
+        )
     }
 
     /// Isolation outcomes for one source.
@@ -623,7 +779,11 @@ impl fmt::Display for Table2 {
             f,
             "Table 2: % of state transitions matching syslog messages"
         )?;
-        writeln!(f, "  {:<22} {:>14} {:>14}", "Syslog type", "IS reach", "IP reach")?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "Syslog type", "IS reach", "IP reach"
+        )?;
         for (label, (is_pct, ip_pct)) in [
             ("IS-IS Down", self.isis_down),
             ("IS-IS Up", self.isis_up),
@@ -652,11 +812,7 @@ pub struct Table3 {
 impl fmt::Display for Table3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 3: IS-IS transitions by matching syslog messages")?;
-        writeln!(
-            f,
-            "  {:<6} {:>14} {:>14} {:>14}",
-            "", "None", "One", "Both"
-        )?;
+        writeln!(f, "  {:<6} {:>14} {:>14} {:>14}", "", "None", "One", "Both")?;
         for (label, c) in [("DOWN", self.down), ("UP", self.up)] {
             let t = c.total().max(1);
             writeln!(
@@ -744,7 +900,10 @@ pub struct Table5 {
 
 impl fmt::Display for Table5 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 5: failure statistics (Core | CPE; Syslog vs IS-IS)")?;
+        writeln!(
+            f,
+            "Table 5: failure statistics (Core | CPE; Syslog vs IS-IS)"
+        )?;
         let metrics = [
             "Annualized failures per link",
             "Failure duration (seconds)",
@@ -758,11 +917,7 @@ impl fmt::Display for Table5 {
         )?;
         for (m, label) in metrics.iter().enumerate() {
             writeln!(f, "  {label}")?;
-            for (row, pick) in [
-                ("Median", 0usize),
-                ("Average", 1),
-                ("95%", 2),
-            ] {
+            for (row, pick) in [("Median", 0usize), ("Average", 1), ("95%", 2)] {
                 let get = |s: &Summary| match pick {
                     0 => s.median,
                     1 => s.mean,
@@ -797,7 +952,11 @@ impl fmt::Display for Table6 {
         writeln!(f, "Table 6: ambiguous state changes by cause")?;
         writeln!(f, "  {:<26} {:>8} {:>8}", "Cause", "Down", "Up")?;
         let c = &self.counts;
-        writeln!(f, "  {:<26} {:>8} {:>8}", "Lost Message", c.down[0], c.up[0])?;
+        writeln!(
+            f,
+            "  {:<26} {:>8} {:>8}",
+            "Lost Message", c.down[0], c.up[0]
+        )?;
         writeln!(
             f,
             "  {:<26} {:>8} {:>8}",
@@ -1033,10 +1192,7 @@ mod tests {
         let data = run(&ScenarioParams::tiny(25));
         let a = analysis(&data);
         let (t6, counts) = a.table6();
-        assert_eq!(
-            t6.total_ambiguous,
-            counts.down_total() + counts.up_total()
-        );
+        assert_eq!(t6.total_ambiguous, counts.down_total() + counts.up_total());
     }
 
     #[test]
@@ -1109,7 +1265,10 @@ mod tests {
                 .map(|f| f.duration().as_millis())
                 .sum::<u64>()
         };
-        assert!(dt(&down) >= dt(&up), "assume-down cannot report less downtime than assume-up");
+        assert!(
+            dt(&down) >= dt(&up),
+            "assume-down cannot report less downtime than assume-up"
+        );
         let _ = prev;
     }
 
@@ -1124,6 +1283,79 @@ mod tests {
         assert_eq!(isis_only, t7.intersection.left_only);
         assert_eq!(syslog_only, t7.intersection.right_only);
         let _ = format!("{f}");
+    }
+
+    #[test]
+    fn report_has_stages_and_counters() {
+        let data = run(&ScenarioParams::tiny(32));
+        let a = analysis(&data);
+        for stage in [
+            "link_table",
+            "resolve_syslog",
+            "isis_transitions",
+            "dedup_syslog",
+            "reconstruct",
+            "sanitize",
+            "match_failures",
+        ] {
+            assert!(a.report.stage(stage).is_some(), "missing stage {stage}");
+        }
+        assert!(a.report.threads >= 1);
+        assert!(a.report.counters.syslog_ingested > 0);
+        assert!(a.report.counters.isis_ingested > 0);
+        assert!(a.report.counters.transitions_derived > 0);
+        assert!(a.report.counters.failures_after_sanitize > 0);
+        assert!(a.report.counters.failures_matched > 0);
+        assert!(
+            a.report.counters.failures_after_sanitize + a.report.counters.sanitize_dropped
+                == a.report.counters.failures_reconstructed
+        );
+        let _ = format!("{}", a.report);
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree() {
+        let data = run(&ScenarioParams::tiny(33));
+        let serial = Analysis::run(
+            &data,
+            AnalysisConfig {
+                parallelism: ParallelismConfig::SERIAL,
+                ..AnalysisConfig::default()
+            },
+        );
+        let par = Analysis::run(
+            &data,
+            AnalysisConfig {
+                parallelism: ParallelismConfig {
+                    threads: 4,
+                    chunk_size: 3,
+                },
+                ..AnalysisConfig::default()
+            },
+        );
+        assert_eq!(serial.is_transitions, par.is_transitions);
+        assert_eq!(serial.ip_transitions, par.ip_transitions);
+        assert_eq!(serial.syslog_transitions, par.syslog_transitions);
+        assert_eq!(serial.isis_failures, par.isis_failures);
+        assert_eq!(serial.syslog_failures, par.syslog_failures);
+        assert_eq!(serial.matching.matched, par.matching.matched);
+        assert_eq!(serial.matching.partial, par.matching.partial);
+        assert_eq!(format!("{}", serial.table4()), format!("{}", par.table4()));
+        assert_eq!(
+            format!("{}", serial.table6().0),
+            format!("{}", par.table6().0)
+        );
+    }
+
+    #[test]
+    fn config_with_parallelism_deserializes_from_legacy_json() {
+        // Configs serialized before the parallelism field existed must
+        // still load (serde default fills it in).
+        let json = serde_json::to_string(&AnalysisConfig::default()).unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        value.as_object_mut().unwrap().remove("parallelism");
+        let config: AnalysisConfig = serde_json::from_value(value).unwrap();
+        assert_eq!(config.parallelism, ParallelismConfig::default());
     }
 
     #[test]

@@ -287,8 +287,7 @@ pub fn compare(left: &IsolationOutcome, right: &IsolationOutcome) -> IsolationCo
             left_only_indices.push(i);
         }
     }
-    let right_only_indices: Vec<usize> =
-        (0..right.events.len()).filter(|&j| !used[j]).collect();
+    let right_only_indices: Vec<usize> = (0..right.events.len()).filter(|&j| !used[j]).collect();
     let matched = matched_pairs.len() as u64;
 
     let l_sites = left.per_customer();
@@ -350,9 +349,7 @@ pub fn classify_miss(
     let related: Vec<&Failure> = other_failures
         .iter()
         .filter(|f| {
-            links.contains(&f.link)
-                && f.start <= event.to + window
-                && event.from <= f.end + window
+            links.contains(&f.link) && f.start <= event.to + window && event.from <= f.end + window
         })
         .collect();
     if related.is_empty() {

@@ -30,6 +30,12 @@
 //!    table and figure of the paper from a
 //!    [`faultline_sim::ScenarioData`]; [`export`] writes the underlying
 //!    traces as CSV for downstream tooling.
+//!
+//! The per-link stages fan out across threads ([`par`], configured via
+//! [`analysis::AnalysisConfig::parallelism`]) with results independent of
+//! thread count, and every run carries per-stage counters and timings
+//! ([`observe::PipelineReport`]). Set `RUST_LOG=faultline_core=debug` to
+//! narrate the pipeline on stderr.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +48,8 @@ pub mod isolation;
 pub mod ks;
 pub mod linktable;
 pub mod matching;
+pub mod observe;
+pub mod par;
 pub mod reconstruct;
 pub mod sanitize;
 pub mod stats;
@@ -49,4 +57,6 @@ pub mod transitions;
 
 pub use analysis::{Analysis, AnalysisConfig};
 pub use linktable::{LinkIx, LinkTable};
+pub use observe::{PipelineCounters, PipelineReport};
+pub use par::ParallelismConfig;
 pub use reconstruct::{AmbiguityStrategy, Failure};

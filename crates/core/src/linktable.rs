@@ -19,9 +19,7 @@ use std::collections::HashMap;
 
 /// Dense index of a link within a [`LinkTable`]. Distinct from the
 /// topology's `LinkId`: the analysis only knows what mining recovered.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkIx(pub u32);
 
 /// The resolution layer joining both data sources.
@@ -124,7 +122,9 @@ impl LinkTable {
 
     /// Resolve a syslog-side key.
     pub fn by_interface(&self, host: &str, iface: &InterfaceName) -> Option<LinkIx> {
-        self.by_iface.get(&(host.to_string(), iface.clone())).copied()
+        self.by_iface
+            .get(&(host.to_string(), iface.clone()))
+            .copied()
     }
 
     /// Resolve an IP-reachability-side key.
@@ -136,8 +136,7 @@ impl LinkTable {
     /// identified by system ID. More than one entry is a *multi-link
     /// adjacency* — unresolvable from IS reachability alone (§3.4).
     pub fn by_sysid_pair(&self, a: SystemId, b: SystemId) -> &[LinkIx] {
-        let (Some(ha), Some(hb)) = (self.host_of_sysid.get(&a), self.host_of_sysid.get(&b))
-        else {
+        let (Some(ha), Some(hb)) = (self.host_of_sysid.get(&a), self.host_of_sysid.get(&b)) else {
             return &[];
         };
         self.by_hostpair
@@ -172,6 +171,23 @@ impl LinkTable {
 /// Build the standard `LinkTable` for a simulated scenario: render the
 /// config archive from the topology, mine it, and attach the listener's
 /// hostname map and the per-link windows.
+///
+/// # Examples
+///
+/// ```
+/// use faultline_core::linktable::from_scenario;
+/// use faultline_sim::scenario::{run, ScenarioParams};
+///
+/// let data = run(&ScenarioParams::tiny(3));
+/// let table = from_scenario(&data);
+/// assert_eq!(table.len(), data.topology.links().len());
+///
+/// // Every topology link resolves through its unique /31 subnet to the
+/// // same canonical name the config archive records.
+/// let link = &data.topology.links()[0];
+/// let ix = table.by_subnet(link.subnet).expect("mined");
+/// assert_eq!(table.name(ix), &data.topology.link_name(link.id));
+/// ```
 pub fn from_scenario(data: &faultline_sim::ScenarioData) -> LinkTable {
     let inventory = faultline_topology::config::mine_topology(&data.topology);
     // Windows are keyed by canonical name; build the lookup from the
@@ -251,7 +267,10 @@ mod tests {
             let sa = topo.router(l.a.router).system_id;
             let sb = topo.router(l.b.router).system_id;
             let links = table.by_sysid_pair(sa, sb);
-            assert_eq!(links.len(), topo.links_between(l.a.router, l.b.router).len());
+            assert_eq!(
+                links.len(),
+                topo.links_between(l.a.router, l.b.router).len()
+            );
         }
     }
 

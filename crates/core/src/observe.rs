@@ -1,0 +1,253 @@
+//! Per-stage observability for the analysis pipeline.
+//!
+//! Production log-analysis systems live or die on knowing where time and
+//! items go: events ingested, transitions derived, failures
+//! reconstructed, matches made, items dropped by sanitization. This
+//! module is that accounting layer. [`crate::analysis::Analysis::run`]
+//! stamps each stage into a [`PipelineReport`] that rides along with the
+//! results; [`crate::export`] serializes it to JSON/CSV for
+//! `BENCH_*.json`-style datapoints.
+//!
+//! Narration: set `RUST_LOG=faultline_core=debug` (or
+//! `FAULTLINE_TRACE=1`) and every recorded stage prints a one-line
+//! summary to stderr as the pipeline runs. The check is a cheap
+//! `OnceLock`-cached environment probe, so disabled narration costs one
+//! branch per stage.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+use std::time::Duration as WallDuration;
+
+/// One pipeline stage's accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stable stage identifier (`link_table`, `resolve_syslog`,
+    /// `isis_transitions`, `dedup_syslog`, `reconstruct`, `sanitize`,
+    /// `match_failures`).
+    pub stage: String,
+    /// Items entering the stage.
+    pub items_in: u64,
+    /// Items leaving the stage.
+    pub items_out: u64,
+    /// Wall-clock time spent, microseconds.
+    pub wall_micros: u64,
+}
+
+impl StageReport {
+    /// Wall time in milliseconds.
+    pub fn wall_millis(&self) -> f64 {
+        self.wall_micros as f64 / 1_000.0
+    }
+
+    /// Input items per second; `0.0` for an instantaneous stage.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_micros == 0 {
+            0.0
+        } else {
+            self.items_in as f64 * 1e6 / self.wall_micros as f64
+        }
+    }
+}
+
+/// Headline item counters across the whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineCounters {
+    /// Raw syslog messages offered to resolution.
+    pub syslog_ingested: u64,
+    /// Raw listener transitions offered to the link-level merges (IS and
+    /// IP reachability).
+    pub isis_ingested: u64,
+    /// Link-level transitions derived (IS + IP + deduplicated syslog).
+    pub transitions_derived: u64,
+    /// Failures reconstructed before sanitization, both sources.
+    pub failures_reconstructed: u64,
+    /// Failures surviving sanitization and the multi-link filter, both
+    /// sources.
+    pub failures_after_sanitize: u64,
+    /// Failures dropped between reconstruction and matching (listener
+    /// outages, unverified long failures, multi-link members).
+    pub sanitize_dropped: u64,
+    /// Exact failure matches across the two sources.
+    pub failures_matched: u64,
+    /// Ambiguous double-message periods seen during reconstruction, both
+    /// sources.
+    pub ambiguous_periods: u64,
+}
+
+/// Per-stage counters and wall-clock timings for one
+/// [`crate::analysis::Analysis`] run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Effective worker-thread count the run used.
+    pub threads: usize,
+    /// Per-stage accounting, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Headline counters.
+    pub counters: PipelineCounters,
+    /// End-to-end wall time, microseconds.
+    pub total_micros: u64,
+}
+
+impl PipelineReport {
+    /// New empty report for a run with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        PipelineReport {
+            threads,
+            ..PipelineReport::default()
+        }
+    }
+
+    /// Record a completed stage; narrates it when tracing is enabled.
+    pub fn record_stage(&mut self, stage: &str, items_in: u64, items_out: u64, wall: WallDuration) {
+        let wall_micros = wall.as_micros() as u64;
+        narrate(|| {
+            format!(
+                "stage {stage:<16} {items_in:>9} -> {items_out:>9} items  {:>10.3} ms",
+                wall_micros as f64 / 1_000.0
+            )
+        });
+        self.stages.push(StageReport {
+            stage: stage.to_string(),
+            items_in,
+            items_out,
+            wall_micros,
+        });
+    }
+
+    /// Look up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// End-to-end wall time in milliseconds.
+    pub fn total_millis(&self) -> f64 {
+        self.total_micros as f64 / 1_000.0
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline report: {} stages, {:.3} ms total, {} thread(s)",
+            self.stages.len(),
+            self.total_millis(),
+            self.threads
+        )?;
+        writeln!(
+            f,
+            "  {:<16} {:>10} {:>10} {:>11} {:>12}",
+            "stage", "items in", "items out", "wall (ms)", "items/s"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<16} {:>10} {:>10} {:>11.3} {:>12.0}",
+                s.stage,
+                s.items_in,
+                s.items_out,
+                s.wall_millis(),
+                s.throughput()
+            )?;
+        }
+        let c = &self.counters;
+        writeln!(
+            f,
+            "  ingested {} syslog + {} isis; {} transitions derived",
+            c.syslog_ingested, c.isis_ingested, c.transitions_derived
+        )?;
+        writeln!(
+            f,
+            "  failures: {} reconstructed, {} after sanitize ({} dropped), {} matched; {} ambiguous periods",
+            c.failures_reconstructed,
+            c.failures_after_sanitize,
+            c.sanitize_dropped,
+            c.failures_matched,
+            c.ambiguous_periods
+        )
+    }
+}
+
+/// True when pipeline narration is enabled: `FAULTLINE_TRACE` set to
+/// anything but `0`, or a `RUST_LOG` directive enabling `debug`/`trace`
+/// globally or for `faultline_core`.
+pub fn narration_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        if std::env::var_os("FAULTLINE_TRACE").is_some_and(|v| v != "0") {
+            return true;
+        }
+        match std::env::var("RUST_LOG") {
+            Ok(spec) => spec.split(',').any(|directive| {
+                let d = directive.trim().to_ascii_lowercase();
+                matches!(d.as_str(), "debug" | "trace")
+                    || d.strip_prefix("faultline_core=")
+                        .is_some_and(|lvl| lvl == "debug" || lvl == "trace")
+            }),
+            Err(_) => false,
+        }
+    })
+}
+
+/// Emit a lazily-formatted narration line to stderr when enabled.
+pub fn narrate(line: impl FnOnce() -> String) {
+    if narration_enabled() {
+        eprintln!("[faultline_core] {}", line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineReport {
+        let mut r = PipelineReport::new(4);
+        r.record_stage("resolve_syslog", 1000, 900, WallDuration::from_micros(1500));
+        r.record_stage("reconstruct", 900, 120, WallDuration::from_micros(800));
+        r.counters.syslog_ingested = 1000;
+        r.counters.failures_reconstructed = 120;
+        r.total_micros = 2300;
+        r
+    }
+
+    #[test]
+    fn stage_lookup_and_derived_quantities() {
+        let r = sample();
+        let s = r.stage("resolve_syslog").expect("recorded");
+        assert_eq!(s.items_in, 1000);
+        assert_eq!(s.items_out, 900);
+        assert!((s.wall_millis() - 1.5).abs() < 1e-9);
+        assert!((s.throughput() - 1000.0 * 1e6 / 1500.0).abs() < 1e-6);
+        assert!(r.stage("nonexistent").is_none());
+        assert!((r.total_millis() - 2.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_stage_has_zero_throughput() {
+        let mut r = PipelineReport::new(1);
+        r.record_stage("instant", 5, 5, WallDuration::ZERO);
+        assert_eq!(r.stage("instant").unwrap().throughput(), 0.0);
+    }
+
+    #[test]
+    fn display_names_every_stage() {
+        let r = sample();
+        let text = format!("{r}");
+        assert!(text.contains("resolve_syslog"));
+        assert!(text.contains("reconstruct"));
+        assert!(text.contains("4 thread(s)"));
+        assert!(text.contains("120 reconstructed"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PipelineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.threads, 4);
+        assert_eq!(back.stages.len(), 2);
+        assert_eq!(back.stages[0].wall_micros, 1500);
+        assert_eq!(back.counters.syslog_ingested, 1000);
+    }
+}

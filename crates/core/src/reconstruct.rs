@@ -13,11 +13,12 @@
 //! state, i.e. treat the repeat as spurious — is the default.
 
 use crate::linktable::LinkIx;
+use crate::par::{self, ParallelismConfig};
 use crate::transitions::{LinkTransition, MessageFamily, ResolvedMessage};
 use faultline_isis::listener::TransitionDirection;
 use faultline_topology::time::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A reconstructed failure interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +60,37 @@ pub struct AmbiguousPeriod {
 /// How to interpret the ambiguous period between double messages. The
 /// paper evaluates all three and finds `PreviousState` brings syslog
 /// downtime closest to IS-IS downtime (§4.3).
+///
+/// # Examples
+///
+/// The choice only changes how much downtime an ambiguous span is
+/// credited — ambiguity *detection* is strategy-independent:
+///
+/// ```
+/// use faultline_core::reconstruct::{reconstruct, AmbiguityStrategy};
+/// use faultline_core::transitions::LinkTransition;
+/// use faultline_core::LinkIx;
+/// use faultline_isis::listener::TransitionDirection::{Down, Up};
+/// use faultline_topology::time::Timestamp;
+///
+/// // down@10, a second (double) down@40, up@60 on the same link.
+/// let tr = |at, direction| LinkTransition {
+///     at: Timestamp::from_secs(at), link: LinkIx(0), direction,
+/// };
+/// let stream = [tr(10, Down), tr(40, Down), tr(60, Up)];
+///
+/// // Paper's pick: the repeat is spurious, the failure spans 10..60.
+/// let prev = reconstruct(&stream, AmbiguityStrategy::PreviousState);
+/// assert_eq!(prev.total_downtime().as_secs(), 50);
+///
+/// // Assume-up: the span before the repeat was uptime; only 40..60 counts.
+/// let up = reconstruct(&stream, AmbiguityStrategy::AssumeUp);
+/// assert_eq!(up.total_downtime().as_secs(), 20);
+///
+/// // Both saw the same single ambiguous period.
+/// assert_eq!(prev.ambiguous, up.ambiguous);
+/// assert_eq!(prev.ambiguous.len(), 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum AmbiguityStrategy {
     /// Treat the repeated message as a spurious retransmission; the link
@@ -134,6 +166,28 @@ pub fn dedup_syslog(messages: &[ResolvedMessage], window: Duration) -> Vec<LinkT
     out
 }
 
+/// Like [`dedup_syslog`], deduplicating links independently across
+/// threads. The per-link anchor chain never crosses links, so grouping
+/// preserves [`dedup_syslog`]'s semantics exactly; output is sorted by
+/// `(time, link)` and identical for every thread count.
+pub fn dedup_syslog_par(
+    messages: &[ResolvedMessage],
+    window: Duration,
+    par_cfg: &ParallelismConfig,
+) -> Vec<LinkTransition> {
+    let mut groups: BTreeMap<LinkIx, Vec<ResolvedMessage>> = BTreeMap::new();
+    for m in messages {
+        if m.family == MessageFamily::IsisAdjacency {
+            groups.entry(m.link).or_default().push(m.clone());
+        }
+    }
+    let groups: Vec<Vec<ResolvedMessage>> = groups.into_values().collect();
+    let per_link = par::par_map(&groups, par_cfg, |g| dedup_syslog(g, window));
+    let mut out: Vec<LinkTransition> = per_link.into_iter().flatten().collect();
+    out.sort_by_key(|t| (t.at, t.link));
+    out
+}
+
 /// Reconstruct failures from an alternating-with-exceptions transition
 /// stream. `transitions` must be sorted by time (both producers in this
 /// crate emit sorted streams).
@@ -154,10 +208,7 @@ pub fn dedup_syslog(messages: &[ResolvedMessage], window: Duration) -> Vec<LinkT
 /// assert_eq!(r.failures.len(), 1);
 /// assert_eq!(r.total_downtime().as_secs(), 60);
 /// ```
-pub fn reconstruct(
-    transitions: &[LinkTransition],
-    strategy: AmbiguityStrategy,
-) -> Reconstruction {
+pub fn reconstruct(transitions: &[LinkTransition], strategy: AmbiguityStrategy) -> Reconstruction {
     #[derive(Clone, Copy)]
     struct LinkState {
         /// Open failure start, if the link is currently considered down.
@@ -268,6 +319,34 @@ pub fn reconstruct(
     }
 }
 
+/// Like [`reconstruct`], fanning per-link reconstruction across threads.
+/// Each link's state machine is independent; groups are merged in
+/// ascending-link order, so the result equals [`reconstruct`]'s for every
+/// thread count.
+pub fn reconstruct_par(
+    transitions: &[LinkTransition],
+    strategy: AmbiguityStrategy,
+    par_cfg: &ParallelismConfig,
+) -> Reconstruction {
+    let mut groups: BTreeMap<LinkIx, Vec<LinkTransition>> = BTreeMap::new();
+    for t in transitions {
+        groups.entry(t.link).or_default().push(*t);
+    }
+    let groups: Vec<Vec<LinkTransition>> = groups.into_values().collect();
+    let parts = par::par_map(&groups, par_cfg, |g| reconstruct(g, strategy));
+    let mut merged = Reconstruction::default();
+    for mut part in parts {
+        // Groups are visited in ascending-link order and each part is
+        // internally sorted, so the concatenation is already sorted by
+        // `(link, start)`.
+        merged.failures.append(&mut part.failures);
+        merged.ambiguous.append(&mut part.ambiguous);
+        merged.unterminated += part.unterminated;
+        merged.boundary_ups += part.boundary_ups;
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,7 +362,10 @@ mod tests {
 
     #[test]
     fn simple_failure_reconstructed() {
-        let r = reconstruct(&[tr(0, 10, Down), tr(0, 20, Up)], AmbiguityStrategy::default());
+        let r = reconstruct(
+            &[tr(0, 10, Down), tr(0, 20, Up)],
+            AmbiguityStrategy::default(),
+        );
         assert_eq!(
             r.failures,
             vec![Failure {
@@ -373,6 +455,39 @@ mod tests {
         assert_eq!(r.failures[0].duration(), Duration::from_secs(60));
     }
 
+    #[test]
+    fn parallel_reconstruct_matches_serial() {
+        // An interleaved multi-link stream with doubles and boundary ups.
+        let mut stream = Vec::new();
+        for i in 0..240u64 {
+            let link = (i % 7) as u32;
+            let dir = match i % 5 {
+                0 | 2 => Down,
+                4 if i % 3 == 0 => Down, // occasional double-down
+                _ => Up,
+            };
+            stream.push(tr(link, i, dir));
+        }
+        for strategy in [
+            AmbiguityStrategy::PreviousState,
+            AmbiguityStrategy::AssumeDown,
+            AmbiguityStrategy::AssumeUp,
+        ] {
+            let serial = reconstruct(&stream, strategy);
+            for threads in [2, 4, 8] {
+                let cfg = ParallelismConfig {
+                    threads,
+                    chunk_size: 2,
+                };
+                let par = reconstruct_par(&stream, strategy, &cfg);
+                assert_eq!(serial.failures, par.failures, "{strategy:?} t={threads}");
+                assert_eq!(serial.ambiguous, par.ambiguous);
+                assert_eq!(serial.unterminated, par.unterminated);
+                assert_eq!(serial.boundary_ups, par.boundary_ups);
+            }
+        }
+    }
+
     mod dedup {
         use super::*;
         use crate::transitions::MessageFamily;
@@ -441,6 +556,34 @@ mod tests {
             // Each is within 10s of the previous kept anchor.
             let out = dedup_syslog(&msgs, Duration::from_secs(10));
             assert_eq!(out.len(), 1);
+        }
+
+        #[test]
+        fn parallel_dedup_matches_serial() {
+            // Multi-link message stream with confirmations and repeats;
+            // strictly increasing timestamps keep ordering unambiguous.
+            let mut msgs = Vec::new();
+            for i in 0..180u64 {
+                let link = (i % 5) as u32;
+                let dir = if (i / 5) % 2 == 0 { Down } else { Up };
+                let host = if i % 2 == 0 { "a" } else { "b" };
+                msgs.push(msg(
+                    link,
+                    i * 3_000,
+                    dir,
+                    host,
+                    MessageFamily::IsisAdjacency,
+                ));
+            }
+            let serial = dedup_syslog(&msgs, Duration::from_secs(10));
+            for threads in [2, 4] {
+                let cfg = ParallelismConfig {
+                    threads,
+                    chunk_size: 1,
+                };
+                let par = dedup_syslog_par(&msgs, Duration::from_secs(10), &cfg);
+                assert_eq!(serial, par, "threads={threads}");
+            }
         }
 
         #[test]

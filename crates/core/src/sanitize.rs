@@ -109,11 +109,11 @@ mod tests {
         let mut report = SanitizeReport::default();
         let kept = remove_offline_spanning(
             vec![
-                fail(0, 10, 50),    // before: kept
-                fail(0, 90, 110),   // straddles start: removed
-                fail(0, 120, 150),  // inside: removed
-                fail(0, 190, 400),  // straddles end: removed
-                fail(0, 300, 400),  // after: kept
+                fail(0, 10, 50),   // before: kept
+                fail(0, 90, 110),  // straddles start: removed
+                fail(0, 120, 150), // inside: removed
+                fail(0, 190, 400), // straddles end: removed
+                fail(0, 300, 400), // after: kept
             ],
             &spans,
             &mut report,
@@ -141,9 +141,9 @@ mod tests {
         let mut report = SanitizeReport::default();
         let kept = verify_long_failures(
             vec![
-                fail(0, 0, 100),          // short: untouched
-                fail(1, 0, 2 * day),      // long, verified
-                fail(2, 0, 3 * day),      // long, unverified: dropped
+                fail(0, 0, 100),     // short: untouched
+                fail(1, 0, 2 * day), // long, verified
+                fail(2, 0, 3 * day), // long, unverified: dropped
             ],
             Duration::from_hours(24),
             |link, _, _| link == LinkIx(1),
@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(kept.len(), 2);
         assert_eq!(report.long_checked, 2);
         assert_eq!(report.long_removed, 1);
-        assert_eq!(report.long_removed_ms, Duration::from_secs(3 * day).as_millis());
+        assert_eq!(
+            report.long_removed_ms,
+            Duration::from_secs(3 * day).as_millis()
+        );
     }
 
     #[test]

@@ -103,13 +103,8 @@ pub fn metric_samples(
         let years = table.years(ix).max(1e-6);
         let samples = out.get_mut(&class).expect("both classes present");
         let fs = per_link.get(&ix).map(Vec::as_slice).unwrap_or(&[]);
-        samples
-            .failures_per_link
-            .push(fs.len() as f64 / years);
-        let downtime_h: f64 = fs
-            .iter()
-            .map(|f| f.duration().as_hours_f64())
-            .sum();
+        samples.failures_per_link.push(fs.len() as f64 / years);
+        let downtime_h: f64 = fs.iter().map(|f| f.duration().as_hours_f64()).sum();
         samples.downtime_hours_per_link.push(downtime_h / years);
         for f in fs {
             samples
@@ -262,11 +257,7 @@ mod tests {
         let dt: f64 = s.downtime_hours_per_link.iter().sum();
         assert!((dt - 0.025).abs() < 1e-9);
         // Links with zero failures contribute zero samples.
-        let zeros = s
-            .failures_per_link
-            .iter()
-            .filter(|&&x| x == 0.0)
-            .count();
+        let zeros = s.failures_per_link.iter().filter(|&&x| x == 0.0).count();
         assert!(zeros > 0);
     }
 }

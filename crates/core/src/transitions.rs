@@ -15,6 +15,7 @@
 //! hence excluded and counted) and IP reachability (unique /31s).
 
 use crate::linktable::{LinkIx, LinkTable};
+use crate::par::{self, ParallelismConfig};
 use faultline_isis::listener::{
     ReachabilityKind, Transition, TransitionDirection, TransitionSubject,
 };
@@ -22,7 +23,7 @@ use faultline_syslog::message::{AdjChangeDetail, LinkEventKind, SyslogMessage};
 use faultline_topology::osi::SystemId;
 use faultline_topology::time::Timestamp;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A link-level state transition (the unit both sources are reduced to).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -148,14 +149,27 @@ pub fn isis_link_transitions(
     table: &LinkTable,
     kind: ReachabilityKind,
 ) -> (Vec<LinkTransition>, IsisMergeStats) {
-    let mut stats = IsisMergeStats::default();
-    let mut out = Vec::new();
-    // Which endpoints currently advertise each link (both assumed up at
-    // the start of the measurement period).
-    let mut advertised: HashMap<(LinkIx, SystemId), bool> = HashMap::new();
-    // Down-count per link (0 = fully up).
-    let mut down_count: HashMap<LinkIx, u8> = HashMap::new();
+    isis_link_transitions_par(raw, table, kind, &ParallelismConfig::SERIAL)
+}
 
+/// Like [`isis_link_transitions`], fanning the per-link both-ends merges
+/// across threads.
+///
+/// Resolution to links stays serial (a couple of hash lookups per raw
+/// transition); the stateful AND-merge — the expensive part on flapping
+/// links — runs one state machine per link. Output is sorted by
+/// `(time, link)` and identical for every thread count.
+pub fn isis_link_transitions_par(
+    raw: &[Transition],
+    table: &LinkTable,
+    kind: ReachabilityKind,
+    par_cfg: &ParallelismConfig,
+) -> (Vec<LinkTransition>, IsisMergeStats) {
+    let mut stats = IsisMergeStats::default();
+    // Per-link event groups in raw-stream (time) order. BTreeMap keeps
+    // the groups in ascending-link order for the deterministic merge.
+    let mut groups: BTreeMap<LinkIx, Vec<(Timestamp, SystemId, TransitionDirection)>> =
+        BTreeMap::new();
     for t in raw {
         if t.kind != kind {
             continue;
@@ -190,48 +204,79 @@ pub fn isis_link_transitions(
                 continue;
             }
         };
+        groups
+            .entry(link)
+            .or_default()
+            .push((t.at, t.source, t.direction));
+    }
 
-        let key = (link, t.source);
-        let adv = advertised.entry(key).or_insert(true);
-        let dc = down_count.entry(link).or_insert(0);
-        match t.direction {
+    let groups: Vec<(LinkIx, Vec<(Timestamp, SystemId, TransitionDirection)>)> =
+        groups.into_iter().collect();
+    let merged = par::par_map(&groups, par_cfg, |(link, events)| {
+        merge_one_link(*link, events)
+    });
+    let mut out = Vec::new();
+    for (transitions, inconsistent) in merged {
+        stats.inconsistent += inconsistent;
+        stats.emitted += transitions.len() as u64;
+        out.extend(transitions);
+    }
+    out.sort_by_key(|t| (t.at, t.link));
+    (out, stats)
+}
+
+/// The both-ends AND-merge for one link's per-origin events (in time
+/// order): DOWN fires on the first endpoint's withdrawal, UP only once
+/// both ends re-advertise. Returns the link-level transitions and the
+/// count of state-inconsistent raw events.
+fn merge_one_link(
+    link: LinkIx,
+    events: &[(Timestamp, SystemId, TransitionDirection)],
+) -> (Vec<LinkTransition>, u64) {
+    // Which endpoints currently advertise the link (both assumed up at
+    // the start of the measurement period).
+    let mut advertised: HashMap<SystemId, bool> = HashMap::new();
+    // Withdrawn-endpoint count (0 = fully up).
+    let mut down_count: u32 = 0;
+    let mut inconsistent = 0u64;
+    let mut out = Vec::new();
+    for &(at, source, direction) in events {
+        let adv = advertised.entry(source).or_insert(true);
+        match direction {
             TransitionDirection::Down => {
                 if !*adv {
-                    stats.inconsistent += 1;
+                    inconsistent += 1;
                     continue;
                 }
                 *adv = false;
-                *dc += 1;
-                if *dc == 1 {
+                down_count += 1;
+                if down_count == 1 {
                     // First withdrawal: the link-level DOWN event.
                     out.push(LinkTransition {
-                        at: t.at,
+                        at,
                         link,
                         direction: TransitionDirection::Down,
                     });
-                    stats.emitted += 1;
                 }
             }
             TransitionDirection::Up => {
                 if *adv {
-                    stats.inconsistent += 1;
+                    inconsistent += 1;
                     continue;
                 }
                 *adv = true;
-                *dc -= 1;
-                if *dc == 0 {
+                down_count -= 1;
+                if down_count == 0 {
                     out.push(LinkTransition {
-                        at: t.at,
+                        at,
                         link,
                         direction: TransitionDirection::Up,
                     });
-                    stats.emitted += 1;
                 }
             }
         }
     }
-    out.sort_by_key(|t| (t.at, t.link));
-    (out, stats)
+    (out, inconsistent)
 }
 
 #[cfg(test)]
@@ -279,12 +324,17 @@ mod tests {
             let prev = state.insert(t.link, t.direction);
             if let Some(prev) = prev {
                 assert_ne!(
-                    prev, t.direction,
+                    prev,
+                    t.direction,
                     "link-level transitions must alternate on {:?}",
                     table.name(t.link)
                 );
             } else {
-                assert_eq!(t.direction, TransitionDirection::Down, "first event is DOWN");
+                assert_eq!(
+                    t.direction,
+                    TransitionDirection::Down,
+                    "first event is DOWN"
+                );
             }
         }
     }
@@ -321,6 +371,24 @@ mod tests {
                     + stats.inconsistent
         );
         assert_eq!(stats.unknown, 0, "all routers are in the mined inventory");
+    }
+
+    #[test]
+    fn parallel_merge_matches_serial() {
+        let (data, table) = scenario();
+        for kind in [ReachabilityKind::IsReach, ReachabilityKind::IpReach] {
+            let (serial, serial_stats) = isis_link_transitions(&data.transitions, &table, kind);
+            for threads in [2, 4] {
+                let cfg = ParallelismConfig {
+                    threads,
+                    chunk_size: 3,
+                };
+                let (par, par_stats) =
+                    isis_link_transitions_par(&data.transitions, &table, kind, &cfg);
+                assert_eq!(serial, par, "{kind:?} threads={threads}");
+                assert_eq!(serial_stats, par_stats);
+            }
+        }
     }
 
     #[test]

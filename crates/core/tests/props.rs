@@ -14,24 +14,22 @@ use faultline_topology::time::{Duration, Timestamp};
 use proptest::prelude::*;
 
 fn arb_transitions(max_links: u32, n: usize) -> impl Strategy<Value = Vec<LinkTransition>> {
-    proptest::collection::vec(
-        (0..max_links, 0u64..1_000_000, any::<bool>()),
-        0..n,
+    proptest::collection::vec((0..max_links, 0u64..1_000_000, any::<bool>()), 0..n).prop_map(
+        |mut v| {
+            v.sort_by_key(|&(_, at, _)| at);
+            v.into_iter()
+                .map(|(l, at, up)| LinkTransition {
+                    at: Timestamp::from_secs(at),
+                    link: LinkIx(l),
+                    direction: if up {
+                        TransitionDirection::Up
+                    } else {
+                        TransitionDirection::Down
+                    },
+                })
+                .collect()
+        },
     )
-    .prop_map(|mut v| {
-        v.sort_by_key(|&(_, at, _)| at);
-        v.into_iter()
-            .map(|(l, at, up)| LinkTransition {
-                at: Timestamp::from_secs(at),
-                link: LinkIx(l),
-                direction: if up {
-                    TransitionDirection::Up
-                } else {
-                    TransitionDirection::Down
-                },
-            })
-            .collect()
-    })
 }
 
 fn arb_failures(max_links: u32, n: usize) -> impl Strategy<Value = Vec<Failure>> {

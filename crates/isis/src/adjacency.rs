@@ -292,7 +292,10 @@ mod tests {
         let stranger = SystemId::from_index(99);
         let mut fsm = AdjacencyFsm::new(us, them, Duration::from_secs(30));
         assert!(fsm
-            .on_hello(&hello(stranger, Some(us), ThreeWayState::Up), Timestamp::EPOCH)
+            .on_hello(
+                &hello(stranger, Some(us), ThreeWayState::Up),
+                Timestamp::EPOCH
+            )
             .is_none());
         assert_eq!(fsm.state(), AdjacencyState::Down);
     }

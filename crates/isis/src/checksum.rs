@@ -33,7 +33,11 @@ pub fn fletcher_compute(buf: &[u8], offset: usize) -> u16 {
     let mut c0: i64 = 0;
     let mut c1: i64 = 0;
     for (i, &b) in buf.iter().enumerate() {
-        let v = if i == offset || i == offset + 1 { 0 } else { b as i64 };
+        let v = if i == offset || i == offset + 1 {
+            0
+        } else {
+            b as i64
+        };
         c0 += v;
         c1 += c0;
         // Defer the modulus; these sums cannot overflow i64 for any PDU
@@ -125,7 +129,9 @@ mod tests {
         // Deterministic LCG so the test needs no rand dependency here.
         let mut state: u64 = 0x1234_5678;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u8
         };
         for len in [3usize, 8, 17, 64, 255, 1492] {

@@ -39,8 +39,8 @@ pub mod adjacency;
 pub mod checksum;
 pub mod consts;
 pub mod hello;
-pub mod lsdb;
 pub mod listener;
+pub mod lsdb;
 pub mod lsp;
 pub mod snp;
 pub mod spf;

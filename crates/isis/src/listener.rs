@@ -390,7 +390,10 @@ mod tests {
     #[test]
     fn first_lsp_sets_baseline_silently() {
         let mut l = Listener::new();
-        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2, 3], &[(p(10, 0, 0, 0), 31)]));
+        l.receive(
+            Timestamp::EPOCH,
+            lsp(1, 1, &[2, 3], &[(p(10, 0, 0, 0), 31)]),
+        );
         assert!(l.transitions().is_empty());
         assert_eq!(l.hostnames().get(&sysid(1)).unwrap(), "r1");
     }
@@ -426,10 +429,7 @@ mod tests {
         let t = l.transitions();
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].kind, ReachabilityKind::IpReach);
-        assert_eq!(
-            t[0].subject.as_subnet().unwrap().to_string(),
-            "10.0.0.2/31"
-        );
+        assert_eq!(t[0].subject.as_subnet().unwrap().to_string(), "10.0.0.2/31");
     }
 
     #[test]
@@ -454,7 +454,10 @@ mod tests {
     #[test]
     fn purge_withdraws_everything() {
         let mut l = Listener::new();
-        l.receive(Timestamp::EPOCH, lsp(1, 1, &[2, 3], &[(p(10, 0, 0, 0), 31)]));
+        l.receive(
+            Timestamp::EPOCH,
+            lsp(1, 1, &[2, 3], &[(p(10, 0, 0, 0), 31)]),
+        );
         let mut purge = lsp(1, 2, &[], &[]);
         purge.lifetime = 0;
         l.receive(Timestamp::from_secs(9), purge);
@@ -505,7 +508,8 @@ mod tests {
         let l1 = lsp(1, 1, &[2], &[]);
         let l2 = lsp(1, 2, &[], &[]);
         l.receive_bytes(Timestamp::EPOCH, &l1.encode()).unwrap();
-        l.receive_bytes(Timestamp::from_secs(3), &l2.encode()).unwrap();
+        l.receive_bytes(Timestamp::from_secs(3), &l2.encode())
+            .unwrap();
         assert_eq!(l.transitions().len(), 1);
         assert_eq!(l.transitions()[0].direction, TransitionDirection::Down);
     }

@@ -50,7 +50,11 @@ impl Lsdb {
     /// Apply the acceptance rules to an incoming LSP. On `New`/`Updated`
     /// the stored entry is replaced; the displaced entry (the *previous*
     /// advertisement) is returned so callers can diff against it.
-    pub fn install(&mut self, lsp: Lsp, received_at: Timestamp) -> (InstallOutcome, Option<LsdbEntry>) {
+    pub fn install(
+        &mut self,
+        lsp: Lsp,
+        received_at: Timestamp,
+    ) -> (InstallOutcome, Option<LsdbEntry>) {
         if lsp.is_purge() {
             let prev = self.entries.remove(&lsp.id);
             return (InstallOutcome::Purged, prev);
@@ -100,8 +104,8 @@ impl Lsdb {
             .entries
             .iter()
             .filter(|(_, e)| {
-                let deadline =
-                    e.received_at + faultline_topology::time::Duration::from_secs(e.lsp.lifetime as u64);
+                let deadline = e.received_at
+                    + faultline_topology::time::Duration::from_secs(e.lsp.lifetime as u64);
                 deadline <= now
             })
             .map(|(id, _)| *id)
@@ -175,7 +179,9 @@ mod tests {
         let mut db = Lsdb::new();
         db.install(lsp(1), Timestamp::EPOCH);
         let lifetime = Duration::from_secs(crate::consts::DEFAULT_LIFETIME_SECS as u64);
-        assert!(db.expire(Timestamp::EPOCH + lifetime - Duration::SECOND).is_empty());
+        assert!(db
+            .expire(Timestamp::EPOCH + lifetime - Duration::SECOND)
+            .is_empty());
         let expired = db.expire(Timestamp::EPOCH + lifetime);
         assert_eq!(expired.len(), 1);
         assert!(db.is_empty());

@@ -60,7 +60,11 @@ impl LspId {
 
 impl fmt::Display for LspId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:02x}-{:02x}", self.system_id, self.pseudonode, self.fragment)
+        write!(
+            f,
+            "{}.{:02x}-{:02x}",
+            self.system_id, self.pseudonode, self.fragment
+        )
     }
 }
 

@@ -220,10 +220,7 @@ impl Csnp {
 
     /// Which of `self`'s entries are missing or newer relative to a local
     /// summary — the LSPs the receiver must request (the resync set).
-    pub fn missing_from(
-        &self,
-        local: impl Fn(&LspId) -> Option<u32>,
-    ) -> Vec<&LspEntry> {
+    pub fn missing_from(&self, local: impl Fn(&LspId) -> Option<u32>) -> Vec<&LspEntry> {
         self.entries
             .iter()
             .filter(|e| match local(&e.id) {
@@ -299,7 +296,11 @@ mod tests {
             SystemId::from_index(1),
             vec![entry(9, 1), entry(2, 1), entry(5, 1)],
         );
-        let ids: Vec<u32> = csnp.entries.iter().map(|e| e.id.system_id.index()).collect();
+        let ids: Vec<u32> = csnp
+            .entries
+            .iter()
+            .map(|e| e.id.system_id.index())
+            .collect();
         assert_eq!(ids, vec![2, 5, 9]);
     }
 
@@ -338,7 +339,10 @@ mod tests {
         let wire = csnp.encode();
         assert_eq!(Psnp::decode(&wire), Err(SnpError::WrongType));
         assert_eq!(Csnp::decode(&wire[..20]), Err(SnpError::Truncated));
-        assert_eq!(Csnp::decode(&wire[..wire.len() - 1]), Err(SnpError::Truncated));
+        assert_eq!(
+            Csnp::decode(&wire[..wire.len() - 1]),
+            Err(SnpError::Truncated)
+        );
     }
 
     #[test]

@@ -224,7 +224,10 @@ mod tests {
     fn withdrawal_reroutes_traffic() {
         let mut g = triangle();
         let before = g.spf(sysid(1));
-        assert_eq!(before.iter().find(|r| r.dest == sysid(3)).unwrap().metric, 20);
+        assert_eq!(
+            before.iter().find(|r| r.dest == sysid(3)).unwrap().metric,
+            20
+        );
         // Link 2-3 fails: both ends withdraw.
         g.install(&lsp(2, &[(1, 10)]));
         g.install(&lsp(3, &[(1, 50)]));
@@ -258,9 +261,7 @@ mod tests {
                     .map(|&lid| {
                         let l = topo.link(lid);
                         IsReachEntry {
-                            neighbor: topo
-                                .router(l.other_end(r.id).expect("incident"))
-                                .system_id,
+                            neighbor: topo.router(l.other_end(r.id).expect("incident")).system_id,
                             pseudonode: 0,
                             metric: l.metric,
                         }
@@ -298,7 +299,11 @@ mod tests {
         assert_eq!(r1, r2);
         let to4 = r1.iter().find(|r| r.dest == sysid(4)).unwrap();
         assert_eq!(to4.metric, 20);
-        assert_eq!(to4.next_hop, sysid(2), "lexically smaller next hop wins ties");
+        assert_eq!(
+            to4.next_hop,
+            sysid(2),
+            "lexically smaller next hop wins ties"
+        );
     }
 
     #[test]
@@ -306,6 +311,9 @@ mod tests {
         let g = SpfGraph::new();
         assert!(g.spf(sysid(1)).is_empty());
         assert!(g.systems().is_empty());
-        assert!(g.reachable(sysid(1), sysid(1)), "self is trivially reachable");
+        assert!(
+            g.reachable(sysid(1), sysid(1)),
+            "self is trivially reachable"
+        );
     }
 }

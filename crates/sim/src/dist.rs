@@ -141,7 +141,9 @@ mod tests {
     #[test]
     fn log_uniform_respects_bounds_and_decades() {
         let mut r = rng();
-        let xs: Vec<f64> = (0..100_000).map(|_| log_uniform(&mut r, 1.0, 100.0)).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| log_uniform(&mut r, 1.0, 100.0))
+            .collect();
         assert!(xs.iter().all(|&x| (1.0..=100.0).contains(&x)));
         // Equal mass per decade: about half below 10.
         let below10 = xs.iter().filter(|&&x| x < 10.0).count() as f64 / xs.len() as f64;

@@ -179,7 +179,10 @@ mod tests {
         let mut node = RouterNode::new(&topo, RouterId(0));
         let lsp = node.originate();
         assert_eq!(lsp.sequence, 1);
-        assert_eq!(lsp.hostname(), Some(topo.router(RouterId(0)).hostname.as_str()));
+        assert_eq!(
+            lsp.hostname(),
+            Some(topo.router(RouterId(0)).hostname.as_str())
+        );
         assert_eq!(lsp.ip_prefixes().len(), topo.links_of(RouterId(0)).len());
         // Neighbor entries may be fewer than links (parallel links).
         assert!(lsp.is_neighbors().len() <= topo.links_of(RouterId(0)).len());
@@ -211,10 +214,7 @@ mod tests {
         let twin = topo
             .links()
             .iter()
-            .find(|l| {
-                l.id != parallel.id
-                    && l.parallel_group == parallel.parallel_group
-            })
+            .find(|l| l.id != parallel.id && l.parallel_group == parallel.parallel_group)
             .expect("parallel group has two members");
         let mut node = RouterNode::new(&topo, parallel.a.router);
         // One member down: neighbor still advertised.
@@ -258,13 +258,12 @@ mod tests {
         node.set_adjacency(link.id, false);
         node.set_prefix(link.id, false);
         let after = node.originate();
-        assert_eq!(
-            before.is_neighbors().len() - 1,
-            after.is_neighbors().len()
-        );
+        assert_eq!(before.is_neighbors().len() - 1, after.is_neighbors().len());
         assert_eq!(before.ip_prefixes().len() - 1, after.ip_prefixes().len());
         let withdrawn = node.neighbor_on(link.id).unwrap();
-        assert!(!after.is_neighbors().iter().any(|e| e.neighbor == withdrawn)
-            || topo.links_between(link.a.router, link.b.router).len() > 1);
+        assert!(
+            !after.is_neighbors().iter().any(|e| e.neighbor == withdrawn)
+                || topo.links_between(link.a.router, link.b.router).len() > 1
+        );
     }
 }

@@ -211,6 +211,49 @@ impl ScenarioParams {
         }
     }
 
+    /// A scenario whose network dimensions are a fraction (or multiple)
+    /// of the paper's CENIC deployment, for scaling benchmarks: `scale`
+    /// multiplies every [`CenicParams`] dimension (clamped so the
+    /// generator's invariants hold — at least a 3-router backbone ring,
+    /// enough links to close it, one uplink per CPE router), and
+    /// `period_days` sets the simulated measurement period.
+    ///
+    /// `sized(seed, 1.0, 389.0)` is the paper-scale network;
+    /// `sized(seed, 0.25, 30.0)` is a quarter-size network observed for
+    /// a month.
+    pub fn sized(seed: u64, scale: f64, period_days: f64) -> Self {
+        let dim = |paper: usize, floor: usize| -> usize {
+            ((paper as f64 * scale).round() as usize).max(floor)
+        };
+        let core_routers = dim(60, 3);
+        let cpe_routers = dim(175, 1);
+        let customers = dim(130, 1).min(cpe_routers);
+        ScenarioParams {
+            topology: CenicParams {
+                core_routers,
+                cpe_routers,
+                core_links: dim(84, core_routers),
+                cpe_links: dim(215, cpe_routers),
+                multi_link_pairs: dim(26, 0),
+                customers,
+                period_days,
+                seed,
+                ..CenicParams::default()
+            },
+            workload: WorkloadParams {
+                period_days,
+                seed: seed ^ 0xABCD,
+                ..WorkloadParams::default()
+            },
+            transport: TransportConfig {
+                seed: seed ^ 0x7777,
+                ..TransportConfig::default()
+            },
+            seed,
+            ..ScenarioParams::default()
+        }
+    }
+
     /// A deterministic, lossless variant of `self`: syslog transport
     /// delivers everything, no pseudo-events are injected by transport.
     /// With no loss, the two reconstructions must closely agree — the
@@ -294,7 +337,11 @@ enum Ev {
     },
     /// The delayed application of an interface change to the advertised
     /// IP reachability (LSP-generation timer).
-    PrefixAdvert { link: LinkId, side: u8, up: bool },
+    PrefixAdvert {
+        link: LinkId,
+        side: u8,
+        up: bool,
+    },
     /// A syslog-only pseudo-event message (§4.3).
     Pseudo {
         link: LinkId,
@@ -305,9 +352,13 @@ enum Ev {
     /// An LSP reaching the listener.
     LspArrival(LspPayload),
     /// Periodic LSP refresh.
-    Refresh { router: u32 },
+    Refresh {
+        router: u32,
+    },
     /// Post-outage resync flood of one router's current LSP.
-    Resync { router: u32 },
+    Resync {
+        router: u32,
+    },
     /// Listener goes offline / comes back.
     Offline,
     Online,
@@ -378,8 +429,9 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
             if dur.as_millis() + 60_000 >= period.as_millis() {
                 continue;
             }
-            let start =
-                Timestamp::from_millis(rng.random_range(60_000..period.as_millis() - dur.as_millis()));
+            let start = Timestamp::from_millis(
+                rng.random_range(60_000..period.as_millis() - dur.as_millis()),
+            );
             let end = start + dur;
             if spans
                 .iter()
@@ -421,13 +473,12 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
             for (i, f) in fs.iter().enumerate() {
                 let next_start = fs.get(i + 1).map(|n| n.start).unwrap_or(window.to);
                 let dur = f.duration();
-                let physical = matches!(f.cause, FailureCause::Physical | FailureCause::Maintenance);
+                let physical =
+                    matches!(f.cause, FailureCause::Physical | FailureCause::Maintenance);
                 // Long outages can be syslog-silent (site powered down):
                 // IS-IS still records the withdrawal via surviving LSPs.
                 let silent = match f.cause {
-                    FailureCause::Maintenance => {
-                        rng.random::<f64>() < t.silent_maintenance_prob
-                    }
+                    FailureCause::Maintenance => rng.random::<f64>() < t.silent_maintenance_prob,
                     FailureCause::Physical if dur >= t.silent_threshold => {
                         rng.random::<f64>() < t.silent_long_prob
                     }
@@ -437,15 +488,14 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
                 // Platform logging gaps: one random side may log nothing
                 // for this failure; additionally, one side's Up alone may
                 // be suppressed (never the only remaining reporter).
-                let silent_side: Option<u8> = (rng.random::<f64>() < t.one_sided_prob)
-                    .then(|| rng.random_range(0..2));
-                let up_silent_side: Option<u8> = if silent_side.is_none()
-                    && rng.random::<f64>() < t.one_sided_up_extra
-                {
-                    Some(rng.random_range(0..2))
-                } else {
-                    None
-                };
+                let silent_side: Option<u8> =
+                    (rng.random::<f64>() < t.one_sided_prob).then(|| rng.random_range(0..2));
+                let up_silent_side: Option<u8> =
+                    if silent_side.is_none() && rng.random::<f64>() < t.one_sided_up_extra {
+                        Some(rng.random_range(0..2))
+                    } else {
+                        None
+                    };
                 let handshake = Duration::from_millis(
                     rng.random_range(t.handshake.0.as_millis()..=t.handshake.1.as_millis()),
                 );
@@ -473,7 +523,11 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
                     // Clamp: after the previous up event, before recovery.
                     let down_t = (f.start + down_delay)
                         .max(last_adj[side as usize] + Duration::from_millis(50))
-                        .min(f.end.saturating_sub(Duration::from_millis(100)).max(f.start));
+                        .min(
+                            f.end
+                                .saturating_sub(Duration::from_millis(100))
+                                .max(f.start),
+                        );
                     let up_extra = if side == first {
                         Duration::ZERO
                     } else {
@@ -516,8 +570,9 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
                             && dur > d_lo + Duration::from_secs(15)
                         {
                             let hi = d_hi.as_millis().min(dur.as_millis() * 4 / 5);
-                            let delay =
-                                Duration::from_millis(rng.random_range(d_lo.as_millis()..=hi.max(d_lo.as_millis() + 1)));
+                            let delay = Duration::from_millis(
+                                rng.random_range(d_lo.as_millis()..=hi.max(d_lo.as_millis() + 1)),
+                            );
                             queue.schedule(
                                 down_t + delay,
                                 Ev::Pseudo {
@@ -529,9 +584,9 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
                             );
                         }
                         if rng.random::<f64>() < t.spurious_up_prob
-                            && next_start.checked_duration_since(up_t).is_some_and(|g| {
-                                g > d_hi + Duration::from_secs(10)
-                            })
+                            && next_start
+                                .checked_duration_since(up_t)
+                                .is_some_and(|g| g > d_hi + Duration::from_secs(10))
                         {
                             let delay = Duration::from_millis(
                                 rng.random_range(d_lo.as_millis()..=d_hi.as_millis()),
@@ -554,7 +609,11 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
                                 rng.random_range(20..=t.carrier_detect_max.as_millis().max(21)),
                             ))
                         .max(last_iface[side as usize] + Duration::from_millis(50))
-                        .min(f.end.saturating_sub(Duration::from_millis(100)).max(f.start));
+                        .min(
+                            f.end
+                                .saturating_sub(Duration::from_millis(100))
+                                .max(f.start),
+                        );
                         let ifup = (f.end
                             + Duration::from_millis(
                                 rng.random_range(20..=t.carrier_detect_max.as_millis().max(21)),
@@ -591,7 +650,10 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
     {
         let mut last_blip_end: HashMap<LinkId, Timestamp> = HashMap::new();
         for b in &truth.blips {
-            let prev = last_blip_end.get(&b.link).copied().unwrap_or(Timestamp::EPOCH);
+            let prev = last_blip_end
+                .get(&b.link)
+                .copied()
+                .unwrap_or(Timestamp::EPOCH);
             if b.at <= prev + Duration::SECOND {
                 continue; // overlapping blips collapse
             }
@@ -643,7 +705,10 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
         let mut last_pseudo_end: HashMap<(LinkId, u8), Timestamp> = HashMap::new();
         for p in &truth.pseudo_events {
             let key = (p.link, p.side);
-            let prev = last_pseudo_end.get(&key).copied().unwrap_or(Timestamp::EPOCH);
+            let prev = last_pseudo_end
+                .get(&key)
+                .copied()
+                .unwrap_or(Timestamp::EPOCH);
             if p.at <= prev + Duration::SECOND {
                 continue;
             }
@@ -792,16 +857,17 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
                     s
                 };
                 let delay = if slow {
-                    Duration::from_millis(
-                        rng.random_range(t.ip_slow_delay.0.as_millis()..=t.ip_slow_delay.1.as_millis()),
-                    )
+                    Duration::from_millis(rng.random_range(
+                        t.ip_slow_delay.0.as_millis()..=t.ip_slow_delay.1.as_millis(),
+                    ))
                 } else {
-                    Duration::from_millis(
-                        rng.random_range(t.ip_fast_delay.0.as_millis()..=t.ip_fast_delay.1.as_millis()),
-                    )
+                    Duration::from_millis(rng.random_range(
+                        t.ip_fast_delay.0.as_millis()..=t.ip_fast_delay.1.as_millis(),
+                    ))
                 };
-                let at = (now + delay)
-                    .max(*last_prefix.get(&key).unwrap_or(&Timestamp::EPOCH) + Duration::from_millis(1));
+                let at = (now + delay).max(
+                    *last_prefix.get(&key).unwrap_or(&Timestamp::EPOCH) + Duration::from_millis(1),
+                );
                 last_prefix.insert(key, at);
                 queue.schedule(at, Ev::PrefixAdvert { link, side, up });
             }
@@ -821,7 +887,12 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
                     );
                 }
             }
-            Ev::Pseudo { link, side, up, detail } => {
+            Ev::Pseudo {
+                link,
+                side,
+                up,
+                detail,
+            } => {
                 let rid = side_router(link, side);
                 let other = side_router(link, 1 - side);
                 let node = &mut nodes[rid.0 as usize];
@@ -962,6 +1033,24 @@ mod tests {
     }
 
     #[test]
+    fn sized_scenario_scales_dimensions_and_runs() {
+        let params = ScenarioParams::sized(9, 0.1, 10.0);
+        // A tenth-scale network still satisfies the generator invariants.
+        assert!(params.topology.core_routers >= 3);
+        assert!(params.topology.core_links >= params.topology.core_routers);
+        assert!(params.topology.cpe_links >= params.topology.cpe_routers);
+        assert!(params.topology.customers <= params.topology.cpe_routers);
+        assert_eq!(params.workload.period_days, 10.0);
+        let data = run(&params);
+        assert!(!data.transitions.is_empty());
+        assert!(!data.syslog.is_empty());
+        // Full scale reproduces the paper's dimensions.
+        let paper = ScenarioParams::sized(9, 1.0, 389.0);
+        assert_eq!(paper.topology.core_routers, 60);
+        assert_eq!(paper.topology.cpe_links, 215);
+    }
+
+    #[test]
     fn deterministic_given_params() {
         let a = run(&ScenarioParams::tiny(9));
         let b = run(&ScenarioParams::tiny(9));
@@ -973,10 +1062,7 @@ mod tests {
     #[test]
     fn lossless_scenario_delivers_all_messages() {
         let data = run(&ScenarioParams::tiny(4).lossless());
-        assert_eq!(
-            data.transport_stats.offered,
-            data.transport_stats.delivered
-        );
+        assert_eq!(data.transport_stats.offered, data.transport_stats.delivered);
         assert_eq!(data.transport_stats.spurious, 0);
         assert!(data.offline_spans.is_empty());
     }
@@ -1012,7 +1098,12 @@ mod tests {
                 )
             })
             .count();
-        if data.truth.pseudo_events.iter().any(|p| p.kind == PseudoKind::AdjacencyReset) {
+        if data
+            .truth
+            .pseudo_events
+            .iter()
+            .any(|p| p.kind == PseudoKind::AdjacencyReset)
+        {
             assert!(resets > 0, "adjacency resets must appear in syslog");
         }
     }
@@ -1029,7 +1120,10 @@ mod tests {
     fn offline_span_recorded() {
         let data = run(&ScenarioParams::tiny(8));
         assert_eq!(data.offline_spans.len(), 1);
-        assert!(data.listener_stats.lsps_missed_offline > 0 || data.offline_spans[0].from > Timestamp::EPOCH);
+        assert!(
+            data.listener_stats.lsps_missed_offline > 0
+                || data.offline_spans[0].from > Timestamp::EPOCH
+        );
     }
 
     #[test]

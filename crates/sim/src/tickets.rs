@@ -81,12 +81,10 @@ impl TicketLog {
             if !documented {
                 continue;
             }
-            let open_lag = Duration::from_millis(
-                rng.random_range(0..=params.open_lag_max.as_millis().max(1)),
-            );
-            let close_lag = Duration::from_millis(
-                rng.random_range(0..=params.open_lag_max.as_millis().max(1)),
-            );
+            let open_lag =
+                Duration::from_millis(rng.random_range(0..=params.open_lag_max.as_millis().max(1)));
+            let close_lag =
+                Duration::from_millis(rng.random_range(0..=params.open_lag_max.as_millis().max(1)));
             tickets.push(Ticket {
                 link: f.link,
                 opened: f.start + open_lag,
@@ -117,9 +115,7 @@ impl TicketLog {
         slack: Duration,
     ) -> bool {
         self.tickets.iter().any(|t| {
-            t.link == link
-                && t.opened.abs_diff(start) <= slack
-                && t.closed.abs_diff(end) <= slack
+            t.link == link && t.opened.abs_diff(start) <= slack && t.closed.abs_diff(end) <= slack
         })
     }
 

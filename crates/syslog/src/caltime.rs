@@ -202,7 +202,8 @@ mod tests {
     fn round_trip_across_two_years() {
         for days in [0u64, 1, 11, 12, 45, 72, 73, 100, 200, 365, 366, 389, 500] {
             for extra_ms in [0u64, 1, 59_999, 86_399_999] {
-                let t = Timestamp::EPOCH + Duration::from_days(days) + Duration::from_millis(extra_ms);
+                let t =
+                    Timestamp::EPOCH + Duration::from_days(days) + Duration::from_millis(extra_ms);
                 let text = render(t);
                 assert_eq!(parse(&text), Some(t), "failed for {text}");
             }

@@ -234,7 +234,10 @@ mod tests {
         let text = m.render();
         assert!(text.contains("%ROUTING-ISIS-4-ADJCHANGE:"));
         assert!(text.contains("(L2) Up, New adjacency"));
-        assert!(text.starts_with("<188>"), "XR adjacency severity is 4: {text}");
+        assert!(
+            text.starts_with("<188>"),
+            "XR adjacency severity is 4: {text}"
+        );
     }
 
     #[test]

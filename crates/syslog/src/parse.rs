@@ -23,6 +23,38 @@ pub enum Parsed {
 }
 
 /// Parse one raw line as produced by [`SyslogMessage::render`].
+///
+/// # Examples
+///
+/// A rendered message survives the round-trip back through the parser:
+///
+/// ```
+/// use faultline_syslog::message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
+/// use faultline_syslog::parse::{parse_line, Parsed};
+/// use faultline_topology::interface::InterfaceName;
+/// use faultline_topology::router::RouterOs;
+/// use faultline_topology::time::Timestamp;
+///
+/// let msg = SyslogMessage {
+///     seq: 7,
+///     event: LinkEvent {
+///         at: Timestamp::from_secs(86_400 + 3_723),
+///         host: "lax-agg-01".to_string(),
+///         interface: InterfaceName::ten_gig(3),
+///         kind: LinkEventKind::IsisAdjacency {
+///             neighbor: "sac-agg-01".to_string(),
+///             detail: AdjChangeDetail::HoldTimeExpired,
+///         },
+///         up: false,
+///     },
+///     os: RouterOs::Ios,
+/// };
+///
+/// match parse_line(&msg.render()) {
+///     Parsed::Event(back) => assert_eq!(back, msg),
+///     other => panic!("expected an event, got {other:?}"),
+/// }
+/// ```
 pub fn parse_line(line: &str) -> Parsed {
     // <PRI>SEQ: HOST: TIMESTAMP: %BODY
     let Some(rest) = line.strip_prefix('<') else {
@@ -245,14 +277,21 @@ mod tests {
     fn garbage_rejected() {
         assert_eq!(parse_line(""), Parsed::Garbage);
         assert_eq!(parse_line("not syslog at all"), Parsed::Garbage);
-        assert_eq!(parse_line("<abc>1: h: Oct 21 2010 00:00:00.000: %LINK-3-UPDOWN: x"), Parsed::Garbage);
         assert_eq!(
-            parse_line("<189>1: h: BADTIME: %LINK-3-UPDOWN: Interface Gi0/0, changed state to Down"),
+            parse_line("<abc>1: h: Oct 21 2010 00:00:00.000: %LINK-3-UPDOWN: x"),
+            Parsed::Garbage
+        );
+        assert_eq!(
+            parse_line(
+                "<189>1: h: BADTIME: %LINK-3-UPDOWN: Interface Gi0/0, changed state to Down"
+            ),
             Parsed::Garbage
         );
         // ADJCHANGE with mangled structure.
         assert_eq!(
-            parse_line("<189>1: h: Oct 21 2010 00:00:00.000: %CLNS-5-ADJCHANGE: ISIS: Adjacency to x"),
+            parse_line(
+                "<189>1: h: Oct 21 2010 00:00:00.000: %CLNS-5-ADJCHANGE: ISIS: Adjacency to x"
+            ),
             Parsed::Garbage
         );
     }

@@ -201,7 +201,8 @@ impl LossyTransport {
         // same-direction messages, e.g. %LINK + %LINEPROTO) inherit it.
         let is_down = !message.event.up;
         if is_down && !st.last_was_down {
-            st.pair_dropped = Some(overloaded && self.rng.random::<f64>() < self.cfg.flap_pair_loss);
+            st.pair_dropped =
+                Some(overloaded && self.rng.random::<f64>() < self.cfg.flap_pair_loss);
         }
         st.last_was_down = is_down;
         // An Up with no recorded fate (stream starts mid-failure) passes.
@@ -212,7 +213,9 @@ impl LossyTransport {
         }
 
         // Independent components.
-        if overloaded && self.cfg.flap_msg_loss > 0.0 && self.rng.random::<f64>() < self.cfg.flap_msg_loss
+        if overloaded
+            && self.cfg.flap_msg_loss > 0.0
+            && self.rng.random::<f64>() < self.cfg.flap_msg_loss
         {
             self.stats.dropped_overload_msg += 1;
             return Vec::new();
@@ -352,7 +355,10 @@ mod tests {
             assert_ne!(w[0], w[1], "delivered stream must alternate");
         }
         assert!(t.stats().dropped_overload_pair > 20);
-        assert!(t.stats().dropped_overload_pair.is_multiple_of(2), "pairs drop whole");
+        assert!(
+            t.stats().dropped_overload_pair.is_multiple_of(2),
+            "pairs drop whole"
+        );
     }
 
     #[test]

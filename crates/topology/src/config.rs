@@ -184,10 +184,10 @@ pub fn parse_config(text: &str) -> (Option<String>, Option<Net>, Vec<MinedInterf
     let mut current_addr: Option<Ipv4Addr> = None;
 
     let flush = |iface: &mut Option<InterfaceName>,
-                     addr: &mut Option<Ipv4Addr>,
-                     metric: &mut Option<u32>,
-                     hostname: &Option<String>,
-                     out: &mut Vec<MinedInterface>| {
+                 addr: &mut Option<Ipv4Addr>,
+                 metric: &mut Option<u32>,
+                 hostname: &Option<String>,
+                 out: &mut Vec<MinedInterface>| {
         if let (Some(i), Some(a)) = (iface.take(), addr.take()) {
             if let Some(h) = hostname {
                 out.push(MinedInterface {

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense index of a customer within a [`crate::Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CustomerId(pub u32);
 
 impl fmt::Display for CustomerId {

@@ -139,7 +139,11 @@ impl CenicParams {
                 system_id: SystemId::from_index(i as u32 + 1),
                 // Most of the backbone runs IOS XR; a tail of older IOS
                 // devices keeps both syslog grammars in play.
-                os: if i % 5 == 4 { RouterOs::Ios } else { RouterOs::IosXr },
+                os: if i % 5 == 4 {
+                    RouterOs::Ios
+                } else {
+                    RouterOs::IosXr
+                },
             });
         }
 
@@ -178,8 +182,8 @@ impl CenicParams {
         // pairs live in the backbone, the rest on access links. This puts
         // ~17% of all physical links inside multi-link adjacencies,
         // matching the paper's "blind to 20% of links" observation.
-        let core_parallel_pairs = (self.multi_link_pairs / 3)
-            .min(self.core_links.saturating_sub(self.core_routers));
+        let core_parallel_pairs =
+            (self.multi_link_pairs / 3).min(self.core_links.saturating_sub(self.core_routers));
         let cpe_parallel_pairs = (self.multi_link_pairs - core_parallel_pairs)
             .min(self.cpe_links.saturating_sub(self.cpe_routers));
 
@@ -262,7 +266,15 @@ impl CenicParams {
                 continue;
             }
             joined.insert(pair(a, b));
-            add_link(&mut rng, &mut links, &mut next_slot, a, b, LinkClass::Core, None);
+            add_link(
+                &mut rng,
+                &mut links,
+                &mut next_slot,
+                a,
+                b,
+                LinkClass::Core,
+                None,
+            );
             added += 1;
         }
 
@@ -302,7 +314,15 @@ impl CenicParams {
             let cpe = (self.core_routers + j) as u32;
             let core = hub(&mut rng, self.core_routers);
             joined.insert(pair(cpe, core));
-            add_link(&mut rng, &mut links, &mut next_slot, cpe, core, LinkClass::Cpe, None);
+            add_link(
+                &mut rng,
+                &mut links,
+                &mut next_slot,
+                cpe,
+                core,
+                LinkClass::Cpe,
+                None,
+            );
         }
 
         // Second pass: dual-home a subset of CPE routers to a *different*
@@ -320,7 +340,15 @@ impl CenicParams {
                 continue;
             }
             joined.insert(pair(cpe, core));
-            add_link(&mut rng, &mut links, &mut next_slot, cpe, core, LinkClass::Cpe, None);
+            add_link(
+                &mut rng,
+                &mut links,
+                &mut next_slot,
+                cpe,
+                core,
+                LinkClass::Cpe,
+                None,
+            );
             added += 1;
         }
 

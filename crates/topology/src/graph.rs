@@ -148,8 +148,7 @@ impl<'a> LinkStateView<'a> {
                     touched[r.0 as usize]
                         || self.topo.links_of(*r).iter().any(|l| {
                             let link = self.topo.link(*l);
-                            touched[link.a.router.0 as usize]
-                                || touched[link.b.router.0 as usize]
+                            touched[link.a.router.0 as usize] || touched[link.b.router.0 as usize]
                         })
                 })
             })
@@ -199,7 +198,9 @@ mod tests {
         ];
         let mut subnet = 0u32;
         let mut mk_link = |i: u32, x: u32, y: u32, class| {
-            let s = Subnet31::new(Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 0, 0, 0)) + subnet));
+            let s = Subnet31::new(Ipv4Addr::from(
+                u32::from(Ipv4Addr::new(10, 0, 0, 0)) + subnet,
+            ));
             subnet += 2;
             Link {
                 id: LinkId(i),

@@ -47,9 +47,14 @@ impl InterfaceName {
 
     /// Expand a possibly abbreviated interface name to its long form.
     pub fn expand(text: &str) -> InterfaceName {
-        if let Some(rest) = text.strip_prefix("Te").filter(|r| r.starts_with(char::is_numeric)) {
+        if let Some(rest) = text
+            .strip_prefix("Te")
+            .filter(|r| r.starts_with(char::is_numeric))
+        {
             InterfaceName(format!("TenGigE{rest}"))
-        } else if let Some(rest) = text.strip_prefix("Gi").filter(|r| r.starts_with(char::is_numeric))
+        } else if let Some(rest) = text
+            .strip_prefix("Gi")
+            .filter(|r| r.starts_with(char::is_numeric))
         {
             InterfaceName(format!("GigabitEthernet{rest}"))
         } else {

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense index of a link within a [`crate::Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub u32);
 
 impl fmt::Display for LinkId {
@@ -180,7 +178,10 @@ mod tests {
     #[test]
     fn endpoint_lookup() {
         let l = sample();
-        assert_eq!(l.endpoint_on(RouterId(0)).unwrap().interface.as_str(), "TenGigE0/0/0/0");
+        assert_eq!(
+            l.endpoint_on(RouterId(0)).unwrap().interface.as_str(),
+            "TenGigE0/0/0/0"
+        );
         assert_eq!(l.other_end(RouterId(0)), Some(RouterId(1)));
         assert_eq!(l.other_end(RouterId(1)), Some(RouterId(0)));
         assert_eq!(l.other_end(RouterId(9)), None);

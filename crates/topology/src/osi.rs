@@ -155,7 +155,11 @@ impl Net {
 
 impl fmt::Display for Net {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:02x}.{:04x}.{}.00", self.afi, self.area, self.system_id)
+        write!(
+            f,
+            "{:02x}.{:04x}.{}.00",
+            self.afi, self.area, self.system_id
+        )
     }
 }
 
@@ -173,9 +177,8 @@ impl FromStr for Net {
         let afi = u8::from_str_radix(parts[0], 16).map_err(|_| ParseOsiError {
             reason: "bad AFI byte",
         })?;
-        let area = u16::from_str_radix(parts[1], 16).map_err(|_| ParseOsiError {
-            reason: "bad area",
-        })?;
+        let area =
+            u16::from_str_radix(parts[1], 16).map_err(|_| ParseOsiError { reason: "bad area" })?;
         if parts[5] != "00" {
             return Err(ParseOsiError {
                 reason: "NSAP selector must be 00",

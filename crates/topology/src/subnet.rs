@@ -26,11 +26,7 @@ impl Subnet31 {
 
     /// Construct from the low address; the low bit must be clear.
     pub fn new(base: Ipv4Addr) -> Self {
-        debug_assert_eq!(
-            u32::from(base) & 1,
-            0,
-            "a /31 base address must be even"
-        );
+        debug_assert_eq!(u32::from(base) & 1, 0, "a /31 base address must be even");
         Subnet31 { base }
     }
 

@@ -61,8 +61,7 @@ impl Topology {
         for (i, l) in links.iter().enumerate() {
             assert_eq!(l.id.0 as usize, i, "link ids must be dense");
             assert!(
-                (l.a.router.0 as usize) < routers.len()
-                    && (l.b.router.0 as usize) < routers.len(),
+                (l.a.router.0 as usize) < routers.len() && (l.b.router.0 as usize) < routers.len(),
                 "link references unknown router"
             );
             assert_ne!(l.a.router, l.b.router, "self-links are not allowed");
@@ -90,9 +89,7 @@ impl Topology {
         }
         for l in &self.links {
             for ep in [&l.a, &l.b] {
-                let prev = ix
-                    .by_iface
-                    .insert((ep.router, ep.interface.clone()), l.id);
+                let prev = ix.by_iface.insert((ep.router, ep.interface.clone()), l.id);
                 assert!(
                     prev.is_none(),
                     "interface {}:{} terminates two links",
@@ -170,10 +167,7 @@ impl Topology {
 
     /// The link terminating on `(router, interface)`, the syslog-side key.
     pub fn link_by_interface(&self, router: RouterId, iface: &InterfaceName) -> Option<LinkId> {
-        self.index()
-            .by_iface
-            .get(&(router, iface.clone()))
-            .copied()
+        self.index().by_iface.get(&(router, iface.clone())).copied()
     }
 
     /// All links joining an unordered router pair. More than one entry means
@@ -309,7 +303,10 @@ mod tests {
     fn lookups_work() {
         let t = tiny();
         assert_eq!(t.router_by_hostname("b"), Some(RouterId(1)));
-        assert_eq!(t.router_by_system_id(SystemId::from_index(2)), Some(RouterId(2)));
+        assert_eq!(
+            t.router_by_system_id(SystemId::from_index(2)),
+            Some(RouterId(2))
+        );
         assert_eq!(
             t.link_by_interface(RouterId(0), &InterfaceName::ten_gig(0)),
             Some(LinkId(0))

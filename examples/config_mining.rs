@@ -21,7 +21,10 @@ fn main() {
 
     // Show one rendered config.
     let sample = render_config(&topo, RouterId(0));
-    println!("\n--- {} running-config (first 16 lines) ---", topo.router(RouterId(0)).hostname);
+    println!(
+        "\n--- {} running-config (first 16 lines) ---",
+        topo.router(RouterId(0)).hostname
+    );
     for line in sample.lines().take(16) {
         println!("{line}");
     }
@@ -36,9 +39,7 @@ fn main() {
 
     let between = mined.links_between_hostnames();
     let multi = between.values().filter(|v| v.len() > 1).count();
-    println!(
-        "  multi-link pairs: {multi} (these are invisible to IS reachability, §3.4)"
-    );
+    println!("  multi-link pairs: {multi} (these are invisible to IS reachability, §3.4)");
 
     println!("\nfirst five recovered links (canonical §3.4 names):");
     for l in mined.links.iter().take(5) {
@@ -47,7 +48,10 @@ fn main() {
 
     // Cross-check against the generator's ground truth.
     let truth: std::collections::HashSet<String> = (0..topo.links().len())
-        .map(|i| topo.link_name(faultline_topology::link::LinkId(i as u32)).to_string())
+        .map(|i| {
+            topo.link_name(faultline_topology::link::LinkId(i as u32))
+                .to_string()
+        })
         .collect();
     let recovered = mined
         .links

@@ -26,7 +26,7 @@ pub use faultline_topology as topology;
 
 /// One-stop imports for the common simulate-then-analyze flow.
 pub mod prelude {
-    pub use faultline_core::{Analysis, AnalysisConfig, AmbiguityStrategy};
+    pub use faultline_core::{AmbiguityStrategy, Analysis, AnalysisConfig};
     pub use faultline_sim::scenario::{run, ScenarioData, ScenarioParams};
     pub use faultline_topology::generator::CenicParams;
     pub use faultline_topology::time::{Duration, Timestamp};

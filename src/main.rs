@@ -103,8 +103,14 @@ fn print_exhibits(data: &ScenarioData, exhibit: &str) -> bool {
     }
     if all || exhibit == "table5" {
         println!("{}", a.table5());
-        println!("-- Core --\n{}", a.ks_tests(faultline_topology::link::LinkClass::Core));
-        println!("-- CPE --\n{}", a.ks_tests(faultline_topology::link::LinkClass::Cpe));
+        println!(
+            "-- Core --\n{}",
+            a.ks_tests(faultline_topology::link::LinkClass::Core)
+        );
+        println!(
+            "-- CPE --\n{}",
+            a.ks_tests(faultline_topology::link::LinkClass::Cpe)
+        );
         hit = true;
     }
     if all || exhibit == "table6" {

@@ -62,7 +62,11 @@ fn zero_failure_workload() {
     quiet.seed = 603;
     params.workload = quiet;
     let data = run(&params);
-    assert!(data.truth.failures.len() < 5, "{}", data.truth.failures.len());
+    assert!(
+        data.truth.failures.len() < 5,
+        "{}",
+        data.truth.failures.len()
+    );
     let a = Analysis::new(&data, AnalysisConfig::default());
     let t4 = a.table4();
     assert!(t4.isis_downtime_hours >= 0.0);

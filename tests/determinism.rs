@@ -2,12 +2,15 @@
 //! function of its seeds. Re-running a scenario and its analysis must
 //! yield byte-identical results; changing any seed must change them.
 
-use faultline_core::{Analysis, AnalysisConfig};
+use faultline_core::{Analysis, AnalysisConfig, ParallelismConfig};
 use faultline_sim::scenario::{run, ScenarioParams};
 
 fn fingerprint(params: &ScenarioParams) -> String {
     let data = run(params);
-    let a = Analysis::new(&data, AnalysisConfig::default());
+    fingerprint_with(&Analysis::new(&data, AnalysisConfig::default()))
+}
+
+fn fingerprint_with(a: &Analysis<'_>) -> String {
     let t4 = a.table4();
     let t3 = a.table3();
     let (t6, _) = a.table6();
@@ -21,7 +24,7 @@ fn fingerprint(params: &ScenarioParams) -> String {
         t3.down.none,
         t3.up.both,
         t6.total_ambiguous,
-        data.raw_syslog_lines,
+        a.data.raw_syslog_lines,
     )
 }
 
@@ -29,6 +32,39 @@ fn fingerprint(params: &ScenarioParams) -> String {
 fn same_seed_same_results() {
     let params = ScenarioParams::tiny(301);
     assert_eq!(fingerprint(&params), fingerprint(&params));
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let data = run(&ScenarioParams::tiny(305));
+    let serial = Analysis::run(
+        &data,
+        AnalysisConfig {
+            parallelism: ParallelismConfig::SERIAL,
+            ..AnalysisConfig::default()
+        },
+    );
+    let baseline = fingerprint_with(&serial);
+    // Every fan-out must be byte-identical to the serial pipeline,
+    // including awkward chunk sizes. threads = 0 is "auto".
+    for (threads, chunk_size) in [(0, 16), (2, 1), (4, 7), (8, 16)] {
+        let config = AnalysisConfig {
+            parallelism: ParallelismConfig {
+                threads,
+                chunk_size,
+            },
+            ..AnalysisConfig::default()
+        };
+        let parallel = Analysis::run(&data, config);
+        assert_eq!(
+            fingerprint_with(&parallel),
+            baseline,
+            "threads={threads} chunk_size={chunk_size} diverged"
+        );
+        assert_eq!(parallel.isis_failures, serial.isis_failures);
+        assert_eq!(parallel.syslog_failures, serial.syslog_failures);
+        assert_eq!(parallel.syslog_transitions, serial.syslog_transitions);
+    }
 }
 
 #[test]

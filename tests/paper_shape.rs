@@ -84,14 +84,21 @@ fn table4_syslog_counts_more_but_reports_less_downtime() {
     // (-26%). Bands: counts within ±15% of each other with syslog >= 95%
     // of IS-IS; downtime clearly lower for syslog.
     let count_ratio = t4.syslog_failures as f64 / t4.isis_failures as f64;
-    assert!((0.95..1.20).contains(&count_ratio), "count ratio {count_ratio}");
+    assert!(
+        (0.95..1.20).contains(&count_ratio),
+        "count ratio {count_ratio}"
+    );
     let downtime_ratio = t4.syslog_downtime_hours / t4.isis_downtime_hours;
     assert!(
         (0.6..0.95).contains(&downtime_ratio),
         "downtime ratio {downtime_ratio}"
     );
     // Paper scale: ~10-12k failures, ~3-4k hours.
-    assert!((7_000..15_000).contains(&t4.isis_failures), "{}", t4.isis_failures);
+    assert!(
+        (7_000..15_000).contains(&t4.isis_failures),
+        "{}",
+        t4.isis_failures
+    );
     assert!((2_000.0..5_000.0).contains(&t4.isis_downtime_hours));
     // The ticket check removes a multi-thousand-hour block of spurious
     // downtime from a couple dozen long failures (paper: 25 / ~6,000 h).
@@ -151,8 +158,16 @@ fn table6_spurious_dominates_downs_lost_dominates_ups() {
     let (t6, counts) = a.table6();
     // Paper: 461 double-downs, 202 double-ups; more downs than ups.
     assert!(counts.down_total() > counts.up_total());
-    assert!((150..900).contains(&counts.down_total()), "{}", counts.down_total());
-    assert!((40..400).contains(&counts.up_total()), "{}", counts.up_total());
+    assert!(
+        (150..900).contains(&counts.down_total()),
+        "{}",
+        counts.down_total()
+    );
+    assert!(
+        (40..400).contains(&counts.up_total()),
+        "{}",
+        counts.up_total()
+    );
     // Paper: spurious retransmission explains 52% of double-downs (vs 42%
     // lost); lost messages explain 86% of double-ups.
     assert!(
