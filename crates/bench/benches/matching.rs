@@ -21,7 +21,7 @@ fn synth_failures(n: usize, links: u32, seed: u64) -> Vec<Failure> {
             Failure {
                 link: LinkIx(rng.random_range(0..links)),
                 start: Timestamp::from_secs(start),
-                end: Timestamp::from_secs(start + rng.random_range(1..600)),
+                end: Timestamp::from_secs(start + rng.random_range(1u64..600)),
             }
         })
         .collect();

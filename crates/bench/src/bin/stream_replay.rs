@@ -1,0 +1,107 @@
+//! Streaming-replay benchmark: feed the paper-scale scenario through
+//! [`faultline_core::StreamAnalysis`] at several micro-batch sizes and
+//! thread counts, check each replay against the batch pipeline
+//! byte-for-byte, and record the throughput datapoints as
+//! `results/BENCH_stream.json`.
+//!
+//! ```sh
+//! cargo run --release --bin stream_replay
+//! ```
+//!
+//! Each run's JSON carries the full [`faultline_core::PipelineReport`]
+//! (including the `streaming` counters: segments closed before flush,
+//! open-state high-water mark, events per second) so the benchmark
+//! doubles as a monitor for how *incremental* the engine actually is —
+//! a finalized-at-flush count near the failure count would mean it
+//! degenerated into batch.
+
+use faultline_bench::{analyze_with, paper_scenario};
+use faultline_core::export::pipeline_report_json;
+use faultline_core::{
+    scenario_event_stream, AnalysisConfig, ParallelismConfig, PipelineReport, StreamAnalysis,
+    StreamOutput,
+};
+use serde_json::json;
+
+fn config_with(threads: usize) -> AnalysisConfig {
+    AnalysisConfig {
+        parallelism: ParallelismConfig {
+            threads,
+            ..ParallelismConfig::default()
+        },
+        ..AnalysisConfig::default()
+    }
+}
+
+fn main() {
+    let data = paper_scenario();
+    let events = scenario_event_stream(&data);
+    println!(
+        "paper scenario: {} syslog + {} isis = {} events",
+        data.syslog.len(),
+        data.transitions.len(),
+        events.len()
+    );
+
+    let batch = analyze_with(&data, config_with(0));
+    let batch_json =
+        serde_json::to_string(&StreamOutput::of_batch(&batch)).expect("serialize batch output");
+    println!("batch reference: {:.3} ms", batch.report.total_millis());
+
+    let mut runs: Vec<serde_json::Value> = Vec::new();
+    runs.push(report_json("batch_reference", &batch.report));
+
+    for (label, chunk, threads) in [
+        ("event_at_a_time", 1usize, 1usize),
+        ("chunk_256_serial", 256, 1),
+        ("chunk_256_parallel", 256, 0),
+        ("chunk_4096_parallel", 4096, 0),
+        ("one_shot_parallel", usize::MAX, 0),
+    ] {
+        let mut stream = StreamAnalysis::new(&data, config_with(threads));
+        if chunk == 1 {
+            for e in &events {
+                stream.ingest(e);
+            }
+        } else {
+            for c in events.chunks(chunk.min(events.len().max(1))) {
+                stream.ingest_batch(c);
+            }
+        }
+        let result = stream.flush();
+        let replay_json = serde_json::to_string(&result.output).expect("serialize stream output");
+        assert_eq!(
+            batch_json, replay_json,
+            "stream replay `{label}` diverged from the batch pipeline"
+        );
+        println!("== {label} ==");
+        println!("{}", result.report);
+        runs.push(report_json(label, &result.report));
+    }
+    println!("all replays byte-identical to batch ✓");
+
+    let doc = json!({
+        "bench": "stream_replay",
+        "scenario": "paper_389d",
+        "seed": 42,
+        "events": (events.len()),
+        "runs": runs,
+    });
+    let path = "results/BENCH_stream.json";
+    match std::fs::File::create(path) {
+        Ok(f) => {
+            serde_json::to_writer_pretty(f, &doc).expect("serialize BENCH json");
+            println!("wrote {path}");
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn report_json(label: &str, report: &PipelineReport) -> serde_json::Value {
+    let mut buf = Vec::new();
+    pipeline_report_json(&mut buf, report).expect("in-memory write");
+    let mut v: serde_json::Value = serde_json::from_slice(&buf).expect("report is valid JSON");
+    v["label"] = json!(label);
+    v["streaming"] = serde_json::to_value(&report.streaming).expect("streaming counters");
+    v
+}

@@ -31,6 +31,11 @@
 //!    [`faultline_sim::ScenarioData`]; [`export`] writes the underlying
 //!    traces as CSV for downstream tooling.
 //!
+//! The whole pipeline also runs *incrementally*: [`streaming`] ingests
+//! the interleaved syslog/IS-IS event stream one event or micro-batch at
+//! a time, emits failures as soon as they are final, and is
+//! byte-identical to the batch analysis at flush.
+//!
 //! The per-link stages fan out across threads ([`par`], configured via
 //! [`analysis::AnalysisConfig::parallelism`]) with results independent of
 //! thread count, and every run carries per-stage counters and timings
@@ -53,10 +58,14 @@ pub mod par;
 pub mod reconstruct;
 pub mod sanitize;
 pub mod stats;
+pub mod streaming;
 pub mod transitions;
 
 pub use analysis::{Analysis, AnalysisConfig};
 pub use linktable::{LinkIx, LinkTable};
-pub use observe::{PipelineCounters, PipelineReport};
+pub use observe::{PipelineCounters, PipelineReport, StreamingCounters};
 pub use par::ParallelismConfig;
 pub use reconstruct::{AmbiguityStrategy, Failure};
+pub use streaming::{
+    scenario_event_stream, StreamAnalysis, StreamEvent, StreamOutput, StreamResult,
+};

@@ -75,6 +75,33 @@ pub struct PipelineCounters {
     pub ambiguous_periods: u64,
 }
 
+/// Counters specific to a [`crate::streaming::StreamAnalysis`] run;
+/// absent (`None`) on batch runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingCounters {
+    /// Total events consumed (`syslog_events + isis_events`).
+    pub events_ingested: u64,
+    /// Syslog messages consumed.
+    pub syslog_events: u64,
+    /// IS-IS listener transitions consumed.
+    pub isis_events: u64,
+    /// Micro-batches ingested via `ingest_batch` (0 when fed one event
+    /// at a time).
+    pub batches: u64,
+    /// Events arriving with a timestamp behind the watermark.
+    pub late_events: u64,
+    /// Per-link match segments finalized before flush (quiet-gap closes).
+    pub segments_closed: u64,
+    /// High-water mark of items held in mutable per-link state.
+    pub open_state_high_water: u64,
+    /// Open or pending failures only finalized by `flush`.
+    pub finalized_at_flush: u64,
+    /// Flapping episodes observed on the sanitized IS-IS stream.
+    pub flap_episodes: u64,
+    /// End-to-end ingest rate, events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
 /// Per-stage counters and wall-clock timings for one
 /// [`crate::analysis::Analysis`] run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -85,6 +112,9 @@ pub struct PipelineReport {
     pub stages: Vec<StageReport>,
     /// Headline counters.
     pub counters: PipelineCounters,
+    /// Streaming-specific counters; `None` for batch runs.
+    #[serde(default)]
+    pub streaming: Option<StreamingCounters>,
     /// End-to-end wall time, microseconds.
     pub total_micros: u64,
 }
@@ -165,7 +195,21 @@ impl fmt::Display for PipelineReport {
             c.sanitize_dropped,
             c.failures_matched,
             c.ambiguous_periods
-        )
+        )?;
+        if let Some(s) = &self.streaming {
+            writeln!(
+                f,
+                "  streaming: {} events in {} batches ({:.0}/s), {} late, {} segments closed, hwm {} open, {} finalized at flush",
+                s.events_ingested,
+                s.batches,
+                s.events_per_sec,
+                s.late_events,
+                s.segments_closed,
+                s.open_state_high_water,
+                s.finalized_at_flush
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -150,3 +150,128 @@ proptest! {
         );
     }
 }
+
+/// Arbitrary transport knobs (kept in ranges where every mechanism can
+/// fire) and an arbitrary offered stream with unique sequence numbers.
+fn arb_transport_cfg() -> impl Strategy<Value = TransportConfig> {
+    (
+        0.0f64..0.5,
+        0.0f64..1.0,
+        0.0f64..0.5,
+        0.0f64..1.0,
+        2usize..6,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(base_loss, flap_pair_loss, flap_msg_loss, spurious_prob, flap_threshold, seed)| {
+                TransportConfig {
+                    base_loss,
+                    flap_pair_loss,
+                    flap_msg_loss,
+                    spurious_prob,
+                    flap_threshold,
+                    seed,
+                    ..TransportConfig::default()
+                }
+            },
+        )
+}
+
+fn arb_offered(n: usize) -> impl Strategy<Value = Vec<SyslogMessage>> {
+    proptest::collection::vec((0u64..86_400_000, 0u32..4, arb_kind(), any::<bool>()), 1..n)
+        .prop_map(|specs| {
+            let mut v: Vec<SyslogMessage> = specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at, iface, kind, up))| SyslogMessage {
+                    seq: i as u64,
+                    event: LinkEvent {
+                        at: Timestamp::from_millis(at),
+                        host: "r1".into(),
+                        interface: InterfaceName::gig(iface),
+                        kind,
+                        up,
+                    },
+                    os: RouterOs::Ios,
+                })
+                .collect();
+            v.sort_by_key(|m| m.event.at);
+            v
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delivered ⊆ sent: every primary delivery is one of the offered
+    /// messages, unmodified, and no message is delivered twice as a
+    /// primary copy. Spurious copies are flagged, carry an out-of-band
+    /// sequence number, and restate the state of a message that *was*
+    /// delivered.
+    #[test]
+    fn delivered_is_a_subset_of_sent(cfg in arb_transport_cfg(), offered in arb_offered(200)) {
+        let mut t = LossyTransport::new(cfg);
+        let mut primary_seqs = std::collections::HashSet::new();
+        for m in &offered {
+            for d in t.send(m.clone()) {
+                if d.spurious {
+                    prop_assert_eq!(d.message.seq, m.seq + 1_000_000);
+                    prop_assert_eq!(d.message.event.up, m.event.up);
+                    prop_assert!(d.message.event.at > m.event.at);
+                } else {
+                    prop_assert_eq!(&d.message, m, "primary copy must be unmodified");
+                    prop_assert!(d.arrived_at >= m.event.at, "jitter only delays");
+                    prop_assert!(primary_seqs.insert(d.message.seq), "duplicate primary");
+                }
+            }
+        }
+        let sent: std::collections::HashSet<u64> = offered.iter().map(|m| m.seq).collect();
+        prop_assert!(primary_seqs.is_subset(&sent));
+        prop_assert_eq!(primary_seqs.len() as u64, t.stats().delivered);
+    }
+
+    /// Duplication is bounded: one send yields at most two deliveries —
+    /// at most one primary and at most one spurious copy — so the
+    /// collector sees at most one duplicate per offered message.
+    #[test]
+    fn at_most_one_spurious_copy_per_message(
+        cfg in arb_transport_cfg(),
+        offered in arb_offered(200),
+    ) {
+        let mut t = LossyTransport::new(cfg);
+        let mut spurious_total = 0u64;
+        for m in &offered {
+            let ds = t.send(m.clone());
+            prop_assert!(ds.len() <= 2, "send produced {} deliveries", ds.len());
+            let spurious = ds.iter().filter(|d| d.spurious).count();
+            prop_assert!(spurious <= 1);
+            if spurious == 1 {
+                // A spurious copy only ever accompanies a primary one.
+                prop_assert_eq!(ds.len(), 2);
+                prop_assert!(!ds[0].spurious);
+            }
+            spurious_total += spurious as u64;
+        }
+        prop_assert_eq!(spurious_total, t.stats().spurious);
+        prop_assert!(t.stats().spurious <= t.stats().delivered);
+    }
+
+    /// Deterministic replay: the same configuration (seed included) and
+    /// the same offered stream reproduce the exact same deliveries and
+    /// counters.
+    #[test]
+    fn replay_is_deterministic_for_fixed_seed(
+        cfg in arb_transport_cfg(),
+        offered in arb_offered(150),
+    ) {
+        let replay = |cfg: &TransportConfig| {
+            let mut t = LossyTransport::new(cfg.clone());
+            let out: Vec<_> = offered.iter().flat_map(|m| t.send(m.clone())).collect();
+            (out, t.stats())
+        };
+        let (a, sa) = replay(&cfg);
+        let (b, sb) = replay(&cfg);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa, sb);
+    }
+}

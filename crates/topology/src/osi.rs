@@ -22,15 +22,16 @@ use std::str::FromStr;
 pub struct SystemId(pub [u8; 6]);
 
 impl Serialize for SystemId {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.collect_str(self)
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for SystemId {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let text = String::deserialize(d)?;
-        text.parse().map_err(serde::de::Error::custom)
+impl Deserialize for SystemId {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let text = String::deserialize_value(v)?;
+        text.parse()
+            .map_err(|e: ParseOsiError| serde::Error::custom(e.to_string()))
     }
 }
 

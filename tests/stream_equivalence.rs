@@ -1,0 +1,175 @@
+//! Differential harness: the streaming engine must be **byte-identical**
+//! to the batch pipeline.
+//!
+//! For every scenario, the comparable surface ([`StreamOutput`]) of a
+//! [`StreamAnalysis`] replay — under any chunking of the event stream,
+//! any ambiguity strategy, and any thread count — must serialize to
+//! exactly the same JSON as [`StreamOutput::of_batch`] over
+//! [`Analysis::run`] on the same data. A deterministic grid pins the
+//! corner chunkings (one event at a time, a prime micro-batch size, one
+//! all-encompassing batch) across several seeds; property tests then
+//! randomize seed, scale, chunk pattern, strategy, and parallelism.
+
+use faultline_core::{
+    scenario_event_stream, AmbiguityStrategy, Analysis, AnalysisConfig, ParallelismConfig,
+    StreamAnalysis, StreamOutput,
+};
+use faultline_sim::scenario::{run, ScenarioParams};
+use faultline_sim::ScenarioData;
+use proptest::prelude::*;
+
+/// How the event stream is fed to the engine.
+#[derive(Debug, Clone, Copy)]
+enum Chunking {
+    /// `ingest` per event — no batching at all.
+    OneAtATime,
+    /// `ingest_batch` with fixed-size micro-batches.
+    Fixed(usize),
+    /// One `ingest_batch` covering the whole stream.
+    All,
+}
+
+fn batch_json(data: &ScenarioData, config: &AnalysisConfig) -> String {
+    let analysis = Analysis::run(data, config.clone());
+    serde_json::to_string(&StreamOutput::of_batch(&analysis)).unwrap()
+}
+
+fn stream_json(data: &ScenarioData, config: &AnalysisConfig, chunking: Chunking) -> String {
+    let events = scenario_event_stream(data);
+    let mut stream = StreamAnalysis::new(data, config.clone());
+    match chunking {
+        Chunking::OneAtATime => {
+            for e in &events {
+                stream.ingest(e);
+            }
+        }
+        Chunking::Fixed(n) => {
+            for c in events.chunks(n.max(1)) {
+                stream.ingest_batch(c);
+            }
+        }
+        Chunking::All => stream.ingest_batch(&events),
+    }
+    serde_json::to_string(&stream.flush().output).unwrap()
+}
+
+/// The pinned grid: ≥3 seeds × ≥3 chunkings, including the two corner
+/// cases (chunk = 1 via `ingest`, chunk = the whole stream).
+#[test]
+fn grid_of_seeds_and_chunkings_is_byte_identical() {
+    let config = AnalysisConfig::default();
+    for seed in [11u64, 42, 77] {
+        let data = run(&ScenarioParams::tiny(seed));
+        let expected = batch_json(&data, &config);
+        for chunking in [Chunking::OneAtATime, Chunking::Fixed(7), Chunking::All] {
+            let got = stream_json(&data, &config, chunking);
+            assert_eq!(
+                expected, got,
+                "stream output diverged from batch: seed {seed}, {chunking:?}"
+            );
+        }
+    }
+}
+
+/// Chunk-size boundaries around typical per-link burst sizes.
+#[test]
+fn chunk_boundaries_do_not_leak_state() {
+    let data = run(&ScenarioParams::tiny(58));
+    let config = AnalysisConfig::default();
+    let expected = batch_json(&data, &config);
+    for n in [1usize, 2, 3, 64, 1024] {
+        assert_eq!(
+            expected,
+            stream_json(&data, &config, Chunking::Fixed(n)),
+            "chunk size {n}"
+        );
+    }
+}
+
+/// A scaled-up (non-tiny) scenario keeps the equivalence: more links,
+/// more interleaving, more quiet-gap segment closes.
+#[test]
+fn scaled_scenario_stays_equivalent() {
+    let data = run(&ScenarioParams::sized(19, 0.25, 30.0));
+    let config = AnalysisConfig::default();
+    let expected = batch_json(&data, &config);
+    assert_eq!(expected, stream_json(&data, &config, Chunking::Fixed(257)));
+}
+
+/// Serial and parallel lane processing agree with the batch pipeline
+/// (and therefore with each other).
+#[test]
+fn thread_count_is_invisible_in_output() {
+    let data = run(&ScenarioParams::tiny(83));
+    for threads in [1usize, 2, 8] {
+        let config = AnalysisConfig {
+            parallelism: ParallelismConfig {
+                threads,
+                ..ParallelismConfig::default()
+            },
+            ..AnalysisConfig::default()
+        };
+        let expected = batch_json(&data, &config);
+        assert_eq!(
+            expected,
+            stream_json(&data, &config, Chunking::Fixed(31)),
+            "threads {threads}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random seed × random chunk size × random strategy × random thread
+    /// count: streaming replay is always byte-identical to batch.
+    #[test]
+    fn random_replays_equal_batch(
+        seed in 0u64..10_000,
+        chunk in 1usize..512,
+        strategy_pick in 0u8..3,
+        threads in 1usize..5,
+    ) {
+        let strategy = match strategy_pick {
+            0 => AmbiguityStrategy::PreviousState,
+            1 => AmbiguityStrategy::AssumeDown,
+            _ => AmbiguityStrategy::AssumeUp,
+        };
+        let config = AnalysisConfig {
+            strategy,
+            parallelism: ParallelismConfig { threads, ..ParallelismConfig::default() },
+            ..AnalysisConfig::default()
+        };
+        let data = run(&ScenarioParams::tiny(seed));
+        let expected = batch_json(&data, &config);
+        prop_assert_eq!(expected, stream_json(&data, &config, Chunking::Fixed(chunk)));
+    }
+
+    /// Irregular chunking: split the stream at random points (including
+    /// empty micro-batches) — boundaries carry no state.
+    #[test]
+    fn random_irregular_chunking_equals_batch(
+        seed in 0u64..10_000,
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..12),
+    ) {
+        let config = AnalysisConfig::default();
+        let data = run(&ScenarioParams::tiny(seed));
+        let expected = batch_json(&data, &config);
+
+        let events = scenario_event_stream(&data);
+        let mut idx: Vec<usize> = cuts
+            .iter()
+            .map(|c| (c * events.len() as f64) as usize)
+            .collect();
+        idx.push(0);
+        idx.push(events.len());
+        idx.sort_unstable();
+
+        let mut stream = StreamAnalysis::new(&data, config);
+        for w in idx.windows(2) {
+            stream.ingest_batch(&events[w[0]..w[1]]);
+        }
+        let got = serde_json::to_string(&stream.flush().output).unwrap();
+        prop_assert_eq!(expected, got);
+    }
+}

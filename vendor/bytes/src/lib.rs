@@ -1,0 +1,128 @@
+//! Offline stand-in for the `bytes` crate: the read ([`Buf`]) and write
+//! ([`BufMut`]) cursor traits the IS-IS wire codec uses, network
+//! (big-endian) byte order throughout.
+
+/// Sequential big-endian reader over a buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Skip `cnt` bytes. Panics if not available.
+    fn advance(&mut self, cnt: usize);
+    /// Copy `dst.len()` bytes out. Panics if not available.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Sequential big-endian writer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16(0x1234);
+        out.put_u32(0xDEAD_BEEF);
+        out.put_slice(&[1, 2, 3]);
+        assert_eq!(out, [0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3]);
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 10);
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16(), 0x1234);
+        assert_eq!(buf.get_u32(), 0xDEAD_BEEF);
+        let mut tail = [0u8; 2];
+        buf.copy_to_slice(&mut tail);
+        assert_eq!(tail, [1, 2]);
+        buf.advance(1);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let mut buf: &[u8] = &[1];
+        let _ = buf.get_u16();
+    }
+}

@@ -1,0 +1,794 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! deterministic strategies (`any`, integer/float ranges, `Just`,
+//! `prop_oneof!`, tuples, `collection::vec`, regex-subset string
+//! strategies, `prop_map`), the `proptest!` test macro with optional
+//! `#![proptest_config(...)]`, and the `prop_assert!` family.
+//!
+//! Differences from the real crate: no shrinking (failing inputs are
+//! reported verbatim), and a fixed deterministic seed derived from the
+//! test name so runs are reproducible without persistence files.
+//! `*.proptest-regressions` files on disk are ignored.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG (xoshiro256++, seeded via SplitMix64 — self-contained, deterministic)
+// ---------------------------------------------------------------------------
+
+/// Deterministic RNG handed to strategies during generation.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in [0, bound) without modulo bias (128-bit widening multiply).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core strategy trait
+// ---------------------------------------------------------------------------
+
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Type-erased strategy, produced by [`Strategy::boxed`] and `prop_oneof!`.
+pub struct BoxedStrategy<T> {
+    gen: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Uniformly picks one of several boxed strategies (see `prop_oneof!`).
+pub struct OneOf<T> {
+    pub arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.arms.len() as u64) as usize;
+        self.arms[ix].generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, roughly centred values — good enough for property tests.
+        (rng.f64_unit() - 0.5) * 2e9
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_rangefrom_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as u64;
+                let span = (<$t>::MAX as u64).wrapping_sub(lo);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo + rng.below(span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_rangefrom_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.f64_unit() * (self.end() - self.start())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.f64_unit() as f32) * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// collection::vec
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    /// Size specification accepted by [`vec`].
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize); // inclusive
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    // Integer-literal size ranges without a usize suffix default to i32;
+    // accept them too so `vec(s, 4..256)` works as it does upstream.
+    impl IntoSizeRange for Range<i32> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(
+                self.start < self.end && self.start >= 0,
+                "bad vec size range"
+            );
+            (self.start as usize, (self.end - 1) as usize)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<i32> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(*self.start() >= 0, "bad vec size range");
+            (*self.start() as usize, *self.end() as usize)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max - self.min) as u64;
+            let len = self.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy: `"pattern" : Strategy<Value = String>`
+// ---------------------------------------------------------------------------
+
+/// One atom of the supported regex subset: a set of candidate chars plus a
+/// repetition range.
+#[derive(Debug)]
+struct RegexAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// `.` generates from this printable-ASCII pool (plus a few separators that
+/// exercise parser edge cases).
+fn dot_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    pool.push('\t');
+    pool
+}
+
+/// Parse the regex subset used by the test suite: literal chars, `.`,
+/// character classes `[a-z0-9.-]` (ranges + literals, no negation), and
+/// quantifiers `{m,n}`, `{n}`, `?`, `*`, `+`.
+fn parse_regex_subset(pattern: &str) -> Vec<RegexAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let pool: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                dot_pool()
+            }
+            '[' => {
+                i += 1;
+                let mut pool = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = chars[i];
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        pool.push(chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (c as u32, chars[i + 2] as u32);
+                        assert!(lo <= hi, "bad class range in regex strategy {pattern:?}");
+                        for cp in lo..=hi {
+                            pool.push(char::from_u32(cp).unwrap());
+                        }
+                        i += 3;
+                    } else {
+                        pool.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // consume ']'
+                pool
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in {pattern:?}");
+                let c = chars[i + 1];
+                i += 2;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        let lo: usize = lo.trim().parse().expect("bad quantifier");
+                        let hi: usize = if hi.trim().is_empty() {
+                            lo + 16
+                        } else {
+                            hi.trim().parse().expect("bad quantifier")
+                        };
+                        (lo, hi)
+                    } else {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(RegexAtom {
+            chars: pool,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex_subset(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min) as u64;
+            let n = atom.min + rng.below(span + 1) as usize;
+            for _ in 0..n {
+                let ix = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[ix]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-case plumbing
+// ---------------------------------------------------------------------------
+
+/// Error carried out of a failing property body by the `prop_assert!` family.
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a hash used to derive a stable per-test seed from its name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  both: {:?}",
+                ::std::format!($($fmt)+),
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf {
+            arms: ::std::vec![$($crate::Strategy::boxed($arm)),+],
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let base = $crate::fnv1a(::std::concat!(
+                    ::std::module_path!(),
+                    "::",
+                    ::std::stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::TestRng::from_seed(base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    let mut __case_desc = ::std::string::String::new();
+                    $(
+                        let __gen = $crate::Strategy::generate(&($strat), &mut rng);
+                        __case_desc.push_str(&::std::format!(
+                            "{} = {:?}; ",
+                            ::std::stringify!($arg),
+                            &__gen
+                        ));
+                        let $arg = __gen;
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest case {} failed: {}\n  inputs: {}",
+                            case,
+                            e,
+                            __case_desc
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (0u8..=255).generate(&mut rng);
+            let _ = w; // full range must not panic
+            let f = (-1e3f64..1e3).generate(&mut rng);
+            assert!((-1e3..1e3).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9-]{0,20}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 21);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            let t = ".{0,200}".generate(&mut rng);
+            assert!(t.chars().count() <= 200);
+            let u = "[A-Za-z0-9/]{1,10}".generate(&mut rng);
+            assert!((1..=10).contains(&u.chars().count()));
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        let strat = collection::vec(0u64..1000, 0..=20);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_roundtrip(mut xs in collection::vec(any::<u32>(), 0..16), k in 1usize..4) {
+            xs.truncate(xs.len() / k.max(1));
+            prop_assert!(xs.len() <= 16);
+            prop_assert_eq!(xs.len(), xs.iter().count());
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), (5u8..=9).prop_map(|x| x)]) {
+            prop_assert!(v == 1 || v == 2 || (5..=9).contains(&v));
+            prop_assert_ne!(v, 0);
+        }
+    }
+}

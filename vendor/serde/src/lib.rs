@@ -1,0 +1,802 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a simplified serialization framework with serde's *spelling*: a
+//! [`Serialize`]/[`Deserialize`] trait pair plus `#[derive(Serialize,
+//! Deserialize)]` macros (feature `derive`, from the companion
+//! `serde_derive` proc-macro crate). Instead of upstream's
+//! visitor/serializer architecture, both traits convert through one
+//! concrete JSON-shaped [`Value`] tree; `serde_json` then parses/renders
+//! that tree. The encoding conventions match `serde_json`'s defaults:
+//! structs are objects, unit enum variants are strings, data-carrying
+//! variants are externally tagged single-key objects, newtype structs are
+//! transparent, and maps serialize their keys as strings (sorted for
+//! `HashMap`, so output is deterministic).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The value as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(v)
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+            {
+                Some(v as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (the object representation).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert, replacing (in place) any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Remove an entry by key.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let ix = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(ix).1)
+    }
+
+    /// Look up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Does the map contain the key?
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON-shaped value tree: the interchange format between [`Serialize`],
+/// [`Deserialize`], and `serde_json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// As `f64`, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// As `u64`, if a representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As `i64`, if a representable number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `bool`, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As an array, if one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As a mutable array, if one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As an object, if one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// As a mutable object, if one.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field, or `Null` for misses (mirrors `serde_json` indexing).
+    pub fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        Value::index(self, key)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Auto-vivifying object index, mirroring `serde_json::Value`.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if !matches!(self, Value::Object(_)) {
+            *self = Value::Object(Map::new());
+        }
+        let Value::Object(m) = self else {
+            unreachable!()
+        };
+        if !m.contains_key(key) {
+            m.insert(key.to_string(), Value::Null);
+        }
+        m.get_mut(key).expect("just inserted")
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, ix: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(ix).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// A (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Construct from any message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Error helpers under serde's usual path.
+pub mod de {
+    pub use crate::Error;
+}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the interchange tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the interchange tree.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::custom("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::custom("expected f32"))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N}, got {len}")))
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($t:ident : $ix:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$ix.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let arr = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom("expected tuple array"))?;
+                let expected = [$($ix),+].len();
+                if arr.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, got {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::deserialize_value(&arr[$ix])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Render a serialized key as an object-key string.
+fn key_to_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Number(Number::PosInt(n)) => n.to_string(),
+        Value::Number(Number::NegInt(n)) => n.to_string(),
+        Value::Number(Number::Float(f)) => f.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key {other:?}"),
+    }
+}
+
+/// Recover a key type from its object-key string.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize_value(&Value::String(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        return K::deserialize_value(&Value::Number(Number::PosInt(n)));
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        return K::deserialize_value(&Value::Number(Number::NegInt(n)));
+    }
+    if let Ok(n) = key.parse::<f64>() {
+        return K::deserialize_value(&Value::Number(Number::Float(n)));
+    }
+    Err(Error::custom(format!("cannot deserialize map key {key:?}")))
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Hash iteration order is unstable; sort by rendered key so the
+        // output is deterministic (golden files, differential tests).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k.serialize_value()), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S> Deserialize for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = HashMap::with_capacity_and_hasher(obj.len(), S::default());
+        for (k, v) in obj.iter() {
+            out.insert(key_from_string(k)?, V::deserialize_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k.serialize_value()), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = BTreeMap::new();
+        for (k, v) in obj.iter() {
+            out.insert(key_from_string(k)?, V::deserialize_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "secs".to_string(),
+            Value::Number(Number::PosInt(self.as_secs())),
+        );
+        m.insert(
+            "nanos".to_string(),
+            Value::Number(Number::PosInt(self.subsec_nanos() as u64)),
+        );
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected duration object"))?;
+        let secs = obj
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::custom("missing secs"))?;
+        let nanos = obj.get("nanos").and_then(Value::as_u64).unwrap_or(0);
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        // Sort the rendered elements so hash iteration order can't leak into
+        // the output (compact JSON comparison in tests).
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize_value).collect();
+        items.sort_by_key(|v| crate::to_sort_key(v));
+        Value::Array(items)
+    }
+}
+
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+/// Stable comparison key for a Value (used to canonicalize set ordering).
+fn to_sort_key(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => format!("{n:?}"),
+        Value::Bool(b) => b.to_string(),
+        Value::Null => String::new(),
+        other => format!("{other:?}"),
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected IPv4 address string"))?;
+        s.parse()
+            .map_err(|e| Error::custom(format!("bad IPv4 address {s:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize_value(&7u32.serialize_value()), Ok(7));
+        assert_eq!(i64::deserialize_value(&(-3i64).serialize_value()), Ok(-3));
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().serialize_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Option::<u8>::deserialize_value(&Value::Null),
+            Ok(None::<u8>)
+        );
+        let v: (u32, f64) =
+            Deserialize::deserialize_value(&(4u32, 0.5f64).serialize_value()).unwrap();
+        assert_eq!(v, (4, 0.5));
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 1u32);
+        m.insert("a".to_string(), 2u32);
+        let v = m.serialize_value();
+        let obj = v.as_object().unwrap();
+        let keys: Vec<&String> = obj.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+        let back: HashMap<String, u32> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integer_keyed_map_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert(10u64, "x".to_string());
+        m.insert(9u64, "y".to_string());
+        let back: BTreeMap<u64, String> =
+            Deserialize::deserialize_value(&m.serialize_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arrays_enforce_length() {
+        let arr = [1u64, 2, 3];
+        let v = arr.serialize_value();
+        let back: [u64; 3] = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, arr);
+        assert!(<[u64; 4]>::deserialize_value(&v).is_err());
+    }
+
+    #[test]
+    fn index_mut_autovivifies() {
+        let mut v = Value::Null;
+        v["label"] = Value::String("x".to_string());
+        assert_eq!(v["label"].as_str(), Some("x"));
+        assert!(v["missing"].is_null());
+    }
+}

@@ -1,0 +1,540 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Dependency-free derive macros (no `syn`/`quote`) for the vendored
+//! `serde`'s [`Serialize`]/[`Deserialize`] Value-tree traits. The item is
+//! parsed directly from its token stream; generated impls follow
+//! `serde_json`'s encoding conventions: named structs are objects, tuple
+//! structs are arrays (newtypes transparent), unit enum variants are
+//! strings, data-carrying variants externally tagged single-key objects.
+//!
+//! Supported field attributes: `#[serde(skip)]`, `#[serde(default)]`,
+//! `#[serde(default = "path")]`. Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is handled during deserialization.
+#[derive(Clone, Debug, PartialEq)]
+enum MissingPolicy {
+    /// Error out.
+    Required,
+    /// `Default::default()`.
+    DefaultTrait,
+    /// Call the named function.
+    DefaultFn(String),
+}
+
+#[derive(Clone, Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    missing: MissingPolicy,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consume leading `#[...]` attributes, returning serde attr contents.
+    fn take_attrs(&mut self) -> Vec<TokenStream> {
+        let mut serde_attrs = Vec::new();
+        while self.is_punct('#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("expected [...] after #");
+            };
+            let mut inner = Cursor::new(g.stream());
+            if inner.is_ident("serde") {
+                inner.next();
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    serde_attrs.push(args.stream());
+                }
+            }
+        }
+        serde_attrs
+    }
+
+    /// Consume an optional `pub` / `pub(...)` visibility.
+    fn take_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consume a type up to a top-level `,` (tracking `<...>` nesting).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Interpret collected `#[serde(...)]` argument streams for one field.
+fn field_policy(attrs: &[TokenStream]) -> (bool, MissingPolicy) {
+    let mut skip = false;
+    let mut missing = MissingPolicy::Required;
+    for stream in attrs {
+        let mut c = Cursor::new(stream.clone());
+        while !c.at_end() {
+            let Some(TokenTree::Ident(word)) = c.next() else {
+                continue;
+            };
+            match word.to_string().as_str() {
+                "skip" => skip = true,
+                "default" => {
+                    if c.is_punct('=') {
+                        c.next();
+                        let Some(TokenTree::Literal(lit)) = c.next() else {
+                            panic!("expected string after default =");
+                        };
+                        let raw = lit.to_string();
+                        let path = raw.trim_matches('"').to_string();
+                        missing = MissingPolicy::DefaultFn(path);
+                    } else {
+                        missing = MissingPolicy::DefaultTrait;
+                    }
+                }
+                other => panic!("unsupported serde attribute `{other}`"),
+            }
+            if c.is_punct(',') {
+                c.next();
+            }
+        }
+    }
+    (skip, missing)
+}
+
+/// Parse the `{ ... }` body of a named-field struct or struct variant.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.take_vis();
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            panic!("expected field name");
+        };
+        assert!(c.is_punct(':'), "expected : after field name");
+        c.next();
+        c.skip_type();
+        if c.is_punct(',') {
+            c.next();
+        }
+        let (skip, missing) = field_policy(&attrs);
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+            missing,
+        });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant `( ... )` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    while !c.at_end() {
+        c.take_attrs();
+        c.take_vis();
+        if c.at_end() {
+            break;
+        }
+        count += 1;
+        c.skip_type();
+        if c.is_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.take_attrs();
+    c.take_vis();
+    let Some(TokenTree::Ident(kw)) = c.next() else {
+        panic!("expected struct or enum");
+    };
+    let kw = kw.to_string();
+    let Some(TokenTree::Ident(name)) = c.next() else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    if c.is_punct('<') {
+        panic!("derive does not support generic types ({name})");
+    }
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                data: Data::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                data: Data::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                data: Data::UnitStruct,
+            },
+            other => panic!("unexpected struct body {other:?}"),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = c.next() else {
+                panic!("expected enum body");
+            };
+            let mut vc = Cursor::new(g.stream());
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                vc.take_attrs();
+                if vc.at_end() {
+                    break;
+                }
+                let Some(TokenTree::Ident(vname)) = vc.next() else {
+                    panic!("expected variant name");
+                };
+                let kind = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vc.next();
+                        VariantKind::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        vc.next();
+                        VariantKind::Tuple(arity)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip an explicit discriminant, if any.
+                if vc.is_punct('=') {
+                    vc.next();
+                    while !vc.at_end() && !vc.is_punct(',') {
+                        vc.next();
+                    }
+                }
+                if vc.is_punct(',') {
+                    vc.next();
+                }
+                variants.push(Variant {
+                    name: vname.to_string(),
+                    kind,
+                });
+            }
+            Item {
+                name,
+                data: Data::Enum(variants),
+            }
+        }
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+fn missing_expr(field: &Field) -> String {
+    match &field.missing {
+        MissingPolicy::Required => format!(
+            "return ::core::result::Result::Err(::serde::Error::custom(\"missing field {}\"))",
+            field.name
+        ),
+        MissingPolicy::DefaultTrait => "::core::default::Default::default()".to_string(),
+        MissingPolicy::DefaultFn(path) => format!("{path}()"),
+    }
+}
+
+/// `field: <lookup or missing-policy>,` lines for a named-field body.
+fn named_de_body(fields: &[Field], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+            continue;
+        }
+        out.push_str(&format!(
+            "{name}: match {obj}.get(\"{name}\") {{\n\
+             ::core::option::Option::Some(v) => ::serde::Deserialize::deserialize_value(v)?,\n\
+             ::core::option::Option::None => {{ {missing} }},\n\
+             }},\n",
+            name = f.name,
+            obj = obj,
+            missing = missing_expr(f),
+        ));
+    }
+    out
+}
+
+/// `object.insert("field", ...);` lines for a named-field body.
+fn named_ser_body(fields: &[Field], map: &str, access_prefix: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "{map}.insert(::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::serialize_value(&{prefix}{name}));\n",
+            map = map,
+            name = f.name,
+            prefix = access_prefix,
+        ));
+    }
+    out
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => format!(
+            "let mut object = ::serde::Map::new();\n{}::serde::Value::Object(object)",
+            named_ser_body(fields, "object", "self.")
+        ),
+        Data::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n\
+                         let mut object = ::serde::Map::new();\n\
+                         object.insert(::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::serialize_value(__f0));\n\
+                         ::serde::Value::Object(object)\n}},\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binders}) => {{\n\
+                             let mut object = ::serde::Map::new();\n\
+                             object.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(vec![{items}]));\n\
+                             ::serde::Value::Object(object)\n}},\n",
+                            binders = binders.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => {{\n\
+                             let mut inner = ::serde::Map::new();\n\
+                             {inner_body}\
+                             let mut object = ::serde::Map::new();\n\
+                             object.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(object)\n}},\n",
+                            binders = binders.join(", "),
+                            inner_body = named_ser_body(fields, "inner", ""),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => format!(
+            "let object = value.as_object().ok_or_else(|| \
+             ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+             ::core::result::Result::Ok({name} {{\n{fields_body}}})",
+            fields_body = named_de_body(fields, "object"),
+        ),
+        Data::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(value)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                 return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\"));\n}}\n\
+                 ::core::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Data::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize_value(&arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple arity for {name}::{vn}\"));\n}}\n\
+                             ::core::result::Result::Ok({name}::{vn}({items}))\n}},\n",
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let object = inner.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                         ::core::result::Result::Ok({name}::{vn} {{\n{fields_body}}})\n}},\n",
+                        fields_body = named_de_body(fields, "object"),
+                    )),
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{other}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = m.iter().next().expect(\"len 1\");\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{other}}\"))),\n\
+                 }}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected {name} enum encoding\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(value: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derive `serde::Serialize` (Value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (Value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,587 @@
+//! Offline stand-in for `serde_json`, built on the vendored `serde`'s
+//! [`Value`] tree: a recursive-descent JSON parser, compact and pretty
+//! writers, and the [`json!`] macro. Output conventions follow upstream
+//! `serde_json` (integral floats render with a trailing `.0`, pretty
+//! printing indents two spaces).
+
+use std::fmt;
+use std::io;
+
+pub use serde::{Map, Number, Value};
+
+/// A JSON (de)serialization error.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_into(out: &mut String, n: &Number) {
+    match *n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if !v.is_finite() {
+                out.push_str("null");
+            } else if v.fract() == 0.0 && v.abs() < 1e15 {
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, pretty: bool, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => number_into(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                }
+                write_value(out, item, pretty, depth + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                }
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, pretty, depth + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize to a compact string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), false, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty (2-space indented) string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), true, 0);
+    Ok(out)
+}
+
+/// Serialize compactly into a writer.
+pub fn to_writer<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize prettily into a writer.
+pub fn to_writer_pretty<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Reconstruct a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    Ok(T::deserialize_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                let code = 0x10000
+                                    + ((hi - 0xD800) << 10)
+                                    + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| Error::new("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape \\{}", other as char)))
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the source slice.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|e| Error::new(e.to_string()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|e| Error::new(e.to_string()))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|e| Error::new(e.to_string()))
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(e.to_string()))?;
+        let number = if is_float {
+            Number::Float(text.parse().map_err(|_| Error::new("invalid number"))?)
+        } else if let Some(rest) = text.strip_prefix('-') {
+            let _ = rest;
+            match text.parse::<i64>() {
+                Ok(v) => Number::NegInt(v),
+                Err(_) => Number::Float(text.parse().map_err(|_| Error::new("invalid number"))?),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Number::PosInt(v),
+                Err(_) => Number::Float(text.parse().map_err(|_| Error::new("invalid number"))?),
+            }
+        };
+        Ok(Value::Number(number))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error::new(format!("bad array at {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => return Err(Error::new(format!("bad object at {other:?}"))),
+            }
+        }
+    }
+}
+
+/// Parse a typed value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing bytes at {}", p.pos)));
+    }
+    Ok(T::deserialize_value(&v)?)
+}
+
+/// Parse a typed value from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+/// Parse a typed value from a reader.
+pub fn from_reader<R: io::Read, T: serde::Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    from_slice(&buf)
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+macro_rules! from_impl {
+    ($($t:ty => $variant:expr),*) => {$(
+        impl From<$t> for JsonFrom {
+            fn from(v: $t) -> Self {
+                JsonFrom($variant(v))
+            }
+        }
+    )*};
+}
+
+/// Conversion shim the [`json!`] macro funnels scalar expressions through.
+#[doc(hidden)]
+pub struct JsonFrom(pub Value);
+
+from_impl! {
+    bool => |v| Value::Bool(v),
+    String => |v| Value::String(v),
+    u8 => |v: u8| Value::Number(Number::PosInt(v as u64)),
+    u16 => |v: u16| Value::Number(Number::PosInt(v as u64)),
+    u32 => |v: u32| Value::Number(Number::PosInt(v as u64)),
+    u64 => |v| Value::Number(Number::PosInt(v)),
+    usize => |v: usize| Value::Number(Number::PosInt(v as u64)),
+    f32 => |v: f32| Value::Number(Number::Float(v as f64)),
+    f64 => |v| Value::Number(Number::Float(v)),
+    Vec<Value> => |v| Value::Array(v),
+    Value => |v| v
+}
+
+macro_rules! from_int_impl {
+    ($($t:ty),*) => {$(
+        impl From<$t> for JsonFrom {
+            fn from(v: $t) -> Self {
+                let wide = v as i64;
+                JsonFrom(if wide >= 0 {
+                    Value::Number(Number::PosInt(wide as u64))
+                } else {
+                    Value::Number(Number::NegInt(wide))
+                })
+            }
+        }
+    )*};
+}
+from_int_impl!(i8, i16, i32, i64, isize);
+
+impl From<&str> for JsonFrom {
+    fn from(v: &str) -> Self {
+        JsonFrom(Value::String(v.to_string()))
+    }
+}
+
+impl From<&String> for JsonFrom {
+    fn from(v: &String) -> Self {
+        JsonFrom(Value::String(v.clone()))
+    }
+}
+
+/// Build a [`Value`] from a JSON-looking literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $( object.insert(::std::string::String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::JsonFrom::from($other).0
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested() {
+        let v = json!({
+            "name": "faultline",
+            "count": 3,
+            "nested": { "pi": 3.5, "flag": true, "nothing": null },
+            "list": [1, 2, 3],
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["nested"]["pi"].as_f64(), Some(3.5));
+    }
+
+    #[test]
+    fn floats_render_like_serde_json() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nbreak \"quoted\" tab\t back\\slash \u{1F600}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+        let surrogate: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(surrogate, "\u{1F600}");
+    }
+
+    #[test]
+    fn pretty_is_parseable_and_indented() {
+        let v = json!({"a": [1, 2], "b": {"c": "d"}});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": ["));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn empty_object_from_str() {
+        let v: Value = from_str("{}").unwrap();
+        assert_eq!(v, Value::Object(Map::new()));
+        let v: Value = from_str("  [ ]  ").unwrap();
+        assert_eq!(v, Value::Array(vec![]));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn index_assignment() {
+        let mut v: Value = from_str("{\"x\":1}").unwrap();
+        v["label"] = json!("hello");
+        assert_eq!(v["label"].as_str(), Some("hello"));
+        v.as_object_mut().unwrap().remove("x");
+        assert!(v["x"].is_null());
+    }
+}
