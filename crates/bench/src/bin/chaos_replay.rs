@@ -1,0 +1,216 @@
+//! Chaos-replay benchmark: run the same mid-scale scenario clean and
+//! under each chaos preset, prove the degradation contract end to end,
+//! and record the drift datapoints as `results/BENCH_chaos.json`.
+//!
+//! ```sh
+//! cargo run --release --bin chaos_replay
+//! ```
+//!
+//! For every preset the binary checks, in order:
+//!
+//! 1. the chaos layer's own line conservation and parse-taxonomy
+//!    accounting balance exactly;
+//! 2. batch and streaming analysis stay byte-equivalent on the mangled
+//!    archive (the equivalence contract does not assume clean input);
+//! 3. under the `mild` preset the headline table-4 metrics stay inside
+//!    the degradation bands documented in ARCHITECTURE.md "Adversity
+//!    model" (IS-IS exact, syslog counts and downtime within ±25%,
+//!    matches within ±30%).
+//!
+//! `moderate` and `severe` are recorded without band assertions — they
+//! exist to chart how the pipeline bends past its rated envelope, not
+//! to promise it doesn't.
+
+use faultline_bench::analyze_with;
+use faultline_core::export::pipeline_report_json;
+use faultline_core::{
+    scenario_event_stream, AnalysisConfig, PipelineReport, StreamAnalysis, StreamOutput,
+};
+use faultline_sim::scenario::{run, ScenarioData, ScenarioParams};
+use faultline_sim::ChaosConfig;
+use serde_json::json;
+
+const SEED: u64 = 42;
+const CHAOS_SEED: u64 = 1913;
+
+fn params_with(chaos: ChaosConfig) -> ScenarioParams {
+    let mut p = ScenarioParams::sized(SEED, 0.5, 90.0);
+    p.chaos = chaos;
+    p
+}
+
+struct Headline {
+    syslog_failures: u64,
+    isis_failures: u64,
+    overlap_failures: u64,
+    syslog_downtime_hours: f64,
+}
+
+fn main() {
+    eprintln!("simulating 90-day half-scale scenario, clean + 3 chaos presets ...");
+    let clean_data = run(&params_with(ChaosConfig::default()));
+    assert!(clean_data.chaos.is_none());
+    let clean = analyze_with(&clean_data, AnalysisConfig::default());
+    let t4 = clean.table4();
+    let baseline = Headline {
+        syslog_failures: t4.syslog_failures,
+        isis_failures: t4.isis_failures,
+        overlap_failures: t4.overlap_failures,
+        syslog_downtime_hours: t4.syslog_downtime_hours,
+    };
+
+    let mut runs: Vec<serde_json::Value> = Vec::new();
+    runs.push(run_json(
+        "clean",
+        &clean_data,
+        &clean.report,
+        &baseline,
+        &baseline,
+    ));
+
+    for (label, chaos) in [
+        ("mild", ChaosConfig::mild(CHAOS_SEED)),
+        ("moderate", ChaosConfig::moderate(CHAOS_SEED)),
+        ("severe", ChaosConfig::severe(CHAOS_SEED)),
+    ] {
+        let data = run(&params_with(chaos));
+        let outcome = data.chaos.as_ref().expect("chaos preset is enabled");
+        assert!(
+            outcome.stats.is_balanced(),
+            "{label}: chaos line accounting must balance"
+        );
+        assert!(
+            outcome.parse.is_balanced(),
+            "{label}: parse taxonomy must balance"
+        );
+        assert_eq!(outcome.parse.lines, data.raw_syslog_lines as u64);
+
+        let batch = analyze_with(&data, AnalysisConfig::default());
+        let batch_json =
+            serde_json::to_string(&StreamOutput::of_batch(&batch)).expect("serialize batch");
+
+        let mut stream = StreamAnalysis::new(&data, AnalysisConfig::default());
+        let events = scenario_event_stream(&data);
+        for chunk in events.chunks(4096) {
+            stream.ingest_batch(chunk);
+        }
+        let result = stream.flush();
+        let replay_json = serde_json::to_string(&result.output).expect("serialize stream");
+        assert_eq!(
+            batch_json, replay_json,
+            "{label}: stream replay diverged from batch on chaotic data"
+        );
+        assert_eq!(result.report.robustness, batch.report.robustness);
+
+        let t4 = batch.table4();
+        let headline = Headline {
+            syslog_failures: t4.syslog_failures,
+            isis_failures: t4.isis_failures,
+            overlap_failures: t4.overlap_failures,
+            syslog_downtime_hours: t4.syslog_downtime_hours,
+        };
+        if label == "mild" {
+            assert_eq!(
+                headline.isis_failures, baseline.isis_failures,
+                "mild: IS-IS path is untouched and must not move"
+            );
+            assert!(
+                drift(
+                    headline.syslog_failures as f64,
+                    baseline.syslog_failures as f64
+                ) <= 0.25,
+                "mild: syslog failure count outside the ±25% band"
+            );
+            assert!(
+                drift(
+                    headline.syslog_downtime_hours,
+                    baseline.syslog_downtime_hours
+                ) <= 0.25,
+                "mild: syslog downtime outside the ±25% band"
+            );
+            assert!(
+                drift(
+                    headline.overlap_failures as f64,
+                    baseline.overlap_failures as f64
+                ) <= 0.30,
+                "mild: matched failures outside the ±30% band"
+            );
+        }
+        println!("== {label} ==");
+        println!(
+            "lines {} -> {} (garbage {}, dup {}, dropped {}), malformed {}, quarantine n/a",
+            outcome.stats.lines_in,
+            outcome.stats.lines_out,
+            outcome.stats.garbage_injected,
+            outcome.stats.duplicates_injected,
+            outcome.stats.dropped_restart,
+            outcome.parse.malformed,
+        );
+        println!(
+            "syslog failures {} (clean {}), downtime {:.1}h (clean {:.1}h), isis {} (clean {})",
+            headline.syslog_failures,
+            baseline.syslog_failures,
+            headline.syslog_downtime_hours,
+            baseline.syslog_downtime_hours,
+            headline.isis_failures,
+            baseline.isis_failures,
+        );
+        runs.push(run_json(label, &data, &batch.report, &headline, &baseline));
+    }
+    println!("all chaos replays byte-identical to their batch runs ✓");
+
+    let doc = json!({
+        "bench": "chaos_replay",
+        "scenario": "half_scale_90d",
+        "seed": SEED,
+        "chaos_seed": CHAOS_SEED,
+        "runs": runs,
+    });
+    let path = "results/BENCH_chaos.json";
+    match std::fs::File::create(path) {
+        Ok(f) => {
+            serde_json::to_writer_pretty(f, &doc).expect("serialize BENCH json");
+            println!("wrote {path}");
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn drift(observed: f64, clean: f64) -> f64 {
+    if clean == 0.0 {
+        0.0
+    } else {
+        (observed - clean).abs() / clean
+    }
+}
+
+fn run_json(
+    label: &str,
+    data: &ScenarioData,
+    report: &PipelineReport,
+    headline: &Headline,
+    baseline: &Headline,
+) -> serde_json::Value {
+    let mut buf = Vec::new();
+    pipeline_report_json(&mut buf, report).expect("in-memory write");
+    let mut v: serde_json::Value = serde_json::from_slice(&buf).expect("report is valid JSON");
+    v["label"] = json!(label);
+    v["robustness"] = serde_json::to_value(&report.robustness).expect("robustness counters");
+    v["chaos"] = match &data.chaos {
+        Some(outcome) => serde_json::to_value(outcome).expect("chaos outcome"),
+        None => serde_json::Value::Null,
+    };
+    v["headline"] = json!({
+        "syslog_failures": (headline.syslog_failures),
+        "isis_failures": (headline.isis_failures),
+        "overlap_failures": (headline.overlap_failures),
+        "syslog_downtime_hours": (headline.syslog_downtime_hours),
+        "drift": {
+            "syslog_failures": (drift(headline.syslog_failures as f64, baseline.syslog_failures as f64)),
+            "isis_failures": (drift(headline.isis_failures as f64, baseline.isis_failures as f64)),
+            "overlap_failures": (drift(headline.overlap_failures as f64, baseline.overlap_failures as f64)),
+            "syslog_downtime_hours": (drift(headline.syslog_downtime_hours, baseline.syslog_downtime_hours)),
+        },
+    });
+    v
+}

@@ -7,6 +7,7 @@
 //! `faultline-bench` print these structures; integration tests assert on
 //! their fields.
 
+use crate::error::AnalysisError;
 use crate::flap::{detect_episodes_par, FlapIndex};
 use crate::fp::{
     classify_ambiguous_par, classify_false_positives_par, AmbiguityCounts, FpReport,
@@ -19,7 +20,7 @@ use crate::matching::{
     match_failures_par, match_fraction, match_transitions_to_messages, FailureMatching,
     TransitionMatchCounts,
 };
-use crate::observe::{self, PipelineCounters, PipelineReport};
+use crate::observe::{self, PipelineCounters, PipelineReport, RobustnessCounters};
 use crate::par::ParallelismConfig;
 use crate::reconstruct::{
     dedup_syslog_par, reconstruct_par, AmbiguityStrategy, Failure, Reconstruction,
@@ -30,12 +31,14 @@ use crate::transitions::{
     isis_link_transitions_par, resolve_syslog, IsisMergeStats, LinkTransition, MessageFamily,
     ResolvedMessage, SyslogResolveStats,
 };
-use faultline_isis::listener::{ReachabilityKind, TransitionDirection};
+use faultline_isis::listener::{ReachabilityKind, Transition, TransitionDirection};
 use faultline_sim::ScenarioData;
+use faultline_syslog::SyslogMessage;
 use faultline_topology::link::{LinkClass, LinkId};
 use faultline_topology::router::RouterClass;
-use faultline_topology::time::Duration;
+use faultline_topology::time::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
@@ -64,6 +67,14 @@ pub struct AnalysisConfig {
     /// count yields identical results (see `tests/determinism.rs`).
     #[serde(default)]
     pub parallelism: ParallelismConfig,
+    /// Quarantine horizon: messages and transitions stamped *after* this
+    /// instant are diverted into
+    /// [`crate::observe::RobustnessCounters`] instead of entering the
+    /// state machines. Bounds the damage a badly skewed router clock can
+    /// do. `None` (the default) disables the lane; the predicate is
+    /// per-item and order-independent, so batch and streaming agree.
+    #[serde(default)]
+    pub quarantine_horizon: Option<Timestamp>,
 }
 
 impl Default for AnalysisConfig {
@@ -78,6 +89,7 @@ impl Default for AnalysisConfig {
             short_fp_threshold: Duration::from_secs(10),
             strategy: AmbiguityStrategy::PreviousState,
             parallelism: ParallelismConfig::default(),
+            quarantine_horizon: None,
         }
     }
 }
@@ -132,6 +144,17 @@ impl<'a> Analysis<'a> {
         Analysis::run(data, config)
     }
 
+    /// Validate the configuration and input data, then run the
+    /// pipeline. [`Analysis::run`] accepts anything and continues in
+    /// degraded mode; this surface reports the conditions that would
+    /// silently corrupt results — nonsensical window parameters, or
+    /// archives violating the pipeline's sort-order contract — as typed
+    /// [`AnalysisError`]s instead.
+    pub fn try_run(data: &'a ScenarioData, config: AnalysisConfig) -> Result<Self, AnalysisError> {
+        validate_inputs(data, &config)?;
+        Ok(Analysis::run(data, config))
+    }
+
     /// Run the full pipeline once: resolution → transition extraction →
     /// reconstruction → sanitization → failure matching. Per-link stages
     /// fan out according to `config.parallelism`; the result is identical
@@ -179,24 +202,54 @@ impl<'a> Analysis<'a> {
             t.elapsed(),
         );
 
+        // Quarantine lane: divert items past the horizon before they
+        // reach any state machine. The check is per-item and
+        // order-independent, so the streaming engine applying it on
+        // ingest reaches the same survivors.
+        let mut robustness = robustness_baseline(data);
+        let (syslog_input, transitions_input): (Cow<'_, [SyslogMessage]>, Cow<'_, [Transition]>) =
+            match config.quarantine_horizon {
+                Some(h) => {
+                    let kept_syslog: Vec<SyslogMessage> = data
+                        .syslog
+                        .iter()
+                        .filter(|m| m.event.at <= h)
+                        .cloned()
+                        .collect();
+                    let kept_isis: Vec<Transition> = data
+                        .transitions
+                        .iter()
+                        .filter(|t| t.at <= h)
+                        .cloned()
+                        .collect();
+                    robustness.quarantined_syslog = (data.syslog.len() - kept_syslog.len()) as u64;
+                    robustness.quarantined_isis = (data.transitions.len() - kept_isis.len()) as u64;
+                    (Cow::Owned(kept_syslog), Cow::Owned(kept_isis))
+                }
+                None => (
+                    Cow::Borrowed(&data.syslog[..]),
+                    Cow::Borrowed(&data.transitions[..]),
+                ),
+            };
+
         let t = Instant::now();
-        let (messages, resolve_stats) = resolve_syslog(&data.syslog, &table);
+        let (messages, resolve_stats) = resolve_syslog(&syslog_input, &table);
         report.record_stage(
             "resolve_syslog",
-            data.syslog.len() as u64,
+            syslog_input.len() as u64,
             messages.len() as u64,
             t.elapsed(),
         );
 
         let t = Instant::now();
         let (is_transitions, is_stats) = isis_link_transitions_par(
-            &data.transitions,
+            &transitions_input,
             &table,
             ReachabilityKind::IsReach,
             &par_cfg,
         );
         let (ip_transitions, ip_stats) = isis_link_transitions_par(
-            &data.transitions,
+            &transitions_input,
             &table,
             ReachabilityKind::IpReach,
             &par_cfg,
@@ -296,6 +349,7 @@ impl<'a> Analysis<'a> {
             failures_matched: matching.matched.len() as u64,
             ambiguous_periods: (isis_recon.ambiguous.len() + syslog_recon.ambiguous.len()) as u64,
         };
+        report.robustness = robustness;
         report.total_micros = run_started.elapsed().as_micros() as u64;
         observe::narrate(|| format!("pipeline done in {:.3} ms", report.total_millis()));
 
@@ -700,6 +754,59 @@ fn pct(num: u64, den: u64) -> f64 {
     } else {
         100.0 * num as f64 / den as f64
     }
+}
+
+/// Robustness counters seeded from what the scenario already knows: the
+/// raw collector line count and, when the scenario ran with chaos
+/// injection, the parser's malformed/irrelevant accounting. Quarantine
+/// counts are filled in by the run itself.
+pub(crate) fn robustness_baseline(data: &ScenarioData) -> RobustnessCounters {
+    let mut r = RobustnessCounters {
+        raw_lines: data.raw_syslog_lines as u64,
+        ..RobustnessCounters::default()
+    };
+    if let Some(chaos) = &data.chaos {
+        r.malformed_lines = chaos.parse.malformed;
+        r.irrelevant_lines = chaos.parse.irrelevant;
+    }
+    r
+}
+
+/// Shared validation behind [`Analysis::try_run`] and the streaming
+/// engine's `try_new`: reject configurations and archives that would
+/// make the pipeline's results silently meaningless.
+pub(crate) fn validate_inputs(
+    data: &ScenarioData,
+    config: &AnalysisConfig,
+) -> Result<(), AnalysisError> {
+    for (value, name) in [
+        (config.match_window, "match_window"),
+        (config.dedup_window, "dedup_window"),
+        (config.flap_gap, "flap_gap"),
+    ] {
+        if value == Duration::ZERO {
+            return Err(AnalysisError::InvalidConfig {
+                what: format!("{name} is zero"),
+            });
+        }
+    }
+    if data.topology.links().is_empty() && !(data.syslog.is_empty() && data.transitions.is_empty())
+    {
+        return Err(AnalysisError::EmptyLinkTable);
+    }
+    if data
+        .syslog
+        .windows(2)
+        .any(|w| w[0].event.at > w[1].event.at)
+    {
+        return Err(AnalysisError::UnsortedInput { dataset: "syslog" });
+    }
+    if data.transitions.windows(2).any(|w| w[0].at > w[1].at) {
+        return Err(AnalysisError::UnsortedInput {
+            dataset: "transitions",
+        });
+    }
+    Ok(())
 }
 
 /// Which data source a derived quantity comes from.
@@ -1356,6 +1463,50 @@ mod tests {
         value.as_object_mut().unwrap().remove("parallelism");
         let config: AnalysisConfig = serde_json::from_value(value).unwrap();
         assert_eq!(config.parallelism, ParallelismConfig::default());
+    }
+
+    #[test]
+    fn try_run_validates_config_and_sort_contract() {
+        let mut data = run(&ScenarioParams::tiny(34));
+        assert!(Analysis::try_run(&data, AnalysisConfig::default()).is_ok());
+        let bad = AnalysisConfig {
+            dedup_window: Duration::ZERO,
+            ..AnalysisConfig::default()
+        };
+        assert!(matches!(
+            Analysis::try_run(&data, bad).err(),
+            Some(AnalysisError::InvalidConfig { .. })
+        ));
+        data.transitions.reverse();
+        assert_eq!(
+            Analysis::try_run(&data, AnalysisConfig::default()).err(),
+            Some(AnalysisError::UnsortedInput {
+                dataset: "transitions"
+            })
+        );
+    }
+
+    #[test]
+    fn quarantine_horizon_diverts_and_accounts() {
+        let data = run(&ScenarioParams::tiny(35));
+        let clean = Analysis::run(&data, AnalysisConfig::default());
+        assert_eq!(clean.report.robustness.total_quarantined(), 0);
+        // A horizon before every event quarantines everything.
+        let config = AnalysisConfig {
+            quarantine_horizon: Some(Timestamp::EPOCH),
+            ..AnalysisConfig::default()
+        };
+        let gated = Analysis::run(&data, config);
+        let r = &gated.report.robustness;
+        assert_eq!(r.quarantined_syslog, data.syslog.len() as u64);
+        assert_eq!(r.quarantined_isis, data.transitions.len() as u64);
+        assert!(gated.messages.is_empty());
+        assert!(gated.isis_failures.is_empty());
+        // Offered-event accounting is unchanged by quarantine.
+        assert_eq!(
+            gated.report.counters.syslog_ingested,
+            clean.report.counters.syslog_ingested
+        );
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Typed errors for the validated analysis entry points.
+//!
+//! [`crate::Analysis::run`] deliberately accepts anything and degrades
+//! gracefully — malformed input is counted, not fatal. The conditions
+//! collected here are different: they indicate the *caller* handed the
+//! pipeline something that would make its results silently meaningless
+//! (a zero-width matching window, archives that violate the sort-order
+//! contract every stage assumes). [`crate::Analysis::try_run`] and
+//! [`crate::StreamAnalysis::try_new`] surface them as values instead of
+//! letting the run proceed.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a validated analysis entry point refused to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The scenario carries observables (syslog lines or listener
+    /// transitions) but its topology yields no analyzable links, so
+    /// every downstream table would be vacuously empty.
+    EmptyLinkTable,
+    /// An input archive violates the time-sorted contract the pipeline's
+    /// merge and reconstruction stages assume. `dataset` names which one
+    /// (`"syslog"` or `"transitions"`).
+    UnsortedInput {
+        /// Which archive is out of order.
+        dataset: &'static str,
+    },
+    /// A configuration parameter is outside its meaningful domain.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::EmptyLinkTable => {
+                write!(
+                    f,
+                    "scenario has observables but no analyzable links in its topology"
+                )
+            }
+            AnalysisError::UnsortedInput { dataset } => {
+                write!(
+                    f,
+                    "{dataset} archive is not time-sorted; the pipeline's merge stages require sorted input"
+                )
+            }
+            AnalysisError::InvalidConfig { what } => {
+                write!(f, "invalid analysis configuration: {what}")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(format!("{}", AnalysisError::EmptyLinkTable).contains("no analyzable links"));
+        assert!(
+            format!("{}", AnalysisError::UnsortedInput { dataset: "syslog" }).contains("syslog")
+        );
+        let e = AnalysisError::InvalidConfig {
+            what: "match_window is zero".into(),
+        };
+        assert!(format!("{e}").contains("match_window"));
+    }
+
+    #[test]
+    fn error_trait_is_object_safe_here() {
+        let boxed: Box<dyn Error> = Box::new(AnalysisError::EmptyLinkTable);
+        assert!(boxed.source().is_none());
+    }
+}

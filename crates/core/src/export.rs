@@ -86,7 +86,7 @@ pub fn ecdf_csv<W: Write>(mut w: W, series: &[(&str, &Ecdf)]) -> io::Result<()> 
         .iter()
         .flat_map(|(_, e)| e.values.iter().copied())
         .collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    xs.sort_by(f64::total_cmp);
     xs.dedup();
     for x in xs {
         write!(w, "{x}")?;

@@ -208,35 +208,40 @@ fn sweep_component(
             i += 1;
         }
         for &c in &candidates {
-            let isolated = view.is_isolated(c);
-            match (isolated, open.contains_key(&c)) {
-                (true, false) => {
-                    open.insert(c, t);
+            if view.is_isolated(c) {
+                // Already-open spans keep their original start.
+                open.entry(c).or_insert(t);
+            } else if let Some(from) = open.remove(&c) {
+                if t > from {
+                    spans.entry(c).or_default().push((from, t));
                 }
-                (false, true) => {
-                    let from = open.remove(&c).expect("contains_key checked");
-                    if t > from {
-                        spans.entry(c).or_default().push((from, t));
-                    }
-                }
-                _ => {}
             }
         }
     }
-    // All failures in the component have ended; nothing stays open.
-    for (c, from) in open {
-        let to = points.last().expect("non-empty").0;
-        if to > from {
-            spans.entry(c).or_default().push((from, to));
+    // All failures in the component have ended; nothing stays open past
+    // the last change point.
+    if let Some(&(last_t, _, _)) = points.last() {
+        for (c, from) in open {
+            if last_t > from {
+                spans.entry(c).or_default().push((from, last_t));
+            }
         }
     }
 
     if !spans.is_empty() {
         let mut isolated: Vec<_> = spans.into_iter().collect();
         isolated.sort_by_key(|(c, _)| *c);
+        // Spans exist only when change points did, so the component is
+        // non-empty here; bail rather than assert if that ever changes.
+        let (Some(from), Some(to)) = (
+            comp.iter().map(|f| f.start).min(),
+            comp.iter().map(|f| f.end).max(),
+        ) else {
+            return;
+        };
         outcome.events.push(IsolatingEvent {
-            from: comp.iter().map(|f| f.start).min().expect("non-empty"),
-            to: comp.iter().map(|f| f.end).max().expect("non-empty"),
+            from,
+            to,
             isolated,
             links,
         });

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod error;
 pub mod export;
 pub mod flap;
 pub mod fp;
@@ -62,8 +63,9 @@ pub mod streaming;
 pub mod transitions;
 
 pub use analysis::{Analysis, AnalysisConfig};
+pub use error::AnalysisError;
 pub use linktable::{LinkIx, LinkTable};
-pub use observe::{PipelineCounters, PipelineReport, StreamingCounters};
+pub use observe::{PipelineCounters, PipelineReport, RobustnessCounters, StreamingCounters};
 pub use par::ParallelismConfig;
 pub use reconstruct::{AmbiguityStrategy, Failure};
 pub use streaming::{

@@ -316,6 +316,8 @@ fn link_ranges(left: &[Failure], right: &[Failure]) -> Vec<(Range<usize>, Range<
             (Some(l), Some(r)) => l.link.min(r.link),
             (Some(l), None) => l.link,
             (None, Some(r)) => r.link,
+            // Invariant: the enclosing loop runs only while at least one
+            // side has unconsumed failures — not data-dependent.
             (None, None) => unreachable!("loop condition guarantees an element"),
         };
         let (i0, j0) = (i, j);

@@ -102,6 +102,30 @@ pub struct StreamingCounters {
     pub events_per_sec: f64,
 }
 
+/// What the pipeline refused or quarantined instead of crashing on: the
+/// graceful-degradation side of the ledger. All zeros on a clean run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustnessCounters {
+    /// Raw archive lines behind the parsed messages.
+    pub raw_lines: u64,
+    /// Lines the parser classified as malformed (counted, never fatal).
+    pub malformed_lines: u64,
+    /// Well-formed lines with non-studied mnemonics.
+    pub irrelevant_lines: u64,
+    /// Syslog messages quarantined: text timestamp beyond the configured
+    /// horizon ([`crate::analysis::AnalysisConfig::quarantine_horizon`]).
+    pub quarantined_syslog: u64,
+    /// Listener transitions quarantined past the same horizon.
+    pub quarantined_isis: u64,
+}
+
+impl RobustnessCounters {
+    /// Total items diverted away from the reconstruction state machines.
+    pub fn total_quarantined(&self) -> u64 {
+        self.quarantined_syslog + self.quarantined_isis
+    }
+}
+
 /// Per-stage counters and wall-clock timings for one
 /// [`crate::analysis::Analysis`] run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -115,6 +139,9 @@ pub struct PipelineReport {
     /// Streaming-specific counters; `None` for batch runs.
     #[serde(default)]
     pub streaming: Option<StreamingCounters>,
+    /// Degradation accounting (malformed lines, quarantined items).
+    #[serde(default)]
+    pub robustness: RobustnessCounters,
     /// End-to-end wall time, microseconds.
     pub total_micros: u64,
 }
@@ -196,6 +223,18 @@ impl fmt::Display for PipelineReport {
             c.failures_matched,
             c.ambiguous_periods
         )?;
+        let r = &self.robustness;
+        if *r != RobustnessCounters::default() {
+            writeln!(
+                f,
+                "  robustness: {} raw lines ({} malformed, {} irrelevant), {} syslog + {} isis quarantined",
+                r.raw_lines,
+                r.malformed_lines,
+                r.irrelevant_lines,
+                r.quarantined_syslog,
+                r.quarantined_isis
+            )?;
+        }
         if let Some(s) = &self.streaming {
             writeln!(
                 f,

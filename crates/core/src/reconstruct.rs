@@ -247,7 +247,8 @@ pub fn reconstruct(transitions: &[LinkTransition], strategy: AmbiguityStrategy) 
                 s.last_closed = Some(idx);
             }
             (TransitionDirection::Down, Some(_)) => {
-                // Double down.
+                // Double down. Invariant: an open failure was set by a
+                // prior transition, which also recorded `last_at`.
                 let first = s.last_at.expect("open failure implies a prior message");
                 ambiguous.push(AmbiguousPeriod {
                     link: t.link,
@@ -270,6 +271,7 @@ pub fn reconstruct(transitions: &[LinkTransition], strategy: AmbiguityStrategy) 
             (TransitionDirection::Up, None) => {
                 match s.last_dir {
                     Some(TransitionDirection::Up) => {
+                        // Invariant: `last_dir`/`last_at` are set together.
                         let first = s.last_at.expect("had a previous message");
                         ambiguous.push(AmbiguousPeriod {
                             link: t.link,

@@ -33,7 +33,7 @@ pub fn summarize(values: &[f64]) -> Summary {
         return Summary::default();
     }
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+    v.sort_by(f64::total_cmp);
     Summary {
         median: quantile_sorted(&v, 0.5),
         mean: v.iter().sum::<f64>() / v.len() as f64,
@@ -101,6 +101,8 @@ pub fn metric_samples(
     for ix in table.iter() {
         let class = table.class(ix);
         let years = table.years(ix).max(1e-6);
+        // Invariant: both LinkClass variants were inserted just above,
+        // and `class` is one of them — not data-dependent.
         let samples = out.get_mut(&class).expect("both classes present");
         let fs = per_link.get(&ix).map(Vec::as_slice).unwrap_or(&[]);
         samples.failures_per_link.push(fs.len() as f64 / years);
@@ -141,7 +143,7 @@ impl Ecdf {
     /// assert_eq!(e.at(100.0), 1.0);
     /// ```
     pub fn new(mut values: Vec<f64>) -> Self {
-        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        values.sort_by(f64::total_cmp);
         Ecdf { values }
     }
 

@@ -56,7 +56,8 @@
 //! every closed failure remains potentially extendable forever, so
 //! segments only drain at flush — the documented degenerate case.
 
-use crate::analysis::{Analysis, AnalysisConfig};
+use crate::analysis::{self, Analysis, AnalysisConfig};
+use crate::error::AnalysisError;
 use crate::linktable::{self, LinkIx, LinkTable};
 use crate::matching::{match_failures, FailureMatching};
 use crate::observe::{self, PipelineCounters, PipelineReport, StreamingCounters};
@@ -319,6 +320,8 @@ impl ReconLane {
                 }
             }
             (Down, Some(_)) => {
+                // Invariant: `open` can only be set by a prior step, and
+                // every step records `last_at` — not data-dependent.
                 let first = self.last_at.expect("open failure implies a prior message");
                 self.ambiguous.push(AmbiguousPeriod {
                     link,
@@ -332,6 +335,8 @@ impl ReconLane {
             }
             (Up, None) => match self.last_dir {
                 Some(Up) => {
+                    // Invariant: `last_dir` and `last_at` are always set
+                    // together at the end of each step.
                     let first = self.last_at.expect("had a previous message");
                     self.ambiguous.push(AmbiguousPeriod {
                         link,
@@ -677,6 +682,8 @@ pub struct StreamAnalysis<'a> {
     late_events: u64,
     open_items: u64,
     open_items_hwm: u64,
+    quarantined_syslog: u64,
+    quarantined_isis: u64,
 }
 
 impl<'a> StreamAnalysis<'a> {
@@ -719,7 +726,16 @@ impl<'a> StreamAnalysis<'a> {
             late_events: 0,
             open_items: 0,
             open_items_hwm: 0,
+            quarantined_syslog: 0,
+            quarantined_isis: 0,
         }
+    }
+
+    /// Validated construction: run the same configuration and input
+    /// checks as [`Analysis::try_run`] before setting up the engine.
+    pub fn try_new(data: &'a ScenarioData, config: AnalysisConfig) -> Result<Self, AnalysisError> {
+        analysis::validate_inputs(data, &config)?;
+        Ok(StreamAnalysis::new(data, config))
     }
 
     /// The time up to which the stream is complete: the maximum event
@@ -744,6 +760,34 @@ impl<'a> StreamAnalysis<'a> {
             Some(w) if at < w => self.late_events += 1,
             _ => self.watermark = Some(at),
         }
+    }
+
+    /// Quarantine admit check. An event stamped past the configured
+    /// horizon is counted and diverted *before* it can advance the
+    /// watermark or touch any state machine — the same per-item
+    /// predicate the batch pipeline applies up front, so both engines
+    /// see identical survivors regardless of arrival order.
+    fn admit(&mut self, event: &StreamEvent) -> bool {
+        let Some(horizon) = self.config.quarantine_horizon else {
+            return true;
+        };
+        if event.at() <= horizon {
+            return true;
+        }
+        // Still an offered event: ingest counters include it (mirroring
+        // the batch pipeline's `syslog_ingested`, which counts the whole
+        // archive), but resolution and merge stats never see it.
+        match event {
+            StreamEvent::Syslog(_) => {
+                self.events_syslog += 1;
+                self.quarantined_syslog += 1;
+            }
+            StreamEvent::Isis(_) => {
+                self.events_isis += 1;
+                self.quarantined_isis += 1;
+            }
+        }
+        false
     }
 
     /// Resolve one event serially; returns the link-routed form, if it
@@ -858,8 +902,13 @@ impl<'a> StreamAnalysis<'a> {
     /// Consume one event.
     pub fn ingest(&mut self, event: &StreamEvent) {
         let t0 = Instant::now();
+        if !self.admit(event) {
+            self.ingest_wall += t0.elapsed();
+            return;
+        }
         self.note_watermark(event.at());
         if let Some((link, lane_event)) = self.classify(event) {
+            // Invariant: note_watermark ran on this very event above.
             let watermark = self.watermark.expect("just noted");
             let link_id = self.link_of_ix.get(&link).copied();
             let resolvable = self.table.is_resolvable(link);
@@ -890,6 +939,9 @@ impl<'a> StreamAnalysis<'a> {
         self.batches += 1;
         let mut grouped: BTreeMap<LinkIx, Vec<LaneEvent>> = BTreeMap::new();
         for event in events {
+            if !self.admit(event) {
+                continue;
+            }
             self.note_watermark(event.at());
             if let Some((link, lane_event)) = self.classify(event) {
                 grouped.entry(link).or_default().push(lane_event);
@@ -1111,6 +1163,10 @@ impl<'a> StreamAnalysis<'a> {
         );
         report.counters = counters;
         report.streaming = Some(streaming);
+        let mut robustness = analysis::robustness_baseline(self.data);
+        robustness.quarantined_syslog = self.quarantined_syslog;
+        robustness.quarantined_isis = self.quarantined_isis;
+        report.robustness = robustness;
         report.total_micros = total_wall.as_micros() as u64;
         observe::narrate(|| {
             format!(
@@ -1226,6 +1282,56 @@ mod tests {
         assert!(s.segments_closed > 0, "quiet gaps must drain segments");
         assert!(s.open_state_high_water > 0);
         assert_eq!(s.late_events, 0, "scenario stream is in order");
+    }
+
+    #[test]
+    fn quarantine_horizon_matches_batch_and_is_accounted() {
+        let data = run(&ScenarioParams::tiny(11));
+        let events = scenario_event_stream(&data);
+        // A horizon in the middle of the observation period quarantines a
+        // real, nonzero share of both sources.
+        let mid = events[events.len() / 2].at();
+        let config = AnalysisConfig {
+            quarantine_horizon: Some(mid),
+            ..AnalysisConfig::default()
+        };
+        let batch = Analysis::run(&data, config.clone());
+        assert!(batch.report.robustness.total_quarantined() > 0);
+        let batch_json = serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap();
+
+        let mut stream = StreamAnalysis::try_new(&data, config).expect("valid inputs");
+        for c in events.chunks(57) {
+            stream.ingest_batch(c);
+        }
+        let result = stream.flush();
+        let stream_json = serde_json::to_string(&result.output).unwrap();
+        assert_eq!(batch_json, stream_json);
+        assert_eq!(result.report.robustness, batch.report.robustness);
+        // Quarantined events are still offered events: the headline
+        // ingest counter covers the whole archive on both sides.
+        assert_eq!(
+            result.output.counters.syslog_ingested,
+            data.syslog.len() as u64
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config_and_unsorted_input() {
+        let mut data = run(&ScenarioParams::tiny(12));
+        let zero_window = AnalysisConfig {
+            match_window: Duration::ZERO,
+            ..AnalysisConfig::default()
+        };
+        assert!(matches!(
+            StreamAnalysis::try_new(&data, zero_window).err(),
+            Some(AnalysisError::InvalidConfig { .. })
+        ));
+        assert!(StreamAnalysis::try_new(&data, AnalysisConfig::default()).is_ok());
+        data.syslog.reverse();
+        assert_eq!(
+            StreamAnalysis::try_new(&data, AnalysisConfig::default()).err(),
+            Some(AnalysisError::UnsortedInput { dataset: "syslog" })
+        );
     }
 
     #[test]

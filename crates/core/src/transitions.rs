@@ -210,6 +210,7 @@ pub fn isis_link_transitions_par(
             .push((t.at, t.source, t.direction));
     }
 
+    #[allow(clippy::type_complexity)]
     let groups: Vec<(LinkIx, Vec<(Timestamp, SystemId, TransitionDirection)>)> =
         groups.into_iter().collect();
     let merged = par::par_map(&groups, par_cfg, |(link, events)| {

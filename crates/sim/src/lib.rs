@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod dist;
 pub mod engine;
 pub mod routers;
@@ -41,6 +42,7 @@ pub mod tickets;
 pub mod truth;
 pub mod workload;
 
+pub use chaos::{ChaosConfig, ChaosOutcome, ChaosStats};
 pub use scenario::{ScenarioData, ScenarioParams};
 pub use tickets::{Ticket, TicketLog};
 pub use truth::{FailureCause, GroundTruth, TruthFailure};

@@ -27,6 +27,7 @@
 //! * listener outages with CSNP-style resync on return (§4.2's
 //!   sanitization target).
 
+use crate::chaos::{ChaosConfig, ChaosOutcome};
 use crate::engine::EventQueue;
 use crate::routers::RouterNode;
 use crate::tickets::{TicketLog, TicketParams};
@@ -165,6 +166,11 @@ pub struct ScenarioParams {
     pub wire_fidelity: bool,
     /// Seed for the scenario-level randomness (skews, delays, outages).
     pub seed: u64,
+    /// Post-transport fault injection on the collection path. The
+    /// default is inert: chaos off takes the exact pre-chaos code path
+    /// and produces byte-identical output.
+    #[serde(default)]
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ScenarioParams {
@@ -182,6 +188,7 @@ impl Default for ScenarioParams {
             // ~0.2 s per run. Refresh-heavy runs (table1) disable it.
             wire_fidelity: true,
             seed: 0xFA017,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -297,6 +304,10 @@ pub struct ScenarioData {
     pub lsps_flooded: u64,
     /// Period length in days.
     pub period_days: f64,
+    /// Chaos-layer outcome; present only when the scenario ran with
+    /// fault injection enabled.
+    #[serde(default)]
+    pub chaos: Option<ChaosOutcome>,
 }
 
 impl ScenarioData {
@@ -962,13 +973,33 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
         }
     }
 
-    let raw_syslog_lines = collector.len();
-    let syslog = collector.parsed_messages();
     let listener_stats = listener.stats();
     let transport_stats = transport.stats();
     let hostnames = listener.hostnames().clone();
-    let offline_spans = listener.offline_spans().to_vec();
-    let transitions = listener.into_transitions();
+    let mut offline_spans = listener.offline_spans().to_vec();
+    let mut transitions = listener.into_transitions();
+
+    // Chaos layer: post-process the collection-path outputs. Gated so
+    // that a disabled config takes the exact pre-chaos code path (same
+    // calls, zero extra RNG draws) and stays byte-identical.
+    let (syslog, raw_syslog_lines, chaos) = if params.chaos.enabled() {
+        let mut records = collector.into_lines();
+        let stats = params
+            .chaos
+            .apply(&mut records, &mut transitions, &mut offline_spans, period);
+        let (events, parse_stats) = faultline_syslog::collector::parse_records(&records);
+        (
+            events,
+            records.len(),
+            Some(ChaosOutcome {
+                config: params.chaos.clone(),
+                stats,
+                parse: parse_stats,
+            }),
+        )
+    } else {
+        (collector.parsed_messages(), collector.len(), None)
+    };
 
     ScenarioData {
         topology: topo,
@@ -984,6 +1015,7 @@ pub fn run(params: &ScenarioParams) -> ScenarioData {
         transport_stats,
         lsps_flooded,
         period_days: params.workload.period_days,
+        chaos,
     }
 }
 
@@ -1123,6 +1155,43 @@ mod tests {
         assert!(
             data.listener_stats.lsps_missed_offline > 0
                 || data.offline_spans[0].from > Timestamp::EPOCH
+        );
+    }
+
+    #[test]
+    fn chaos_off_is_byte_identical_and_unreported() {
+        let clean = run(&ScenarioParams::tiny(9));
+        let mut p = ScenarioParams::tiny(9);
+        // A non-default seed with every pathology off is still "off".
+        p.chaos.seed = 1234;
+        let off = run(&p);
+        assert!(clean.chaos.is_none());
+        assert!(off.chaos.is_none());
+        assert_eq!(clean.syslog, off.syslog);
+        assert_eq!(clean.transitions, off.transitions);
+        assert_eq!(clean.raw_syslog_lines, off.raw_syslog_lines);
+        assert_eq!(clean.offline_spans, off.offline_spans);
+    }
+
+    #[test]
+    fn chaos_on_is_deterministic_and_balanced() {
+        let mut p = ScenarioParams::tiny(9);
+        p.chaos = crate::chaos::ChaosConfig::moderate(5);
+        let a = run(&p);
+        let b = run(&p);
+        assert_eq!(a.syslog, b.syslog);
+        assert_eq!(a.raw_syslog_lines, b.raw_syslog_lines);
+        let outcome = a.chaos.expect("chaos ran");
+        assert_eq!(Some(outcome.clone()), b.chaos);
+        assert!(outcome.stats.is_balanced(), "{:?}", outcome.stats);
+        assert_eq!(outcome.stats.lines_out, a.raw_syslog_lines as u64);
+        assert_eq!(outcome.parse.lines, outcome.stats.lines_out);
+        assert!(outcome.parse.is_balanced(), "{:?}", outcome.parse);
+        // The injected listener outage joined the offline record.
+        let clean = run(&ScenarioParams::tiny(9));
+        assert_eq!(
+            a.offline_spans.len(),
+            clean.offline_spans.len() + outcome.stats.listener_outages_injected as usize
         );
     }
 

@@ -10,6 +10,7 @@
 //! log, mirroring the single central facility CENIC runs.
 
 use crate::message::SyslogMessage;
+use crate::parse::ParseStats;
 use crate::transport::Delivery;
 use faultline_topology::time::Timestamp;
 use parking_lot::Mutex;
@@ -70,11 +71,30 @@ impl Collector {
     /// sorts on text timestamps, not arrival order).
     pub fn parsed_messages(&self) -> Vec<SyslogMessage> {
         let records = self.records.lock();
-        let (mut events, _, _) =
-            crate::parse::parse_archive(records.iter().map(|r| r.line.as_str()));
-        events.sort_by_key(|m| (m.event.at, m.event.host.clone(), m.seq));
+        let (events, _) = parse_records(&records);
         events
     }
+}
+
+/// Parse a collector archive in the **canonical replay order**: records
+/// are first put in arrival order (stable, so simultaneous arrivals keep
+/// their ingest order), parsed in that order, and the resulting events
+/// are then stable-sorted by `(text timestamp, host, seq)`.
+///
+/// The two-step order makes the tiebreak for identical sort keys
+/// *explicit*: when clock skew or duplicated delivery produces two
+/// messages with the same text timestamp, host, and sequence number,
+/// they replay in arrival order — deterministically — instead of relying
+/// on whatever order the records happened to be stored in.
+pub fn parse_records(records: &[LogRecord]) -> (Vec<SyslogMessage>, ParseStats) {
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by_key(|&i| records[i].arrived_at);
+    let (mut events, stats) =
+        crate::parse::parse_archive_stats(order.iter().map(|&i| records[i].line.as_str()));
+    events.sort_by(|a, b| {
+        (a.event.at, &a.event.host, a.seq).cmp(&(b.event.at, &b.event.host, b.seq))
+    });
+    (events, stats)
 }
 
 #[cfg(test)]
@@ -135,6 +155,39 @@ mod tests {
         let lines = collector.into_lines();
         assert_eq!(lines[0].line, "a");
         assert_eq!(lines[1].line, "b");
+    }
+
+    #[test]
+    fn identical_text_timestamps_replay_in_arrival_order() {
+        // Two *identical* messages (same text timestamp, host, seq — the
+        // signature of a chaos-duplicated delivery) plus one skewed copy
+        // arriving first: the sort key ties, so only the arrival-order
+        // tiebreak makes the replay deterministic.
+        let line_a = msg("r1", 5_000).render();
+        let line_b = msg("r1", 5_000).render();
+        let forward = Collector::new();
+        forward.ingest_raw(Timestamp::from_secs(9), line_a.clone());
+        forward.ingest_raw(Timestamp::from_secs(7), line_b.clone());
+        let backward = Collector::new();
+        backward.ingest_raw(Timestamp::from_secs(7), line_b);
+        backward.ingest_raw(Timestamp::from_secs(9), line_a);
+        assert_eq!(forward.parsed_messages(), backward.parsed_messages());
+
+        let records = vec![
+            LogRecord {
+                arrived_at: Timestamp::from_secs(9),
+                line: msg("r1", 5_000).render(),
+            },
+            LogRecord {
+                arrived_at: Timestamp::from_secs(7),
+                line: msg("r2", 5_000).render(),
+            },
+        ];
+        let (events, stats) = parse_records(&records);
+        assert_eq!(events.len(), 2);
+        // Equal text timestamps: host breaks the tie, not arrival.
+        assert_eq!(events[0].event.host, "r1");
+        assert!(stats.is_balanced());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod message;
 pub mod parse;
 pub mod transport;
 
-pub use collector::Collector;
+pub use collector::{Collector, LogRecord};
 pub use message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
+pub use parse::{ParseError, ParseOutcome, ParseStats};
 pub use transport::{LossyTransport, TransportConfig};

@@ -10,6 +10,7 @@ use crate::caltime;
 use crate::message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
 use faultline_topology::interface::InterfaceName;
 use faultline_topology::router::RouterOs;
+use serde::{Deserialize, Serialize};
 
 /// Outcome of parsing one line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +21,114 @@ pub enum Parsed {
     Irrelevant,
     /// Not parseable as a syslog line.
     Garbage,
+}
+
+/// Why a line could not be parsed. Real collection paths truncate,
+/// corrupt, and interleave lines; the taxonomy makes each failure mode
+/// countable instead of collapsing everything into one "garbage" bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParseError {
+    /// No `<PRI>` prefix (or the closing `>` is missing).
+    MissingPri,
+    /// The `<PRI>` field is present but not a valid priority octet.
+    BadPri,
+    /// The per-router sequence number is missing or not numeric.
+    BadSeq,
+    /// The `HOST: ` field separator never appears.
+    MissingHost,
+    /// The line ends before the `": %"` timestamp/body separator —
+    /// the signature of mid-line truncation.
+    MissingBody,
+    /// The timestamp text does not parse as a calendar stamp.
+    BadTimestamp,
+    /// A studied mnemonic whose payload structure is mangled.
+    MalformedBody,
+    /// A body with no plausible `FAC-SEV-MNEMONIC` shape at all.
+    UnrecognizedBody,
+}
+
+/// Typed outcome of parsing one line: total over all inputs, never
+/// panicking. [`Parsed`] is the coarse legacy view of this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// A link-state message the study uses.
+    Event(SyslogMessage),
+    /// Well-formed syslog, but not one of the studied mnemonics.
+    Irrelevant,
+    /// Not parseable; the error says which part failed first.
+    Malformed(ParseError),
+}
+
+/// Per-category parse accounting over an archive. The invariant
+/// [`ParseStats::is_balanced`] checks — every line lands in exactly one
+/// bucket — is what the chaos harness asserts to prove no input is
+/// silently dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseStats {
+    /// Lines offered to the parser.
+    pub lines: u64,
+    /// Lines parsed into studied link-state events.
+    pub events: u64,
+    /// Well-formed lines with non-studied mnemonics.
+    pub irrelevant: u64,
+    /// Lines rejected; the fields below break this down by cause.
+    pub malformed: u64,
+    /// [`ParseError::MissingPri`] count.
+    pub missing_pri: u64,
+    /// [`ParseError::BadPri`] count.
+    pub bad_pri: u64,
+    /// [`ParseError::BadSeq`] count.
+    pub bad_seq: u64,
+    /// [`ParseError::MissingHost`] count.
+    pub missing_host: u64,
+    /// [`ParseError::MissingBody`] count.
+    pub missing_body: u64,
+    /// [`ParseError::BadTimestamp`] count.
+    pub bad_timestamp: u64,
+    /// [`ParseError::MalformedBody`] count.
+    pub malformed_body: u64,
+    /// [`ParseError::UnrecognizedBody`] count.
+    pub unrecognized_body: u64,
+}
+
+impl ParseStats {
+    /// Account for one classification.
+    pub fn note(&mut self, outcome: &ParseOutcome) {
+        self.lines += 1;
+        match outcome {
+            ParseOutcome::Event(_) => self.events += 1,
+            ParseOutcome::Irrelevant => self.irrelevant += 1,
+            ParseOutcome::Malformed(e) => {
+                self.malformed += 1;
+                match e {
+                    ParseError::MissingPri => self.missing_pri += 1,
+                    ParseError::BadPri => self.bad_pri += 1,
+                    ParseError::BadSeq => self.bad_seq += 1,
+                    ParseError::MissingHost => self.missing_host += 1,
+                    ParseError::MissingBody => self.missing_body += 1,
+                    ParseError::BadTimestamp => self.bad_timestamp += 1,
+                    ParseError::MalformedBody => self.malformed_body += 1,
+                    ParseError::UnrecognizedBody => self.unrecognized_body += 1,
+                }
+            }
+        }
+    }
+
+    /// True when every line is accounted for exactly once: the three
+    /// coarse buckets sum to `lines`, and the per-error counters sum to
+    /// `malformed`.
+    pub fn is_balanced(&self) -> bool {
+        self.events + self.irrelevant + self.malformed == self.lines
+            && self.missing_pri
+                + self.bad_pri
+                + self.bad_seq
+                + self.missing_host
+                + self.missing_body
+                + self.bad_timestamp
+                + self.malformed_body
+                + self.unrecognized_body
+                == self.malformed
+    }
 }
 
 /// Parse one raw line as produced by [`SyslogMessage::render`].
@@ -56,39 +165,55 @@ pub enum Parsed {
 /// }
 /// ```
 pub fn parse_line(line: &str) -> Parsed {
+    match classify_line(line) {
+        ParseOutcome::Event(m) => Parsed::Event(m),
+        ParseOutcome::Irrelevant => Parsed::Irrelevant,
+        ParseOutcome::Malformed(_) => Parsed::Garbage,
+    }
+}
+
+/// Parse one raw line into the typed [`ParseOutcome`] taxonomy. Total
+/// over arbitrary input: every `&str` classifies as exactly one of
+/// event / irrelevant / malformed-with-cause, and nothing panics.
+pub fn classify_line(line: &str) -> ParseOutcome {
     // <PRI>SEQ: HOST: TIMESTAMP: %BODY
     let Some(rest) = line.strip_prefix('<') else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::MissingPri);
     };
     let Some((pri, rest)) = rest.split_once('>') else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::MissingPri);
     };
     if pri.parse::<u8>().is_err() {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::BadPri);
     }
     let Some((seq, rest)) = rest.split_once(": ") else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::BadSeq);
     };
     let Ok(seq) = seq.parse::<u64>() else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::BadSeq);
     };
     let Some((host, rest)) = rest.split_once(": ") else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::MissingHost);
     };
     // ": %" separates the timestamp from the body in every rendered
     // message (the HH:MM:SS colons are never followed by " %").
     let (ts_text, body) = match rest.split_once(": %") {
         Some((t, b)) => (t, b),
-        None => return Parsed::Garbage,
+        None => return ParseOutcome::Malformed(ParseError::MissingBody),
     };
     let Some(at) = caltime::parse(ts_text) else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::BadTimestamp);
     };
 
     parse_body(at, host, body, seq)
 }
 
-fn parse_body(at: faultline_topology::time::Timestamp, host: &str, body: &str, seq: u64) -> Parsed {
+fn parse_body(
+    at: faultline_topology::time::Timestamp,
+    host: &str,
+    body: &str,
+    seq: u64,
+) -> ParseOutcome {
     if let Some(rest) = body.strip_prefix("CLNS-5-ADJCHANGE: ISIS: Adjacency to ") {
         return parse_adjchange(at, host, rest, seq, RouterOs::Ios);
     }
@@ -98,14 +223,14 @@ fn parse_body(at: faultline_topology::time::Timestamp, host: &str, body: &str, s
     if let Some(rest) = body.strip_prefix("LINK-3-UPDOWN: Interface ") {
         // "IFACE, changed state to Down"
         let Some((iface, state)) = rest.split_once(", changed state to ") else {
-            return Parsed::Garbage;
+            return ParseOutcome::Malformed(ParseError::MalformedBody);
         };
         let up = match state {
             "Up" | "up" => true,
             "Down" | "down" => false,
-            _ => return Parsed::Garbage,
+            _ => return ParseOutcome::Malformed(ParseError::MalformedBody),
         };
-        return Parsed::Event(SyslogMessage {
+        return ParseOutcome::Event(SyslogMessage {
             seq,
             event: LinkEvent {
                 at,
@@ -119,14 +244,14 @@ fn parse_body(at: faultline_topology::time::Timestamp, host: &str, body: &str, s
     }
     if let Some(rest) = body.strip_prefix("LINEPROTO-5-UPDOWN: Line protocol on Interface ") {
         let Some((iface, state)) = rest.split_once(", changed state to ") else {
-            return Parsed::Garbage;
+            return ParseOutcome::Malformed(ParseError::MalformedBody);
         };
         let up = match state {
             "Up" | "up" => true,
             "Down" | "down" => false,
-            _ => return Parsed::Garbage,
+            _ => return ParseOutcome::Malformed(ParseError::MalformedBody),
         };
-        return Parsed::Event(SyslogMessage {
+        return ParseOutcome::Event(SyslogMessage {
             seq,
             event: LinkEvent {
                 at,
@@ -147,9 +272,9 @@ fn parse_body(at: faultline_topology::time::Timestamp, host: &str, body: &str, s
             (Some(f), Some(s), Some(_)) if !f.is_empty() && s.parse::<u8>().is_ok()
         )
     }) {
-        return Parsed::Irrelevant;
+        return ParseOutcome::Irrelevant;
     }
-    Parsed::Garbage
+    ParseOutcome::Malformed(ParseError::UnrecognizedBody)
 }
 
 fn parse_adjchange(
@@ -158,31 +283,31 @@ fn parse_adjchange(
     rest: &str,
     seq: u64,
     os: RouterOs,
-) -> Parsed {
+) -> ParseOutcome {
     // IOS:    "NEIGHBOR (IFACE) Up, detail"
     // IOS XR: "NEIGHBOR (IFACE) (L2) Up, detail"
     let Some((neighbor, rest)) = rest.split_once(" (") else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::MalformedBody);
     };
     let Some((iface, rest)) = rest.split_once(") ") else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::MalformedBody);
     };
     let rest = match os {
         RouterOs::IosXr => match rest.strip_prefix("(L2) ") {
             Some(r) => r,
-            None => return Parsed::Garbage,
+            None => return ParseOutcome::Malformed(ParseError::MalformedBody),
         },
         RouterOs::Ios => rest,
     };
     let Some((state, detail)) = rest.split_once(", ") else {
-        return Parsed::Garbage;
+        return ParseOutcome::Malformed(ParseError::MalformedBody);
     };
     let up = match state {
         "Up" => true,
         "Down" => false,
-        _ => return Parsed::Garbage,
+        _ => return ParseOutcome::Malformed(ParseError::MalformedBody),
     };
-    Parsed::Event(SyslogMessage {
+    ParseOutcome::Event(SyslogMessage {
         seq,
         event: LinkEvent {
             at,
@@ -204,17 +329,24 @@ fn parse_adjchange(
 pub fn parse_archive<'a>(
     lines: impl IntoIterator<Item = &'a str>,
 ) -> (Vec<SyslogMessage>, u64, u64) {
+    let (events, stats) = parse_archive_stats(lines);
+    (events, stats.irrelevant, stats.malformed)
+}
+
+/// Parse a whole archive of lines with full per-cause accounting.
+pub fn parse_archive_stats<'a>(
+    lines: impl IntoIterator<Item = &'a str>,
+) -> (Vec<SyslogMessage>, ParseStats) {
     let mut events = Vec::new();
-    let mut irrelevant = 0;
-    let mut garbage = 0;
+    let mut stats = ParseStats::default();
     for line in lines {
-        match parse_line(line) {
-            Parsed::Event(m) => events.push(m),
-            Parsed::Irrelevant => irrelevant += 1,
-            Parsed::Garbage => garbage += 1,
+        let outcome = classify_line(line);
+        stats.note(&outcome);
+        if let ParseOutcome::Event(m) = outcome {
+            events.push(m);
         }
     }
-    (events, irrelevant, garbage)
+    (events, stats)
 }
 
 #[cfg(test)]
@@ -309,6 +441,57 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(irrelevant, 1);
         assert_eq!(garbage, 1);
+    }
+
+    #[test]
+    fn taxonomy_names_the_first_failing_field() {
+        use ParseError::*;
+        let cases = [
+            ("", MissingPri),
+            ("no angle bracket", MissingPri),
+            ("<189 unterminated", MissingPri),
+            ("<abc>1: h: Oct 21 2010 00:00:00.000: %X-1-Y: z", BadPri),
+            ("<189>notanum: h: t: %X-1-Y: z", BadSeq),
+            ("<189>1", BadSeq),
+            ("<189>1: host-without-sep", MissingHost),
+            ("<189>1: h: Oct 21 2010 00:00:0", MissingBody),
+            ("<189>1: h: BADTIME: %X-1-Y: z", BadTimestamp),
+            (
+                "<189>1: h: Oct 21 2010 00:00:00.000: %LINK-3-UPDOWN: Interface Gi0/0, changed",
+                MalformedBody,
+            ),
+            (
+                "<189>1: h: Oct 21 2010 00:00:00.000: %no mnemonic here",
+                UnrecognizedBody,
+            ),
+        ];
+        for (line, want) in cases {
+            assert_eq!(
+                classify_line(line),
+                ParseOutcome::Malformed(want),
+                "line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn archive_stats_balance() {
+        let m = sample(RouterOs::Ios, LinkEventKind::Link, true);
+        let line = m.render();
+        let lines = vec![
+            line.as_str(),
+            "<189>7: h: Oct 21 2010 01:02:03.004: %SYS-5-CONFIG_I: Configured",
+            "garbage",
+            "<189>1: h: Oct 21 2010 00:00:0",
+        ];
+        let (events, stats) = parse_archive_stats(lines);
+        assert_eq!(events.len(), 1);
+        assert_eq!(stats.lines, 4);
+        assert_eq!(stats.irrelevant, 1);
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(stats.missing_pri, 1);
+        assert_eq!(stats.missing_body, 1);
+        assert!(stats.is_balanced());
     }
 
     #[test]

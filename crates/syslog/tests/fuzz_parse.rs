@@ -1,0 +1,193 @@
+//! Fuzz corpus for the line parser: mutated *real* lines.
+//!
+//! `tests/props.rs` already proves totality on arbitrary garbage. The
+//! corpus here is nastier in a more realistic way: it starts from
+//! genuine rendered Cisco lines — including timestamps straddling the
+//! year boundary and the leap day — and applies the corruptions a
+//! collector actually sees (truncation, two lines spliced together,
+//! characters replaced with separators, control bytes, and non-ASCII).
+//! The contract under test:
+//!
+//! 1. [`classify_line`] never panics — every input maps to a
+//!    [`ParseOutcome`];
+//! 2. the per-cause accounting in [`ParseStats`] always balances;
+//! 3. an *unmutated* rendered line still round-trips exactly.
+
+use faultline_syslog::message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
+use faultline_syslog::parse::{classify_line, parse_archive_stats, ParseOutcome, ParseStats};
+use faultline_topology::interface::InterfaceName;
+use faultline_topology::router::RouterOs;
+use faultline_topology::time::Timestamp;
+use proptest::prelude::*;
+
+const DAY_MS: u64 = 86_400_000;
+
+/// Replacement characters a corrupted feed plausibly produces: grammar
+/// separators, control bytes, and non-ASCII.
+const CORRUPT: &[char] = &[
+    '<', '>', '%', ':', '#', ' ', '-', '\0', '\t', '\u{7f}', 'ÿ', '\u{fffd}',
+];
+
+fn arb_detail() -> impl Strategy<Value = AdjChangeDetail> {
+    prop_oneof![
+        Just(AdjChangeDetail::NewAdjacency),
+        Just(AdjChangeDetail::HoldTimeExpired),
+        Just(AdjChangeDetail::InterfaceDown),
+        Just(AdjChangeDetail::AdjacencyReset),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = LinkEventKind> {
+    prop_oneof![
+        ("[a-z][a-z0-9-]{0,12}", arb_detail()).prop_map(|(n, d)| LinkEventKind::IsisAdjacency {
+            neighbor: n,
+            detail: d,
+        }),
+        Just(LinkEventKind::Link),
+        Just(LinkEventKind::LineProtocol),
+    ]
+}
+
+/// Timestamps biased toward calendar trouble spots: the simulated
+/// archive's first year boundary (Dec 31 → Jan 1) and the leap day of
+/// the following year, plus a broad background range.
+fn arb_at_ms() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        // Year boundary: one minute each side of midnight.
+        (72 * DAY_MS - 60_000)..(73 * DAY_MS + 60_000),
+        // Leap day, full span plus a minute each side.
+        (497 * DAY_MS - 60_000)..(498 * DAY_MS + 60_000),
+        0u64..(500 * DAY_MS),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = SyslogMessage> {
+    (
+        (any::<u64>(), arb_at_ms(), "[a-z][a-z0-9-]{0,12}"),
+        (0u32..48, arb_kind(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|((seq, at, host), (iface, kind, up, xr))| SyslogMessage {
+            seq,
+            event: LinkEvent {
+                at: Timestamp::from_millis(at),
+                host,
+                interface: InterfaceName::gig(iface),
+                kind,
+                up,
+            },
+            os: if xr { RouterOs::IosXr } else { RouterOs::Ios },
+        })
+}
+
+/// One corruption applied to a rendered line. Indices are taken modulo
+/// the char count so every drawn value is meaningful.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Keep only the first `n mod len` characters.
+    Truncate(usize),
+    /// Replace the character at `i mod len` with a corrupt character.
+    Substitute(usize, usize),
+    /// Splice: prefix of this line + suffix of a second rendered line.
+    Splice(usize),
+    /// Leave the line untouched (the round-trip control arm).
+    Identity,
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0usize..256).prop_map(Mutation::Truncate),
+        ((0usize..256), (0usize..CORRUPT.len())).prop_map(|(i, c)| Mutation::Substitute(i, c)),
+        (0usize..256).prop_map(Mutation::Splice),
+        Just(Mutation::Identity),
+    ]
+}
+
+fn apply(line: &str, other: &str, m: &Mutation) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    match *m {
+        Mutation::Truncate(n) => chars[..n % (chars.len() + 1)].iter().collect(),
+        Mutation::Substitute(i, c) => {
+            let mut out = chars;
+            let i = i % out.len();
+            out[i] = CORRUPT[c];
+            out.into_iter().collect()
+        }
+        Mutation::Splice(cut) => {
+            let head: String = chars[..cut % (chars.len() + 1)].iter().collect();
+            let tail_chars: Vec<char> = other.chars().collect();
+            let tail: String = tail_chars[cut % (tail_chars.len() + 1)..].iter().collect();
+            head + &tail
+        }
+        Mutation::Identity => line.to_string(),
+    }
+}
+
+proptest! {
+    /// Totality and classification: every mutated real line maps to an
+    /// outcome, and untouched lines still parse to the original message.
+    #[test]
+    fn mutated_real_lines_are_always_classified(
+        msg in arb_message(),
+        other in arb_message(),
+        mutation in arb_mutation(),
+    ) {
+        let line = msg.render();
+        let mutated = apply(&line, &other.render(), &mutation);
+        let outcome = classify_line(&mutated);
+        if matches!(mutation, Mutation::Identity) {
+            match outcome {
+                ParseOutcome::Event(back) => {
+                    // %LINK/%LINEPROTO don't encode the OS; normalize.
+                    let mut expect = msg.clone();
+                    if !matches!(expect.event.kind, LinkEventKind::IsisAdjacency { .. }) {
+                        expect.os = RouterOs::Ios;
+                    }
+                    prop_assert_eq!(back, expect, "line: {}", mutated);
+                }
+                other => prop_assert!(false, "clean line {:?} -> {:?}", mutated, other),
+            }
+        } else {
+            // Any outcome is acceptable for a mutated line; reaching
+            // here at all is the property (no panic), and stats must
+            // note it consistently.
+            let mut stats = ParseStats::default();
+            stats.note(&outcome);
+            prop_assert!(stats.is_balanced(), "{:?} -> {:?}", mutated, outcome);
+        }
+    }
+
+    /// Archive-level accounting balances over a whole mutated corpus:
+    /// events + irrelevant + malformed == lines, and the per-cause
+    /// breakdown sums to the malformed total.
+    #[test]
+    fn mutated_archive_stats_balance(
+        specs in proptest::collection::vec((arb_message(), arb_mutation()), 1..40),
+        spliced in arb_message(),
+    ) {
+        let donor = spliced.render();
+        let lines: Vec<String> = specs
+            .iter()
+            .map(|(m, mu)| apply(&m.render(), &donor, mu))
+            .collect();
+        let (events, stats) = parse_archive_stats(lines.iter().map(String::as_str));
+        prop_assert!(stats.is_balanced(), "{:?}", stats);
+        prop_assert_eq!(stats.lines, lines.len() as u64);
+        prop_assert_eq!(stats.events, events.len() as u64);
+    }
+
+    /// Truncation sweep: every prefix of a real line (char-boundary cuts
+    /// included, since lines can carry multi-byte hostnames) classifies
+    /// without panicking, and the full line is an event.
+    #[test]
+    fn every_prefix_classifies(msg in arb_message()) {
+        let line = msg.render();
+        let chars: Vec<char> = line.chars().collect();
+        for n in 0..=chars.len() {
+            let prefix: String = chars[..n].iter().collect();
+            let outcome = classify_line(&prefix);
+            if n == chars.len() {
+                prop_assert!(matches!(outcome, ParseOutcome::Event(_)));
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Differential graceful-degradation harness for the chaos layer.
+//!
+//! Three contracts, in increasing strength:
+//!
+//! 1. **Identity off.** `ChaosConfig::default()` is inert: a scenario
+//!    run with it is byte-identical to one without, so the golden tables
+//!    in `tests/golden/` keep pinning the clean pipeline.
+//! 2. **No panic on.** Every preset, including the adversarial `severe`,
+//!    flows through batch analysis, streaming analysis, and every
+//!    table/figure without panicking, and batch and stream remain
+//!    byte-equivalent on the mangled data.
+//! 3. **Bounded drift.** Because chaos perturbs only the collection
+//!    path, a chaotic run shares its ground truth with the clean run of
+//!    the same scenario seed. Under the `mild` preset the headline
+//!    metrics must stay inside documented drift bands (see
+//!    ARCHITECTURE.md "Adversity model"); the IS-IS side, which `mild`
+//!    does not touch at all, must not move one bit.
+//!
+//! Alongside, the accounting is checked exactly: chaos line
+//! conservation, parse taxonomy balance, and the `RobustnessCounters`
+//! surfaced on every `PipelineReport`.
+
+use faultline_core::{
+    scenario_event_stream, Analysis, AnalysisConfig, StreamAnalysis, StreamOutput,
+};
+use faultline_sim::scenario::{run, ScenarioParams};
+use faultline_sim::ChaosConfig;
+use faultline_topology::time::Timestamp;
+
+/// The analysis end of the period, with a day of slack for skewed
+/// stamps that legitimately spill past it.
+fn quarantine_horizon(data: &faultline_sim::ScenarioData) -> Timestamp {
+    Timestamp::from_millis((data.period_days * 86_400_000.0) as u64 + 86_400_000)
+}
+
+fn chaotic(seed: u64, chaos: ChaosConfig) -> ScenarioParams {
+    let mut params = ScenarioParams::tiny(seed);
+    params.chaos = chaos;
+    params
+}
+
+#[test]
+fn chaos_off_is_byte_identical_to_a_clean_run() {
+    let clean = run(&ScenarioParams::tiny(42));
+    let mut params = ScenarioParams::tiny(42);
+    params.chaos = ChaosConfig::default();
+    assert!(!params.chaos.enabled());
+    let off = run(&params);
+    assert!(off.chaos.is_none(), "inert chaos must not be reported");
+    assert_eq!(
+        serde_json::to_string(&clean).unwrap(),
+        serde_json::to_string(&off).unwrap(),
+        "disabled chaos must leave the scenario byte-identical"
+    );
+    // And the analysis surface over it, stage counters included.
+    let a = Analysis::run(&clean, AnalysisConfig::default());
+    let b = Analysis::run(&off, AnalysisConfig::default());
+    assert_eq!(
+        serde_json::to_string(&StreamOutput::of_batch(&a)).unwrap(),
+        serde_json::to_string(&StreamOutput::of_batch(&b)).unwrap()
+    );
+    assert_eq!(a.report.robustness, b.report.robustness);
+}
+
+/// Every preset at several seeds: the full batch surface (all tables,
+/// figures, forensics) and the streaming engine must survive and agree.
+#[test]
+fn no_preset_panics_and_stream_stays_batch_equivalent() {
+    for seed in [1u64, 2, 3] {
+        for (name, chaos) in [
+            ("mild", ChaosConfig::mild(seed * 31)),
+            ("moderate", ChaosConfig::moderate(seed * 31)),
+            ("severe", ChaosConfig::severe(seed * 31)),
+        ] {
+            let data = run(&chaotic(seed, chaos));
+            let outcome = data.chaos.as_ref().expect("chaos ran");
+            assert!(outcome.stats.is_balanced(), "{name}: {:?}", outcome.stats);
+            assert_eq!(
+                outcome.stats.lines_out, data.raw_syslog_lines as u64,
+                "{name}: archive length must match chaos accounting"
+            );
+            assert_eq!(
+                outcome.parse.lines, outcome.stats.lines_out,
+                "{name}: every surviving line must be classified"
+            );
+            assert!(outcome.parse.is_balanced(), "{name}: {:?}", outcome.parse);
+
+            let config = AnalysisConfig {
+                quarantine_horizon: Some(quarantine_horizon(&data)),
+                ..AnalysisConfig::default()
+            };
+            let batch = Analysis::try_run(&data, config.clone()).expect("chaotic data is valid");
+            // The whole derived surface, not just the headline tables.
+            let _ = batch.table1();
+            let _ = batch.table2();
+            let _ = batch.table3();
+            let _ = batch.table4();
+            let _ = batch.table5();
+            let _ = batch.table6();
+            let _ = batch.table7();
+            let _ = batch.false_positives();
+            let _ = batch.isolation_forensics();
+            let _ = batch.ks_tests(faultline_topology::link::LinkClass::Cpe);
+            let _ = batch.figure1();
+
+            // Robustness accounting is recomputable from the outcome.
+            let r = &batch.report.robustness;
+            assert_eq!(r.raw_lines, data.raw_syslog_lines as u64, "{name}");
+            assert_eq!(r.malformed_lines, outcome.parse.malformed, "{name}");
+            assert_eq!(r.irrelevant_lines, outcome.parse.irrelevant, "{name}");
+
+            // Stream equivalence holds on mangled data too.
+            let mut stream = StreamAnalysis::try_new(&data, config).expect("valid");
+            for chunk in scenario_event_stream(&data).chunks(97) {
+                stream.ingest_batch(chunk);
+            }
+            let result = stream.flush();
+            assert_eq!(
+                serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap(),
+                serde_json::to_string(&result.output).unwrap(),
+                "{name} seed {seed}: stream must equal batch under chaos"
+            );
+            assert_eq!(result.report.robustness, batch.report.robustness, "{name}");
+        }
+    }
+}
+
+/// The mild preset leaves the IS-IS path untouched (no listener outages
+/// are injected), so the IS-IS reconstruction must be bit-identical to
+/// the clean run of the same scenario seed, while the syslog side stays
+/// within the documented drift bands.
+#[test]
+fn mild_chaos_stays_within_drift_bands() {
+    for seed in [42u64, 7, 19] {
+        let clean_data = run(&ScenarioParams::tiny(seed));
+        let chaotic_data = run(&chaotic(seed, ChaosConfig::mild(seed ^ 0xC0C0)));
+        // Shared ground truth: chaos is strictly post-collection.
+        assert_eq!(
+            clean_data.truth.failures.len(),
+            chaotic_data.truth.failures.len()
+        );
+        assert_eq!(clean_data.transitions, chaotic_data.transitions);
+
+        let clean = Analysis::run(&clean_data, AnalysisConfig::default());
+        let chaotic = Analysis::run(&chaotic_data, AnalysisConfig::default());
+        let t4_clean = clean.table4();
+        let t4_chaos = chaotic.table4();
+
+        // Band 0 (exact): the untouched source does not move.
+        assert_eq!(clean.isis_failures, chaotic.isis_failures, "seed {seed}");
+        assert_eq!(t4_clean.isis_failures, t4_chaos.isis_failures);
+
+        // Band 1: syslog failure count within ±25% of clean.
+        let rel = |a: f64, b: f64| if b == 0.0 { 0.0 } else { (a - b).abs() / b };
+        let count_drift = rel(
+            t4_chaos.syslog_failures as f64,
+            t4_clean.syslog_failures as f64,
+        );
+        assert!(
+            count_drift <= 0.25,
+            "seed {seed}: syslog failure count drifted {:.1}% ({} -> {})",
+            100.0 * count_drift,
+            t4_clean.syslog_failures,
+            t4_chaos.syslog_failures
+        );
+
+        // Band 2: syslog downtime hours within ±25% of clean.
+        let downtime_drift = rel(
+            t4_chaos.syslog_downtime_hours,
+            t4_clean.syslog_downtime_hours,
+        );
+        assert!(
+            downtime_drift <= 0.25,
+            "seed {seed}: syslog downtime drifted {:.1}% ({:.1}h -> {:.1}h)",
+            100.0 * downtime_drift,
+            t4_clean.syslog_downtime_hours,
+            t4_chaos.syslog_downtime_hours
+        );
+
+        // Band 3: cross-source matches within ±30% of clean (they
+        // compound both sides' perturbations).
+        let match_drift = rel(
+            t4_chaos.overlap_failures as f64,
+            t4_clean.overlap_failures as f64,
+        );
+        assert!(
+            match_drift <= 0.30,
+            "seed {seed}: matched failures drifted {:.1}% ({} -> {})",
+            100.0 * match_drift,
+            t4_clean.overlap_failures,
+            t4_chaos.overlap_failures
+        );
+    }
+}
+
+/// Injected listener outages must reach the sanitization stage exactly
+/// like organic ones: the offline-span record grows and failures
+/// spanning the injected darkness are removed, not invented.
+#[test]
+fn injected_listener_outages_feed_sanitization() {
+    let seed = 11u64;
+    let clean_data = run(&ScenarioParams::tiny(seed));
+    let chaotic_data = run(&chaotic(seed, ChaosConfig::moderate(5)));
+    let injected = chaotic_data
+        .chaos
+        .as_ref()
+        .expect("chaos ran")
+        .stats
+        .listener_outages_injected;
+    assert!(injected > 0);
+    assert_eq!(
+        chaotic_data.offline_spans.len(),
+        clean_data.offline_spans.len() + injected as usize
+    );
+    // The spans arrive sorted, as sanitization expects.
+    for w in chaotic_data.offline_spans.windows(2) {
+        assert!(w[0].from <= w[1].from);
+    }
+    let a = Analysis::run(&chaotic_data, AnalysisConfig::default());
+    // No surviving IS-IS failure spans an offline period.
+    for f in &a.isis_failures {
+        for s in &chaotic_data.offline_spans {
+            assert!(f.end < s.from || f.start > s.to);
+        }
+    }
+}
+
+/// A DST fall-back mid-period makes router text timestamps
+/// non-monotonic. The replay path must still hand the pipeline a
+/// sorted archive, and analysis must complete.
+#[test]
+fn dst_fall_back_keeps_the_pipeline_sorted_and_alive() {
+    let chaos = ChaosConfig {
+        dst_fall_back: true,
+        ..ChaosConfig::default()
+    };
+    assert!(chaos.enabled());
+    let data = run(&chaotic(13, chaos));
+    let outcome = data.chaos.as_ref().expect("chaos ran");
+    assert!(outcome.stats.dst_stepped > 0, "30-day tiny spans Nov 7");
+    // parse_records re-sorts by text time, so the contract holds even
+    // though wall clocks stepped backwards.
+    for w in data.syslog.windows(2) {
+        assert!(w[0].event.at <= w[1].event.at);
+    }
+    let a = Analysis::try_run(&data, AnalysisConfig::default()).expect("sorted");
+    let _ = a.table4();
+}
+
+/// Arbitrary chaos knobs — including degenerate ones — must never make
+/// configuration handling panic: zero-length ranges, full fractions,
+/// over-unity probabilities clamped by sampling, and JSON round-trips.
+#[test]
+fn hostile_configurations_do_not_panic() {
+    let spiky = ChaosConfig {
+        seed: 9,
+        truncate_prob: 1.0,
+        corrupt_prob: 1.0,
+        corrupt_chars_max: 1,
+        garbage_rate: 0.5,
+        duplicate_prob: 1.0,
+        duplicate_burst_max: 1,
+        reorder_prob: 1.0,
+        reorder_max: faultline_topology::time::Duration::from_secs(1),
+        skewed_router_fraction: 1.0,
+        clock_skew_max: faultline_topology::time::Duration::from_secs(1),
+        drift_max_per_day: faultline_topology::time::Duration::ZERO,
+        dst_fall_back: true,
+        collector_restarts: 1,
+        restart_duration_range: (
+            faultline_topology::time::Duration::ZERO,
+            faultline_topology::time::Duration::ZERO,
+        ),
+        listener_outages: 1,
+        listener_outage_range: (
+            faultline_topology::time::Duration::ZERO,
+            faultline_topology::time::Duration::ZERO,
+        ),
+    };
+    let json = serde_json::to_string(&spiky).unwrap();
+    let back: ChaosConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(spiky, back);
+    let data = run(&chaotic(17, spiky));
+    let outcome = data.chaos.as_ref().expect("chaos ran");
+    assert!(outcome.stats.is_balanced(), "{:?}", outcome.stats);
+    let a = Analysis::run(&data, AnalysisConfig::default());
+    let _ = a.table4();
+}

@@ -8,8 +8,10 @@ use faultline_sim::scenario::{run, ScenarioParams};
 use faultline_topology::link::LinkClass;
 
 fn params_with_seed(seed: u64) -> ScenarioParams {
-    let mut p = ScenarioParams::default();
-    p.seed = seed;
+    let mut p = ScenarioParams {
+        seed,
+        ..ScenarioParams::default()
+    };
     p.workload.seed = seed ^ 0x5EED;
     p.transport.seed = seed ^ 0x7777;
     p.topology.seed = seed;

@@ -68,7 +68,7 @@ impl Bencher {
     }
 }
 
-fn report(group: Option<&str>, name: &str, samples: &mut Vec<Duration>, tp: Option<Throughput>) {
+fn report(group: Option<&str>, name: &str, samples: &mut [Duration], tp: Option<Throughput>) {
     if samples.is_empty() {
         return;
     }

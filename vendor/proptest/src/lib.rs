@@ -782,7 +782,8 @@ mod tests {
         fn macro_roundtrip(mut xs in collection::vec(any::<u32>(), 0..16), k in 1usize..4) {
             xs.truncate(xs.len() / k.max(1));
             prop_assert!(xs.len() <= 16);
-            prop_assert_eq!(xs.len(), xs.iter().count());
+            let n = xs.iter().fold(0usize, |acc, _| acc + 1);
+            prop_assert_eq!(xs.len(), n);
         }
 
         #[test]

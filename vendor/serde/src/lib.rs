@@ -239,6 +239,7 @@ impl Value {
     }
 
     /// Object field, or `Null` for misses (mirrors `serde_json` indexing).
+    #[allow(clippy::should_implement_trait)] // the `Index` impl below delegates here
     pub fn index(&self, key: &str) -> &Value {
         const NULL: Value = Value::Null;
         match self {
@@ -694,7 +695,7 @@ impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
         // Sort the rendered elements so hash iteration order can't leak into
         // the output (compact JSON comparison in tests).
         let mut items: Vec<Value> = self.iter().map(Serialize::serialize_value).collect();
-        items.sort_by_key(|v| crate::to_sort_key(v));
+        items.sort_by_key(crate::to_sort_key);
         Value::Array(items)
     }
 }

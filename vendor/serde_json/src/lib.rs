@@ -457,8 +457,8 @@ macro_rules! from_impl {
 pub struct JsonFrom(pub Value);
 
 from_impl! {
-    bool => |v| Value::Bool(v),
-    String => |v| Value::String(v),
+    bool => Value::Bool,
+    String => Value::String,
     u8 => |v: u8| Value::Number(Number::PosInt(v as u64)),
     u16 => |v: u16| Value::Number(Number::PosInt(v as u64)),
     u32 => |v: u32| Value::Number(Number::PosInt(v as u64)),
@@ -466,7 +466,7 @@ from_impl! {
     usize => |v: usize| Value::Number(Number::PosInt(v as u64)),
     f32 => |v: f32| Value::Number(Number::Float(v as f64)),
     f64 => |v| Value::Number(Number::Float(v)),
-    Vec<Value> => |v| Value::Array(v),
+    Vec<Value> => Value::Array,
     Value => |v| v
 }
 
