@@ -20,6 +20,11 @@
 //! `moderate` and `severe` are recorded without band assertions — they
 //! exist to chart how the pipeline bends past its rated envelope, not
 //! to promise it doesn't.
+//!
+//! Band violations do not abort mid-run: every preset's datapoints are
+//! collected, `results/BENCH_chaos.json` is always written (with the
+//! violations listed under `"violations"`), and only then does the
+//! process exit nonzero so CI fails with the evidence attached.
 
 use faultline_bench::analyze_with;
 use faultline_core::export::pipeline_report_json;
@@ -60,6 +65,7 @@ fn main() {
     };
 
     let mut runs: Vec<serde_json::Value> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
     runs.push(run_json(
         "clean",
         &clean_data,
@@ -110,31 +116,7 @@ fn main() {
             syslog_downtime_hours: t4.syslog_downtime_hours,
         };
         if label == "mild" {
-            assert_eq!(
-                headline.isis_failures, baseline.isis_failures,
-                "mild: IS-IS path is untouched and must not move"
-            );
-            assert!(
-                drift(
-                    headline.syslog_failures as f64,
-                    baseline.syslog_failures as f64
-                ) <= 0.25,
-                "mild: syslog failure count outside the ±25% band"
-            );
-            assert!(
-                drift(
-                    headline.syslog_downtime_hours,
-                    baseline.syslog_downtime_hours
-                ) <= 0.25,
-                "mild: syslog downtime outside the ±25% band"
-            );
-            assert!(
-                drift(
-                    headline.overlap_failures as f64,
-                    baseline.overlap_failures as f64
-                ) <= 0.30,
-                "mild: matched failures outside the ±30% band"
-            );
+            check_mild_bands(&headline, &baseline, &mut violations);
         }
         println!("== {label} ==");
         println!(
@@ -164,6 +146,7 @@ fn main() {
         "scenario": "half_scale_90d",
         "seed": SEED,
         "chaos_seed": CHAOS_SEED,
+        "violations": (serde_json::to_value(&violations).expect("violations json")),
         "runs": runs,
     });
     let path = "results/BENCH_chaos.json";
@@ -173,6 +156,61 @@ fn main() {
             println!("wrote {path}");
         }
         Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !violations.is_empty() {
+        eprintln!("mild-preset degradation bands violated:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("mild-preset degradation bands hold ✓");
+}
+
+/// Check the mild preset against its rated bands, recording (not
+/// asserting) every violation so the datapoints still reach disk.
+fn check_mild_bands(headline: &Headline, baseline: &Headline, violations: &mut Vec<String>) {
+    if headline.isis_failures != baseline.isis_failures {
+        violations.push(format!(
+            "mild: IS-IS path is untouched and must not move ({} != clean {})",
+            headline.isis_failures, baseline.isis_failures
+        ));
+    }
+    let checks = [
+        (
+            "syslog failure count",
+            drift(
+                headline.syslog_failures as f64,
+                baseline.syslog_failures as f64,
+            ),
+            0.25,
+        ),
+        (
+            "syslog downtime",
+            drift(
+                headline.syslog_downtime_hours,
+                baseline.syslog_downtime_hours,
+            ),
+            0.25,
+        ),
+        (
+            "matched failures",
+            drift(
+                headline.overlap_failures as f64,
+                baseline.overlap_failures as f64,
+            ),
+            0.30,
+        ),
+    ];
+    for (what, observed, band) in checks {
+        if observed > band {
+            violations.push(format!(
+                "mild: {what} drifted {:.1}% — outside the ±{:.0}% band",
+                observed * 100.0,
+                band * 100.0
+            ));
+        }
     }
 }
 

@@ -1,0 +1,203 @@
+//! Crash-recovery benchmark: run the paper-scale scenario through
+//! [`faultline_core::DurableStream`], measure checkpoint size and write
+//! latency along an uninterrupted run, then kill the run at several
+//! points and measure how long recovery (checkpoint load + journal
+//! replay) takes — proving every resumed run byte-identical to the
+//! batch pipeline. Datapoints land in `results/BENCH_recovery.json`.
+//!
+//! ```sh
+//! cargo run --release --bin recovery_replay
+//! ```
+//!
+//! Two experiment arms share one simulated dataset:
+//!
+//! 1. **Checkpoint cost curve** — an uninterrupted durable run that
+//!    checkpoints manually every `CKPT_EVERY` events, recording each
+//!    snapshot's serialized size and wall-clock write latency;
+//! 2. **Recovery-time curve** — independent runs killed (dropped
+//!    without flush) at 10/30/50/70/90% of the stream under the
+//!    automatic checkpoint cadence, then recovered; each datapoint
+//!    records which checkpoint the supervisor landed on, how many
+//!    journal records it replayed, and the end-to-end recovery time.
+
+use std::path::{Path, PathBuf};
+
+use faultline_bench::{analyze_with, paper_scenario};
+use faultline_core::{
+    scenario_event_stream, AnalysisConfig, DurabilityPolicy, DurableStream, StreamEvent,
+    StreamOutput,
+};
+use faultline_sim::scenario::ScenarioData;
+use serde_json::json;
+
+/// Manual checkpoint cadence for the cost-curve arm.
+const CKPT_EVERY: u64 = 25_000;
+/// Automatic cadence for the kill/recover arm.
+const AUTO_INTERVAL: u64 = 25_000;
+/// Stream fractions at which the kill/recover arm drops the run.
+const KILL_FRACTIONS: [f64; 5] = [0.10, 0.30, 0.50, 0.70, 0.90];
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "faultline-bench-recovery-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn main() {
+    let data = paper_scenario();
+    let events = scenario_event_stream(&data);
+    println!(
+        "paper scenario: {} syslog + {} isis = {} events",
+        data.syslog.len(),
+        data.transitions.len(),
+        events.len()
+    );
+
+    let batch = analyze_with(&data, AnalysisConfig::default());
+    let batch_json =
+        serde_json::to_string(&StreamOutput::of_batch(&batch)).expect("serialize batch output");
+
+    let policy = DurabilityPolicy {
+        checkpoint_interval: AUTO_INTERVAL,
+        ..DurabilityPolicy::default()
+    };
+
+    let checkpoints = checkpoint_cost_curve(&data, &events, &batch_json);
+    let recovery_curve: Vec<serde_json::Value> = KILL_FRACTIONS
+        .iter()
+        .map(|&f| kill_and_recover(&data, &events, &batch_json, policy, f))
+        .collect();
+    println!("all recovered replays byte-identical to batch ✓");
+
+    let doc = json!({
+        "bench": "recovery_replay",
+        "scenario": "paper_389d",
+        "seed": 42,
+        "events": (events.len()),
+        "policy": (serde_json::to_value(&policy).expect("policy json")),
+        "checkpoint_every": (CKPT_EVERY),
+        "checkpoints": (checkpoints),
+        "recovery_curve": (recovery_curve),
+    });
+    let path = "results/BENCH_recovery.json";
+    match std::fs::File::create(path) {
+        Ok(f) => {
+            serde_json::to_writer_pretty(f, &doc).expect("serialize BENCH json");
+            println!("wrote {path}");
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Arm 1: uninterrupted durable run with manual checkpoints, recording
+/// each snapshot's size and write latency plus the run's durability
+/// counters.
+fn checkpoint_cost_curve(
+    data: &ScenarioData,
+    events: &[StreamEvent],
+    batch_json: &str,
+) -> Vec<serde_json::Value> {
+    let dir = scratch_dir("cost");
+    let manual = DurabilityPolicy {
+        checkpoint_interval: 0, // checkpoint only when we say so
+        ..DurabilityPolicy::default()
+    };
+    let mut stream =
+        DurableStream::create(&dir, data, AnalysisConfig::default(), manual).expect("create");
+
+    let mut points: Vec<serde_json::Value> = Vec::new();
+    for event in events {
+        stream.ingest(event).expect("journaled ingest");
+        let seq = stream.events_ingested();
+        if seq.is_multiple_of(CKPT_EVERY) {
+            let t0 = std::time::Instant::now();
+            stream.checkpoint_now().expect("manual checkpoint");
+            let micros = t0.elapsed().as_micros() as u64;
+            let bytes = stream.counters().checkpoint_bytes_last;
+            println!("checkpoint @ {seq}: {bytes} bytes in {micros} µs");
+            points.push(json!({
+                "seq": (seq),
+                "bytes": (bytes),
+                "write_micros": (micros),
+            }));
+        }
+    }
+    let counters = stream.counters();
+    let result = stream.finish();
+    let replay_json = serde_json::to_string(&result.output).expect("serialize stream output");
+    assert_eq!(
+        batch_json, replay_json,
+        "uninterrupted durable run diverged from the batch pipeline"
+    );
+    println!(
+        "uninterrupted: {} checkpoints, {} journal records across {} segments ({} bytes)",
+        counters.checkpoints_written,
+        counters.journal_records,
+        counters.journal_segments,
+        counters.journal_bytes,
+    );
+    cleanup(&dir);
+    points
+}
+
+/// Arm 2: feed `fraction` of the stream under the automatic cadence,
+/// drop the run on the floor, recover, finish the stream, and prove the
+/// result byte-identical to batch.
+fn kill_and_recover(
+    data: &ScenarioData,
+    events: &[StreamEvent],
+    batch_json: &str,
+    policy: DurabilityPolicy,
+    fraction: f64,
+) -> serde_json::Value {
+    let kill_at = ((events.len() as f64 * fraction) as usize).max(1);
+    let dir = scratch_dir(&format!("kill-{}", (fraction * 100.0) as u32));
+
+    let mut stream =
+        DurableStream::create(&dir, data, AnalysisConfig::default(), policy).expect("create");
+    for event in &events[..kill_at] {
+        stream.ingest(event).expect("journaled ingest");
+    }
+    drop(stream); // the "kill": no flush, no final checkpoint
+
+    let (mut stream, report) =
+        DurableStream::recover(&dir, data, AnalysisConfig::default(), policy).expect("recover");
+    assert_eq!(
+        report.resumed_at_seq, kill_at as u64,
+        "recovery must resume exactly where the run was killed"
+    );
+    for event in &events[kill_at..] {
+        stream.ingest(event).expect("journaled ingest");
+    }
+    let result = stream.finish();
+    let replay_json = serde_json::to_string(&result.output).expect("serialize stream output");
+    assert_eq!(
+        batch_json, replay_json,
+        "run killed at {kill_at} diverged from the batch pipeline after recovery"
+    );
+    println!(
+        "kill @ {kill_at} ({:.0}%): checkpoint seq {:?}, {} replayed, recovered in {} µs",
+        fraction * 100.0,
+        report.checkpoint_seq,
+        report.events_replayed,
+        report.recover_micros,
+    );
+    cleanup(&dir);
+    json!({
+        "kill_at": (kill_at),
+        "checkpoint_seq": (serde_json::to_value(&report.checkpoint_seq).expect("seq json")),
+        "events_replayed": (report.events_replayed),
+        "journal_truncated_records": (report.journal_truncated_records),
+        "recover_micros": (report.recover_micros),
+    })
+}
+
+fn cleanup(dir: &Path) {
+    if let Err(e) = std::fs::remove_dir_all(dir) {
+        eprintln!("could not clean {}: {e}", dir.display());
+    }
+}

@@ -12,6 +12,144 @@
 use std::error::Error;
 use std::fmt;
 
+/// Why the durability layer ([`crate::recovery`]) could not checkpoint,
+/// journal, or recover a streaming run. Unlike [`AnalysisError`], these
+/// conditions are about the *storage* side of the engine: a failed or
+/// torn write, a checkpoint that no longer validates, a journal segment
+/// damaged beyond its recoverable tail. The recovery supervisor turns
+/// the recoverable ones (a corrupt newest checkpoint, a torn journal
+/// tail) into fallbacks instead of surfacing them; what reaches the
+/// caller is always typed, never a panic.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// A filesystem operation failed.
+    Io {
+        /// What the layer was doing (`"write checkpoint"`, `"open journal segment"`, ...).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A checkpoint file failed validation: bad magic, torn payload,
+    /// integrity-hash mismatch, or a header/payload disagreement. The
+    /// supervisor treats this as "try the next older checkpoint".
+    CorruptCheckpoint {
+        /// The rejected file.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The checkpoint was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// A journal record is damaged somewhere other than a recoverable
+    /// tail: a mid-segment record that fails its checksum, or a sequence
+    /// gap between segments that no later segment repairs.
+    CorruptJournal {
+        /// The segment file.
+        segment: String,
+        /// The first sequence number that could not be recovered.
+        seq: u64,
+        /// Why the record was rejected.
+        reason: String,
+    },
+    /// Durable state exists where a fresh stream was requested;
+    /// refusing to overwrite it (use recovery, or point at an empty
+    /// directory).
+    StateExists {
+        /// The occupied durability directory.
+        dir: String,
+    },
+    /// Every checkpoint failed validation and the journal does not reach
+    /// back to the first event, so no consistent state is reconstructible.
+    NoRecoverableState {
+        /// What was tried and why each candidate was rejected.
+        detail: String,
+    },
+    /// A write kept failing past the configured retry budget.
+    RetriesExhausted {
+        /// The operation that gave up.
+        op: &'static str,
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The last attempt's failure.
+        last_error: String,
+    },
+    /// The restored checkpoint or its embedded configuration failed the
+    /// same validation [`crate::Analysis::try_run`] applies.
+    InvalidState(AnalysisError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Io { op, path, source } => {
+                write!(f, "{op} failed for {path}: {source}")
+            }
+            RecoveryError::CorruptCheckpoint { path, reason } => {
+                write!(f, "checkpoint {path} failed validation: {reason}")
+            }
+            RecoveryError::UnsupportedVersion { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint format version {found} is not supported (this build reads {expected})"
+                )
+            }
+            RecoveryError::CorruptJournal {
+                segment,
+                seq,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "journal segment {segment} is corrupt at record {seq}: {reason}"
+                )
+            }
+            RecoveryError::StateExists { dir } => {
+                write!(
+                    f,
+                    "durability directory {dir} already holds checkpoints or journal segments"
+                )
+            }
+            RecoveryError::NoRecoverableState { detail } => {
+                write!(f, "no recoverable streaming state: {detail}")
+            }
+            RecoveryError::RetriesExhausted {
+                op,
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "{op} still failing after {attempts} attempts: {last_error}"
+                )
+            }
+            RecoveryError::InvalidState(e) => write!(f, "restored state is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RecoveryError::Io { source, .. } => Some(source),
+            RecoveryError::InvalidState(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for RecoveryError {
+    fn from(e: AnalysisError) -> Self {
+        RecoveryError::InvalidState(e)
+    }
+}
+
 /// Why a validated analysis entry point refused to run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnalysisError {
@@ -77,5 +215,34 @@ mod tests {
     fn error_trait_is_object_safe_here() {
         let boxed: Box<dyn Error> = Box::new(AnalysisError::EmptyLinkTable);
         assert!(boxed.source().is_none());
+    }
+
+    #[test]
+    fn recovery_errors_name_the_problem_and_chain_sources() {
+        let io = RecoveryError::Io {
+            op: "write checkpoint",
+            path: "/tmp/ckpt".into(),
+            source: std::io::Error::other("disk full"),
+        };
+        assert!(format!("{io}").contains("write checkpoint"));
+        assert!(io.source().is_some());
+
+        let corrupt = RecoveryError::CorruptCheckpoint {
+            path: "ckpt-000000000042.ckpt".into(),
+            reason: "payload hash mismatch".into(),
+        };
+        assert!(format!("{corrupt}").contains("hash mismatch"));
+        assert!(corrupt.source().is_none());
+
+        let from: RecoveryError = AnalysisError::EmptyLinkTable.into();
+        assert!(matches!(from, RecoveryError::InvalidState(_)));
+        assert!(from.source().is_some());
+
+        let torn = RecoveryError::CorruptJournal {
+            segment: "seg-000000000001.jl".into(),
+            seq: 7,
+            reason: "checksum mismatch".into(),
+        };
+        assert!(format!("{torn}").contains("record 7"));
     }
 }

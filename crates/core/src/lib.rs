@@ -34,7 +34,10 @@
 //! The whole pipeline also runs *incrementally*: [`streaming`] ingests
 //! the interleaved syslog/IS-IS event stream one event or micro-batch at
 //! a time, emits failures as soon as they are final, and is
-//! byte-identical to the batch analysis at flush.
+//! byte-identical to the batch analysis at flush. The streaming engine
+//! is crash-safe: [`recovery`] wraps it in a write-ahead journal plus
+//! versioned, hash-verified checkpoints, and its recovery supervisor
+//! resumes a killed run byte-identical to one that never stopped.
 //!
 //! The per-link stages fan out across threads ([`par`], configured via
 //! [`analysis::AnalysisConfig::parallelism`]) with results independent of
@@ -57,17 +60,22 @@ pub mod matching;
 pub mod observe;
 pub mod par;
 pub mod reconstruct;
+pub mod recovery;
 pub mod sanitize;
 pub mod stats;
 pub mod streaming;
 pub mod transitions;
 
 pub use analysis::{Analysis, AnalysisConfig};
-pub use error::AnalysisError;
+pub use error::{AnalysisError, RecoveryError};
 pub use linktable::{LinkIx, LinkTable};
-pub use observe::{PipelineCounters, PipelineReport, RobustnessCounters, StreamingCounters};
+pub use observe::{
+    DurabilityCounters, PipelineCounters, PipelineReport, RobustnessCounters, StreamingCounters,
+};
 pub use par::ParallelismConfig;
 pub use reconstruct::{AmbiguityStrategy, Failure};
+pub use recovery::{DurabilityPolicy, DurableStream, RecoveryReport, RetryPolicy};
 pub use streaming::{
-    scenario_event_stream, StreamAnalysis, StreamEvent, StreamOutput, StreamResult,
+    scenario_event_stream, IngestOutcome, IngestSummary, StreamAnalysis, StreamCheckpoint,
+    StreamEvent, StreamOutput, StreamResult,
 };

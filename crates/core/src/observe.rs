@@ -102,6 +102,36 @@ pub struct StreamingCounters {
     pub events_per_sec: f64,
 }
 
+/// Accounting for the crash-safety layer around a streaming run
+/// ([`crate::recovery::DurableStream`]): checkpoints written, journal
+/// growth, and — after a recovery — how much state came back from disk.
+/// Absent (`None`) on runs that did not go through the durability layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityCounters {
+    /// Checkpoints successfully written (post-retry).
+    pub checkpoints_written: u64,
+    /// Size in bytes of the most recent checkpoint payload.
+    pub checkpoint_bytes_last: u64,
+    /// Slowest single checkpoint write, microseconds (serialize + fsync
+    /// + rename, excluding retries' backoff).
+    pub checkpoint_write_micros_max: u64,
+    /// Checkpoint write attempts that failed and were retried.
+    pub checkpoint_retries: u64,
+    /// Events appended to the write-ahead journal this run.
+    pub journal_records: u64,
+    /// Journal segments started this run (1 unless rotation kicked in).
+    pub journal_segments: u64,
+    /// Bytes appended to the journal this run.
+    pub journal_bytes: u64,
+    /// Recoveries this engine instance went through (0 for an
+    /// uninterrupted run, 1 when built by the recovery supervisor).
+    pub restores: u64,
+    /// Journal events replayed into the engine during recovery.
+    pub events_replayed: u64,
+    /// Torn journal records dropped at a segment tail during recovery.
+    pub journal_truncated_records: u64,
+}
+
 /// What the pipeline refused or quarantined instead of crashing on: the
 /// graceful-degradation side of the ledger. All zeros on a clean run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,6 +169,10 @@ pub struct PipelineReport {
     /// Streaming-specific counters; `None` for batch runs.
     #[serde(default)]
     pub streaming: Option<StreamingCounters>,
+    /// Durability-layer counters; `None` unless the run was wrapped in
+    /// [`crate::recovery::DurableStream`].
+    #[serde(default)]
+    pub durability: Option<DurabilityCounters>,
     /// Degradation accounting (malformed lines, quarantined items).
     #[serde(default)]
     pub robustness: RobustnessCounters,
@@ -248,6 +282,22 @@ impl fmt::Display for PipelineReport {
                 s.finalized_at_flush
             )?;
         }
+        if let Some(d) = &self.durability {
+            writeln!(
+                f,
+                "  durability: {} checkpoints (last {} B, worst {:.3} ms, {} retries), {} journal records in {} segments ({} B), {} restores ({} replayed, {} torn)",
+                d.checkpoints_written,
+                d.checkpoint_bytes_last,
+                d.checkpoint_write_micros_max as f64 / 1_000.0,
+                d.checkpoint_retries,
+                d.journal_records,
+                d.journal_segments,
+                d.journal_bytes,
+                d.restores,
+                d.events_replayed,
+                d.journal_truncated_records
+            )?;
+        }
         Ok(())
     }
 }
@@ -332,5 +382,29 @@ mod tests {
         assert_eq!(back.stages.len(), 2);
         assert_eq!(back.stages[0].wall_micros, 1500);
         assert_eq!(back.counters.syslog_ingested, 1000);
+        assert!(back.durability.is_none(), "absent by default");
+    }
+
+    #[test]
+    fn durability_counters_render_and_round_trip() {
+        let mut r = sample();
+        r.durability = Some(DurabilityCounters {
+            checkpoints_written: 3,
+            checkpoint_bytes_last: 4096,
+            checkpoint_write_micros_max: 1500,
+            checkpoint_retries: 1,
+            journal_records: 1000,
+            journal_segments: 2,
+            journal_bytes: 123_456,
+            restores: 1,
+            events_replayed: 250,
+            journal_truncated_records: 1,
+        });
+        let text = format!("{r}");
+        assert!(text.contains("durability: 3 checkpoints"));
+        assert!(text.contains("1 restores (250 replayed, 1 torn)"));
+        let back: PipelineReport =
+            serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back.durability, r.durability);
     }
 }

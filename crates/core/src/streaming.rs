@@ -82,7 +82,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// One observable arriving at the streaming engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StreamEvent {
     /// A parsed syslog message from the collector.
     Syslog(SyslogMessage),
@@ -97,6 +97,50 @@ impl StreamEvent {
         match self {
             StreamEvent::Syslog(m) => m.event.at,
             StreamEvent::Isis(t) => t.at,
+        }
+    }
+}
+
+/// What [`StreamAnalysis::ingest`] did with one offered event.
+///
+/// Every outcome still counts as an *offered* event in the headline
+/// ingest counters (mirroring the batch pipeline, which counts the whole
+/// archive); only [`IngestOutcome::Accepted`] events reach a link's
+/// state machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestOutcome {
+    /// Admitted: the event advanced (or tied) the watermark and was
+    /// routed to its link's state machines.
+    Accepted,
+    /// Diverted by [`AnalysisConfig::quarantine_horizon`] before touching
+    /// any state; counted in
+    /// [`crate::observe::RobustnessCounters`].
+    Quarantined,
+    /// Stamped strictly before the current watermark. The engine's
+    /// per-link state machines assume in-order history and every
+    /// segment-close proof assumes the watermark never regresses, so the
+    /// event is counted in [`StreamingCounters::late_events`] and
+    /// dropped rather than silently applied out of order.
+    Late,
+}
+
+/// Per-outcome tally for one [`StreamAnalysis::ingest_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestSummary {
+    /// Events admitted to the state machines.
+    pub accepted: u64,
+    /// Events diverted by the quarantine horizon.
+    pub quarantined: u64,
+    /// Events rejected as older than the watermark.
+    pub late: u64,
+}
+
+impl IngestSummary {
+    fn note(&mut self, outcome: IngestOutcome) {
+        match outcome {
+            IngestOutcome::Accepted => self.accepted += 1,
+            IngestOutcome::Quarantined => self.quarantined += 1,
+            IngestOutcome::Late => self.late += 1,
         }
     }
 }
@@ -655,6 +699,217 @@ fn overlaps_offline(f: &Failure, spans: &[OfflineSpan]) -> bool {
     spans.iter().any(|s| f.start <= s.to && s.from <= f.end)
 }
 
+/// Serializable image of [`MergeState`]. The advertisement map is
+/// flattened to a `SystemId`-sorted vec so a checkpoint's bytes — and
+/// therefore its integrity hash — are deterministic for a given state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MergeSnapshot {
+    advertised: Vec<(SystemId, bool)>,
+    down_count: u32,
+    inconsistent: u64,
+}
+
+impl MergeState {
+    fn snapshot(&self) -> MergeSnapshot {
+        let mut advertised: Vec<(SystemId, bool)> =
+            self.advertised.iter().map(|(k, v)| (*k, *v)).collect();
+        advertised.sort_by_key(|&(id, _)| id);
+        MergeSnapshot {
+            advertised,
+            down_count: self.down_count,
+            inconsistent: self.inconsistent,
+        }
+    }
+
+    fn restore(s: MergeSnapshot) -> MergeState {
+        MergeState {
+            advertised: s.advertised.into_iter().collect(),
+            down_count: s.down_count,
+            inconsistent: s.inconsistent,
+        }
+    }
+}
+
+/// Serializable image of [`ReconLane`] (field-for-field).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ReconSnapshot {
+    open: Option<Timestamp>,
+    last_at: Option<Timestamp>,
+    last_dir: Option<TransitionDirection>,
+    pending: Option<Failure>,
+    failures: Vec<Failure>,
+    ambiguous: Vec<AmbiguousPeriod>,
+    boundary_ups: u32,
+}
+
+impl ReconLane {
+    fn snapshot(&self) -> ReconSnapshot {
+        ReconSnapshot {
+            open: self.open,
+            last_at: self.last_at,
+            last_dir: self.last_dir,
+            pending: self.pending,
+            failures: self.failures.clone(),
+            ambiguous: self.ambiguous.clone(),
+            boundary_ups: self.boundary_ups,
+        }
+    }
+
+    fn restore(s: ReconSnapshot) -> ReconLane {
+        ReconLane {
+            open: s.open,
+            last_at: s.last_at,
+            last_dir: s.last_dir,
+            pending: s.pending,
+            failures: s.failures,
+            ambiguous: s.ambiguous,
+            boundary_ups: s.boundary_ups,
+        }
+    }
+}
+
+/// Serializable image of one [`Lane`] (field-for-field; the merge maps
+/// go through [`MergeSnapshot`] for deterministic bytes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LaneSnapshot {
+    link: LinkIx,
+    link_id: Option<LinkId>,
+    resolvable: bool,
+    dedup_last: Option<(Timestamp, TransitionDirection)>,
+    is_merge: MergeSnapshot,
+    ip_merge: MergeSnapshot,
+    is_emitted: Vec<LinkTransition>,
+    ip_emitted: Vec<LinkTransition>,
+    syslog_emitted: Vec<LinkTransition>,
+    isis_recon: ReconSnapshot,
+    syslog_recon: ReconSnapshot,
+    isis_sanitize: SanitizeReport,
+    syslog_sanitize: SanitizeReport,
+    san_isis: Vec<Failure>,
+    san_syslog: Vec<Failure>,
+    seg_start_isis: usize,
+    seg_start_syslog: usize,
+    seg_max_end: Option<Timestamp>,
+    matched: Vec<(usize, usize)>,
+    partial: Vec<(usize, usize)>,
+    segments_closed: u64,
+    flap_last_end: Option<Timestamp>,
+    flap_run: u32,
+    flap_episodes: u64,
+}
+
+impl Lane {
+    fn snapshot(&self) -> LaneSnapshot {
+        LaneSnapshot {
+            link: self.link,
+            link_id: self.link_id,
+            resolvable: self.resolvable,
+            dedup_last: self.dedup_last,
+            is_merge: self.is_merge.snapshot(),
+            ip_merge: self.ip_merge.snapshot(),
+            is_emitted: self.is_emitted.clone(),
+            ip_emitted: self.ip_emitted.clone(),
+            syslog_emitted: self.syslog_emitted.clone(),
+            isis_recon: self.isis_recon.snapshot(),
+            syslog_recon: self.syslog_recon.snapshot(),
+            isis_sanitize: self.isis_sanitize,
+            syslog_sanitize: self.syslog_sanitize,
+            san_isis: self.san_isis.clone(),
+            san_syslog: self.san_syslog.clone(),
+            seg_start_isis: self.seg_start_isis,
+            seg_start_syslog: self.seg_start_syslog,
+            seg_max_end: self.seg_max_end,
+            matched: self.matched.clone(),
+            partial: self.partial.clone(),
+            segments_closed: self.segments_closed,
+            flap_last_end: self.flap_last_end,
+            flap_run: self.flap_run,
+            flap_episodes: self.flap_episodes,
+        }
+    }
+
+    fn restore(s: LaneSnapshot) -> Lane {
+        Lane {
+            link: s.link,
+            link_id: s.link_id,
+            resolvable: s.resolvable,
+            dedup_last: s.dedup_last,
+            is_merge: MergeState::restore(s.is_merge),
+            ip_merge: MergeState::restore(s.ip_merge),
+            is_emitted: s.is_emitted,
+            ip_emitted: s.ip_emitted,
+            syslog_emitted: s.syslog_emitted,
+            isis_recon: ReconLane::restore(s.isis_recon),
+            syslog_recon: ReconLane::restore(s.syslog_recon),
+            isis_sanitize: s.isis_sanitize,
+            syslog_sanitize: s.syslog_sanitize,
+            san_isis: s.san_isis,
+            san_syslog: s.san_syslog,
+            seg_start_isis: s.seg_start_isis,
+            seg_start_syslog: s.seg_start_syslog,
+            seg_max_end: s.seg_max_end,
+            matched: s.matched,
+            partial: s.partial,
+            segments_closed: s.segments_closed,
+            flap_last_end: s.flap_last_end,
+            flap_run: s.flap_run,
+            flap_episodes: s.flap_episodes,
+        }
+    }
+}
+
+/// A complete, serializable image of a [`StreamAnalysis`] mid-stream:
+/// every lane's state machines, the watermark, the resolved-message
+/// archive, and all accounting counters — everything [`StreamAnalysis::restore`]
+/// needs to continue the run as if it had never stopped. Wall-clock
+/// timings are deliberately *not* captured: they describe the process
+/// that died, not the state, and they are not part of the
+/// [`StreamOutput`] equivalence surface.
+///
+/// Serialization is deterministic for a given state (maps are flattened
+/// sorted), so a checkpoint's bytes can carry an integrity hash — see
+/// [`crate::recovery`] for the durable file format around this payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    seq: u64,
+    config: AnalysisConfig,
+    watermark: Option<Timestamp>,
+    messages: Vec<ResolvedMessage>,
+    resolve_stats: SyslogResolveStats,
+    is_stats: IsisMergeStats,
+    ip_stats: IsisMergeStats,
+    events_syslog: u64,
+    events_isis: u64,
+    batches: u64,
+    late_events: u64,
+    open_items: u64,
+    open_items_hwm: u64,
+    quarantined_syslog: u64,
+    quarantined_isis: u64,
+    lanes: Vec<LaneSnapshot>,
+}
+
+impl StreamCheckpoint {
+    /// Events the captured engine had consumed — the stream position
+    /// this checkpoint represents. Resuming means feeding events from
+    /// source position `seq()` onward (0-based), or replaying journal
+    /// records with sequence numbers `> seq()`.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The analysis configuration the captured run was using.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The captured watermark (maximum event time seen), if any event
+    /// had been accepted.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.watermark
+    }
+}
+
 /// The incremental analysis engine. See the module docs for the
 /// equivalence contract; construction resolves the link table from the
 /// scenario's config archive (the one input that genuinely is available
@@ -755,11 +1010,88 @@ impl<'a> StreamAnalysis<'a> {
         self.events_syslog + self.events_isis
     }
 
-    fn note_watermark(&mut self, at: Timestamp) {
-        match self.watermark {
-            Some(w) if at < w => self.late_events += 1,
-            _ => self.watermark = Some(at),
+    /// Capture a complete, serializable image of the engine's current
+    /// state. Restoring it via [`StreamAnalysis::restore`] and feeding
+    /// the rest of the stream yields a [`StreamOutput`] byte-identical
+    /// to never having stopped (`tests/crash_recovery.rs` is the
+    /// differential harness proving this at every event boundary).
+    pub fn checkpoint(&self) -> StreamCheckpoint {
+        StreamCheckpoint {
+            seq: self.events_ingested(),
+            config: self.config.clone(),
+            watermark: self.watermark,
+            messages: self.messages.clone(),
+            resolve_stats: self.resolve_stats,
+            is_stats: self.is_stats,
+            ip_stats: self.ip_stats,
+            events_syslog: self.events_syslog,
+            events_isis: self.events_isis,
+            batches: self.batches,
+            late_events: self.late_events,
+            open_items: self.open_items,
+            open_items_hwm: self.open_items_hwm,
+            quarantined_syslog: self.quarantined_syslog,
+            quarantined_isis: self.quarantined_isis,
+            lanes: self.lanes.values().map(Lane::snapshot).collect(),
         }
+    }
+
+    /// Rebuild an engine from a checkpoint against the same scenario's
+    /// static side inputs (topology, offline spans, tickets). The
+    /// embedded configuration is re-validated exactly as
+    /// [`StreamAnalysis::try_new`] would. Wall-clock timers restart at
+    /// zero — they describe this process, not the one that died.
+    pub fn restore(data: &'a ScenarioData, ckpt: StreamCheckpoint) -> Result<Self, AnalysisError> {
+        analysis::validate_inputs(data, &ckpt.config)?;
+        let mut engine = StreamAnalysis::new(data, ckpt.config);
+        engine.watermark = ckpt.watermark;
+        engine.messages = ckpt.messages;
+        engine.resolve_stats = ckpt.resolve_stats;
+        engine.is_stats = ckpt.is_stats;
+        engine.ip_stats = ckpt.ip_stats;
+        engine.events_syslog = ckpt.events_syslog;
+        engine.events_isis = ckpt.events_isis;
+        engine.batches = ckpt.batches;
+        engine.late_events = ckpt.late_events;
+        engine.open_items = ckpt.open_items;
+        engine.open_items_hwm = ckpt.open_items_hwm;
+        engine.quarantined_syslog = ckpt.quarantined_syslog;
+        engine.quarantined_isis = ckpt.quarantined_isis;
+        engine.lanes = ckpt
+            .lanes
+            .into_iter()
+            .map(|s| (s.link, Lane::restore(s)))
+            .collect();
+        Ok(engine)
+    }
+
+    /// Override the scheduling half of the configuration. Thread count
+    /// never affects results (`tests/determinism.rs`), so a restored run
+    /// may resume under a different parallelism than the run that wrote
+    /// the checkpoint.
+    pub fn set_parallelism(&mut self, parallelism: par::ParallelismConfig) {
+        self.config.parallelism = parallelism;
+    }
+
+    /// Late-event reject check. An event stamped strictly before the
+    /// watermark would hand the per-link state machines out-of-order
+    /// history and could regress the watermark that every segment-close
+    /// proof leans on, so it is counted ([`StreamingCounters::late_events`])
+    /// and dropped. Like quarantine, it is still an *offered* event for
+    /// the headline ingest counters.
+    fn reject_late(&mut self, event: &StreamEvent) -> bool {
+        let Some(w) = self.watermark else {
+            return false;
+        };
+        if event.at() >= w {
+            return false;
+        }
+        match event {
+            StreamEvent::Syslog(_) => self.events_syslog += 1,
+            StreamEvent::Isis(_) => self.events_isis += 1,
+        }
+        self.late_events += 1;
+        true
     }
 
     /// Quarantine admit check. An event stamped past the configured
@@ -899,16 +1231,22 @@ impl<'a> StreamAnalysis<'a> {
         }
     }
 
-    /// Consume one event.
-    pub fn ingest(&mut self, event: &StreamEvent) {
+    /// Consume one event; says what became of it ([`IngestOutcome`]).
+    pub fn ingest(&mut self, event: &StreamEvent) -> IngestOutcome {
         let t0 = Instant::now();
         if !self.admit(event) {
             self.ingest_wall += t0.elapsed();
-            return;
+            return IngestOutcome::Quarantined;
         }
-        self.note_watermark(event.at());
+        if self.reject_late(event) {
+            self.ingest_wall += t0.elapsed();
+            return IngestOutcome::Late;
+        }
+        // Not late, so `at` ties or advances the watermark: it never
+        // regresses.
+        self.watermark = Some(event.at());
         if let Some((link, lane_event)) = self.classify(event) {
-            // Invariant: note_watermark ran on this very event above.
+            // Invariant: the watermark was set on this very event above.
             let watermark = self.watermark.expect("just noted");
             let link_id = self.link_of_ix.get(&link).copied();
             let resolvable = self.table.is_resolvable(link);
@@ -929,20 +1267,29 @@ impl<'a> StreamAnalysis<'a> {
             self.open_items_hwm = self.open_items_hwm.max(self.open_items);
         }
         self.ingest_wall += t0.elapsed();
+        IngestOutcome::Accepted
     }
 
     /// Consume a micro-batch: resolution runs serially (to keep the
     /// counters and emit order deterministic), then the per-link state
-    /// machines fan out across threads, sharded by link.
-    pub fn ingest_batch(&mut self, events: &[StreamEvent]) {
+    /// machines fan out across threads, sharded by link. Returns the
+    /// per-outcome tally for the batch.
+    pub fn ingest_batch(&mut self, events: &[StreamEvent]) -> IngestSummary {
         let t0 = Instant::now();
         self.batches += 1;
+        let mut summary = IngestSummary::default();
         let mut grouped: BTreeMap<LinkIx, Vec<LaneEvent>> = BTreeMap::new();
         for event in events {
             if !self.admit(event) {
+                summary.note(IngestOutcome::Quarantined);
                 continue;
             }
-            self.note_watermark(event.at());
+            if self.reject_late(event) {
+                summary.note(IngestOutcome::Late);
+                continue;
+            }
+            self.watermark = Some(event.at());
+            summary.note(IngestOutcome::Accepted);
             if let Some((link, lane_event)) = self.classify(event) {
                 grouped.entry(link).or_default().push(lane_event);
             }
@@ -991,6 +1338,7 @@ impl<'a> StreamAnalysis<'a> {
             }
         }
         self.ingest_wall += t0.elapsed();
+        summary
     }
 
     /// End of stream: finalize every lane, assemble the global output,
@@ -1332,6 +1680,119 @@ mod tests {
             StreamAnalysis::try_new(&data, AnalysisConfig::default()).err(),
             Some(AnalysisError::UnsortedInput { dataset: "syslog" })
         );
+    }
+
+    #[test]
+    fn late_events_are_counted_and_dropped_never_regressing_the_watermark() {
+        let data = run(&ScenarioParams::tiny(7));
+        let events = scenario_event_stream(&data);
+        let mut stream = StreamAnalysis::new(&data, AnalysisConfig::default());
+        // Feed an in-order prefix, then re-offer an earlier event.
+        let cut = events.len() / 2;
+        for e in &events[..cut] {
+            assert_eq!(stream.ingest(e), IngestOutcome::Accepted);
+        }
+        let w = stream.watermark().expect("prefix advanced the watermark");
+        let late = events
+            .iter()
+            .find(|e| e.at() < w)
+            .expect("prefix spans more than one timestamp");
+        assert_eq!(stream.ingest(late), IngestOutcome::Late);
+        assert_eq!(stream.watermark(), Some(w), "watermark must not regress");
+        let offered = stream.events_ingested();
+        assert_eq!(offered, cut as u64 + 1, "late events are still offered");
+        // The batch path counts it identically.
+        let summary = stream.ingest_batch(std::slice::from_ref(late));
+        assert_eq!(summary.late, 1);
+        assert_eq!(stream.watermark(), Some(w));
+        let result = stream.flush();
+        let s = result.report.streaming.expect("streaming counters");
+        assert_eq!(s.late_events, 2);
+    }
+
+    #[test]
+    fn ingest_batch_summary_accounts_every_event() {
+        let data = run(&ScenarioParams::tiny(11));
+        let events = scenario_event_stream(&data);
+        let mid = events[events.len() / 2].at();
+        let config = AnalysisConfig {
+            quarantine_horizon: Some(mid),
+            ..AnalysisConfig::default()
+        };
+        let mut stream = StreamAnalysis::new(&data, config);
+        let mut total = IngestSummary::default();
+        for c in events.chunks(43) {
+            let s = stream.ingest_batch(c);
+            total.accepted += s.accepted;
+            total.quarantined += s.quarantined;
+            total.late += s.late;
+        }
+        assert_eq!(
+            total.accepted + total.quarantined + total.late,
+            events.len() as u64
+        );
+        assert!(total.quarantined > 0, "mid-stream horizon quarantines");
+        assert_eq!(total.late, 0, "scenario stream is in order");
+        assert_eq!(stream.events_ingested(), events.len() as u64);
+    }
+
+    #[test]
+    fn checkpoint_restore_at_any_cut_equals_uninterrupted() {
+        let data = run(&ScenarioParams::tiny(3));
+        let config = AnalysisConfig::default();
+        let events = scenario_event_stream(&data);
+
+        let mut uninterrupted = StreamAnalysis::new(&data, config.clone());
+        for e in &events {
+            uninterrupted.ingest(e);
+        }
+        let reference = serde_json::to_string(&uninterrupted.flush().output).unwrap();
+
+        for cut in [1usize, events.len() / 3, events.len() / 2, events.len() - 1] {
+            let mut first = StreamAnalysis::new(&data, config.clone());
+            for e in &events[..cut] {
+                first.ingest(e);
+            }
+            let ckpt = first.checkpoint();
+            assert_eq!(ckpt.seq(), cut as u64);
+            drop(first); // the "crash"
+
+            // Round-trip through JSON: what recovery actually reloads.
+            let bytes = serde_json::to_string(&ckpt).unwrap();
+            let reloaded: StreamCheckpoint = serde_json::from_str(&bytes).unwrap();
+            let mut second = StreamAnalysis::restore(&data, reloaded).expect("valid checkpoint");
+            assert_eq!(second.events_ingested(), cut as u64);
+            for e in &events[cut..] {
+                second.ingest(e);
+            }
+            let resumed = serde_json::to_string(&second.flush().output).unwrap();
+            assert_eq!(reference, resumed, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_deterministic() {
+        let data = run(&ScenarioParams::tiny(8));
+        let events = scenario_event_stream(&data);
+        let mut stream = StreamAnalysis::new(&data, AnalysisConfig::default());
+        for e in &events[..events.len() / 2] {
+            stream.ingest(e);
+        }
+        let a = serde_json::to_string(&stream.checkpoint()).unwrap();
+        let b = serde_json::to_string(&stream.checkpoint()).unwrap();
+        assert_eq!(a, b, "same state must serialize to the same bytes");
+    }
+
+    #[test]
+    fn restore_revalidates_the_embedded_config() {
+        let data = run(&ScenarioParams::tiny(3));
+        let stream = StreamAnalysis::new(&data, AnalysisConfig::default());
+        let mut ckpt = stream.checkpoint();
+        ckpt.config.match_window = Duration::ZERO;
+        assert!(matches!(
+            StreamAnalysis::restore(&data, ckpt).err(),
+            Some(AnalysisError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -555,6 +555,107 @@ pub struct ChaosOutcome {
     pub parse: ParseStats,
 }
 
+/// Seeded fault injection against the *durability* layer: transient
+/// checkpoint-write failures, as a flaky disk or a full filesystem would
+/// produce them. The plan is deterministic in the seed, so a failing
+/// crash-recovery case replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityChaos {
+    /// PRNG seed for the failure plan.
+    pub seed: u64,
+    /// Probability that a given checkpoint write hits a failure streak.
+    pub checkpoint_write_fail_prob: f64,
+    /// Longest failure streak injected for one checkpoint (so a retry
+    /// budget larger than this always eventually succeeds).
+    pub max_consecutive_failures: u32,
+}
+
+impl Default for DurabilityChaos {
+    /// Inert: no injected failures.
+    fn default() -> Self {
+        DurabilityChaos {
+            seed: 0,
+            checkpoint_write_fail_prob: 0.0,
+            max_consecutive_failures: 0,
+        }
+    }
+}
+
+impl DurabilityChaos {
+    /// A disk flaky enough to exercise every retry path: roughly a third
+    /// of checkpoints fail at least once, streaks capped at 2 (so the
+    /// default 3-attempt budget always recovers).
+    pub fn flaky(seed: u64) -> DurabilityChaos {
+        DurabilityChaos {
+            seed,
+            checkpoint_write_fail_prob: 0.35,
+            max_consecutive_failures: 2,
+        }
+    }
+
+    /// Materialize the deterministic failure plan.
+    pub fn plan(&self) -> CheckpointFaultPlan {
+        CheckpointFaultPlan {
+            rng: StdRng::seed_from_u64(self.seed ^ 0xD15C_FA11),
+            prob: self.checkpoint_write_fail_prob,
+            cap: self.max_consecutive_failures,
+            streak: 0,
+        }
+    }
+}
+
+/// Stateful decider for injected checkpoint-write failures; feed it
+/// `(seq, attempt)` for every write attempt (the shape of
+/// `faultline-core`'s checkpoint fault hook). On each *first* attempt it
+/// draws a streak length; subsequent attempts for the same checkpoint
+/// fail until the streak is exhausted.
+#[derive(Debug)]
+pub struct CheckpointFaultPlan {
+    rng: StdRng,
+    prob: f64,
+    cap: u32,
+    streak: u32,
+}
+
+impl CheckpointFaultPlan {
+    /// Should this write attempt fail? Deterministic in the seed and the
+    /// call sequence.
+    pub fn should_fail(&mut self, _seq: u64, attempt: u32) -> bool {
+        if attempt == 1 {
+            self.streak = 0;
+            while self.streak < self.cap && self.rng.random::<f64>() < self.prob {
+                self.streak += 1;
+            }
+        }
+        attempt <= self.streak
+    }
+}
+
+/// Kill points at every `k`-th event boundary: `k, 2k, ...` strictly
+/// below `total`. `crash_points_every(1, n)` is the exhaustive
+/// every-boundary sweep.
+pub fn crash_points_every(k: u64, total: u64) -> Vec<u64> {
+    if k == 0 {
+        return Vec::new();
+    }
+    (1..).map(|i| i * k).take_while(|&p| p < total).collect()
+}
+
+/// `count` seeded, sorted, distinct kill points in `1..total` — for
+/// sampling large streams where the exhaustive sweep is too slow.
+pub fn crash_points_seeded(seed: u64, total: u64, count: usize) -> Vec<u64> {
+    if total <= 1 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4B11_0C4A_5480_01A7);
+    let mut points = std::collections::BTreeSet::new();
+    let want = count.min((total - 1) as usize);
+    while points.len() < want {
+        points.insert(rng.random_range(1..total));
+    }
+    points.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -723,5 +824,65 @@ mod tests {
         let json = serde_json::to_string(&cfg).expect("serialize");
         let back: ChaosConfig = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn durability_chaos_plan_is_deterministic_and_capped() {
+        let chaos = DurabilityChaos::flaky(7);
+        let runs: Vec<Vec<bool>> = (0..2)
+            .map(|_| {
+                let mut plan = chaos.plan();
+                let mut decisions = Vec::new();
+                for seq in 1..=200u64 {
+                    let mut attempt = 1;
+                    loop {
+                        let fail = plan.should_fail(seq, attempt);
+                        decisions.push(fail);
+                        if !fail {
+                            break;
+                        }
+                        attempt += 1;
+                        assert!(
+                            attempt <= chaos.max_consecutive_failures + 1,
+                            "streaks are capped, so attempt {attempt} must succeed"
+                        );
+                    }
+                }
+                decisions
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "same seed, same plan");
+        assert!(
+            runs[0].iter().any(|&f| f),
+            "flaky preset injects at least one failure in 200 checkpoints"
+        );
+        // Inert default never fails.
+        let mut inert = DurabilityChaos::default().plan();
+        assert!((1..=50u64).all(|seq| !inert.should_fail(seq, 1)));
+    }
+
+    #[test]
+    fn durability_chaos_round_trips_through_json() {
+        let cfg = DurabilityChaos::flaky(11);
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: DurabilityChaos = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn crash_points_cover_every_boundary_and_sample_deterministically() {
+        assert_eq!(crash_points_every(1, 5), vec![1, 2, 3, 4]);
+        assert_eq!(crash_points_every(3, 10), vec![3, 6, 9]);
+        assert!(crash_points_every(0, 10).is_empty());
+        assert!(crash_points_every(10, 10).is_empty());
+
+        let a = crash_points_seeded(42, 1_000, 7);
+        let b = crash_points_seeded(42, 1_000, 7);
+        assert_eq!(a, b, "seeded points are reproducible");
+        assert_eq!(a.len(), 7);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(a.iter().all(|&p| (1..1_000).contains(&p)));
+        assert_eq!(crash_points_seeded(1, 1, 5), Vec::<u64>::new());
+        assert_eq!(crash_points_seeded(1, 3, 10).len(), 2, "clamped to total-1");
     }
 }

@@ -42,7 +42,10 @@ pub mod tickets;
 pub mod truth;
 pub mod workload;
 
-pub use chaos::{ChaosConfig, ChaosOutcome, ChaosStats};
+pub use chaos::{
+    crash_points_every, crash_points_seeded, ChaosConfig, ChaosOutcome, ChaosStats,
+    CheckpointFaultPlan, DurabilityChaos,
+};
 pub use scenario::{ScenarioData, ScenarioParams};
 pub use tickets::{Ticket, TicketLog};
 pub use truth::{FailureCause, GroundTruth, TruthFailure};

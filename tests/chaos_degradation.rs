@@ -286,3 +286,53 @@ fn hostile_configurations_do_not_panic() {
     let a = Analysis::run(&data, AnalysisConfig::default());
     let _ = a.table4();
 }
+
+/// The quarantine-horizon boundary is inclusive on both paths: an event
+/// stamped *exactly* at `quarantine_horizon` is admitted by batch and
+/// stream alike, the first strictly-later event is diverted by both, and
+/// the two engines stay byte-equivalent with identical quarantine
+/// accounting when the horizon sits right on an event timestamp.
+#[test]
+fn event_exactly_at_quarantine_horizon_is_classified_identically() {
+    let data = run(&ScenarioParams::tiny(11));
+    let events = scenario_event_stream(&data);
+    // Put the horizon exactly on a mid-stream event's timestamp, chosen
+    // so at least one event is stamped strictly later.
+    let horizon = events[events.len() / 2].at();
+    assert!(
+        events.last().unwrap().at() > horizon,
+        "seed must leave events past the horizon"
+    );
+    let config = AnalysisConfig {
+        quarantine_horizon: Some(horizon),
+        ..AnalysisConfig::default()
+    };
+
+    let batch = Analysis::try_run(&data, config.clone()).expect("valid");
+    let mut stream = StreamAnalysis::try_new(&data, config).expect("valid");
+    let mut quarantined_in_stream = 0u64;
+    for e in &events {
+        let summary = stream.ingest_batch(std::slice::from_ref(e));
+        let expect_admitted = e.at() <= horizon;
+        assert_eq!(
+            summary.accepted == 1,
+            expect_admitted,
+            "boundary must be inclusive at {:?} (horizon {horizon:?})",
+            e.at()
+        );
+        quarantined_in_stream += summary.quarantined;
+    }
+    assert!(quarantined_in_stream > 0, "events past the horizon exist");
+    let result = stream.flush();
+    assert_eq!(
+        serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap(),
+        serde_json::to_string(&result.output).unwrap(),
+        "batch and stream must classify the boundary identically"
+    );
+    assert_eq!(result.report.robustness, batch.report.robustness);
+    assert_eq!(
+        batch.report.robustness.total_quarantined(),
+        quarantined_in_stream,
+        "per-event outcomes must sum to the batch's quarantine accounting"
+    );
+}

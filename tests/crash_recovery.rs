@@ -1,0 +1,444 @@
+//! Differential crash-recovery harness for the durable streaming engine.
+//!
+//! The contract under test (see `faultline-core::recovery`): kill a
+//! durable streaming run at *any* event boundary, recover from whatever
+//! the checkpoint directory holds, feed the rest of the stream, and the
+//! flushed `StreamOutput` is **byte-identical** (as JSON) to a run that
+//! never stopped. Corruption — a flipped byte in the newest checkpoint, a
+//! torn checkpoint write, a journal segment cut mid-record — degrades to
+//! the previous valid snapshot (or a typed error when nothing is
+//! recoverable), never a panic.
+//!
+//! Structure:
+//! - an exhaustive kill-at-every-boundary sweep (k = 1) over a stream
+//!   prefix, recovering after every single event;
+//! - a seeds × chaos-presets × thread-counts × kill-points sweep over
+//!   full streams, compared against the batch pipeline;
+//! - the corruption ladder: corrupt newest → fall back; torn newest +
+//!   stray temp file → fall back; torn journal tail → replay good
+//!   prefix; mid-journal damage → typed `CorruptJournal`;
+//! - chaos-injected transient checkpoint-write failures: retries absorb
+//!   them, an exhausted budget surfaces `RetriesExhausted`.
+
+use faultline_core::recovery::{DurabilityPolicy, DurableStream, RetryPolicy};
+use faultline_core::{
+    scenario_event_stream, Analysis, AnalysisConfig, ParallelismConfig, RecoveryError,
+    StreamAnalysis, StreamEvent, StreamOutput,
+};
+use faultline_sim::scenario::{run, ScenarioParams};
+use faultline_sim::{crash_points_seeded, ChaosConfig, DurabilityChaos};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Self-cleaning scratch directory (no tempfile crate in this offline
+/// workspace).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("faultline-crash-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn chaotic(seed: u64, chaos: ChaosConfig) -> ScenarioParams {
+    let mut params = ScenarioParams::tiny(seed);
+    params.chaos = chaos;
+    params
+}
+
+fn stream_json_over(
+    data: &faultline_sim::ScenarioData,
+    config: &AnalysisConfig,
+    events: &[StreamEvent],
+) -> String {
+    let mut stream = StreamAnalysis::new(data, config.clone());
+    for e in events {
+        stream.ingest(e);
+    }
+    serde_json::to_string(&stream.flush().output).unwrap()
+}
+
+fn batch_json(data: &faultline_sim::ScenarioData, config: &AnalysisConfig) -> String {
+    let batch = Analysis::run(data, config.clone());
+    serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap()
+}
+
+/// Kill and recover at EVERY event boundary (k = 1): one chain of
+/// `recover → ingest one event → drop` per event, so every boundary in
+/// the prefix is a real crash point, then a final recover + flush. The
+/// result must be byte-identical to an uninterrupted stream over the
+/// same prefix.
+#[test]
+fn kill_at_every_event_boundary_recovers_byte_identical() {
+    let data = run(&ScenarioParams::tiny(3));
+    let config = AnalysisConfig::default();
+    let events = scenario_event_stream(&data);
+    let n = events.len().min(240);
+    let reference = stream_json_over(&data, &config, &events[..n]);
+
+    let tmp = TempDir::new("every-boundary");
+    let policy = DurabilityPolicy {
+        checkpoint_interval: 7,
+        segment_max_records: 16,
+        retain_checkpoints: 2,
+        ..DurabilityPolicy::default()
+    };
+    for (i, event) in events[..n].iter().enumerate() {
+        let (mut durable, report) =
+            DurableStream::recover(tmp.path(), &data, config.clone(), policy)
+                .unwrap_or_else(|e| panic!("recover before event {i}: {e}"));
+        assert_eq!(
+            report.resumed_at_seq, i as u64,
+            "recovery must land exactly at the crash boundary"
+        );
+        assert_eq!(report.checkpoints_rejected, 0);
+        durable.ingest(event).unwrap();
+        drop(durable); // the crash: no finish(), no final checkpoint
+    }
+    let (durable, report) = DurableStream::recover(tmp.path(), &data, config, policy).unwrap();
+    assert_eq!(report.resumed_at_seq, n as u64);
+    let result = durable.finish();
+    assert_eq!(reference, serde_json::to_string(&result.output).unwrap());
+    let d = result.report.durability.expect("durability counters");
+    assert_eq!(d.restores, 1, "counters describe the final process");
+}
+
+/// Seeds × chaos presets × thread counts × seeded kill points, on full
+/// streams, against the batch pipeline. The thread count of the
+/// *resumed* process differs from the writer's on purpose: parallelism
+/// must not leak into recovered state.
+#[test]
+fn crash_sweep_seeds_chaos_threads_matches_batch() {
+    for seed in [3u64, 5] {
+        for (name, chaos) in [
+            ("none", ChaosConfig::default()),
+            ("mild", ChaosConfig::mild(seed * 31)),
+            ("severe", ChaosConfig::severe(seed * 31)),
+        ] {
+            let data = run(&chaotic(seed, chaos));
+            for threads in [1usize, 0] {
+                let config = AnalysisConfig {
+                    parallelism: ParallelismConfig::with_threads(threads),
+                    ..AnalysisConfig::default()
+                };
+                let reference = batch_json(&data, &config);
+                let events = scenario_event_stream(&data);
+                let policy = DurabilityPolicy {
+                    checkpoint_interval: 97,
+                    segment_max_records: 64,
+                    ..DurabilityPolicy::default()
+                };
+                for kill_at in crash_points_seeded(seed, events.len() as u64, 3) {
+                    let kill_at = kill_at as usize;
+                    let tmp = TempDir::new(&format!("sweep-{seed}-{name}-{threads}-{kill_at}"));
+                    {
+                        let mut durable =
+                            DurableStream::create(tmp.path(), &data, config.clone(), policy)
+                                .unwrap();
+                        for e in &events[..kill_at] {
+                            durable.ingest(e).unwrap();
+                        }
+                    }
+                    // Resume under the *other* parallelism.
+                    let resume_config = AnalysisConfig {
+                        parallelism: ParallelismConfig::with_threads(if threads == 1 {
+                            0
+                        } else {
+                            1
+                        }),
+                        ..config.clone()
+                    };
+                    let (mut durable, report) =
+                        DurableStream::recover(tmp.path(), &data, resume_config, policy).unwrap();
+                    assert_eq!(
+                        report.resumed_at_seq, kill_at as u64,
+                        "seed {seed} chaos {name} threads {threads} kill {kill_at}"
+                    );
+                    for e in &events[kill_at..] {
+                        durable.ingest(e).unwrap();
+                    }
+                    let recovered = serde_json::to_string(&durable.finish().output).unwrap();
+                    assert_eq!(
+                        reference, recovered,
+                        "seed {seed} chaos {name} threads {threads} kill {kill_at}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn newest_checkpoint(dir: &Path) -> PathBuf {
+    let mut ckpts: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    ckpts.sort();
+    ckpts.pop().expect("at least one checkpoint on disk")
+}
+
+/// Run a durable stream to `kill_at`, crash, and hand back the state
+/// directory for sabotage.
+fn run_to_kill(
+    tmp: &TempDir,
+    data: &faultline_sim::ScenarioData,
+    config: &AnalysisConfig,
+    policy: DurabilityPolicy,
+    events: &[StreamEvent],
+    kill_at: usize,
+) {
+    let mut durable = DurableStream::create(tmp.path(), data, config.clone(), policy).unwrap();
+    for e in &events[..kill_at] {
+        durable.ingest(e).unwrap();
+    }
+}
+
+#[test]
+fn corrupted_newest_checkpoint_falls_back_to_previous() {
+    let data = run(&ScenarioParams::tiny(5));
+    let config = AnalysisConfig::default();
+    let events = scenario_event_stream(&data);
+    let reference = stream_json_over(&data, &config, &events);
+    let policy = DurabilityPolicy {
+        checkpoint_interval: 50,
+        segment_max_records: 32,
+        retain_checkpoints: 3,
+        ..DurabilityPolicy::default()
+    };
+    let kill_at = events.len().min(180);
+    let tmp = TempDir::new("corrupt-newest");
+    run_to_kill(&tmp, &data, &config, policy, &events, kill_at);
+
+    // Flip one byte in the middle of the newest checkpoint's payload.
+    let victim = newest_checkpoint(tmp.path());
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] = bytes[mid].wrapping_add(1);
+    fs::write(&victim, &bytes).unwrap();
+
+    let (mut durable, report) = DurableStream::recover(tmp.path(), &data, config, policy).unwrap();
+    assert_eq!(report.checkpoints_rejected, 1, "{:?}", report.rejected);
+    assert!(
+        report.rejected[0].contains("hash mismatch") || report.rejected[0].contains("unparseable"),
+        "rejection names the cause: {}",
+        report.rejected[0]
+    );
+    let fallback_seq = report.checkpoint_seq.expect("older checkpoint restored");
+    assert!(fallback_seq < kill_at as u64);
+    assert_eq!(
+        report.resumed_at_seq, kill_at as u64,
+        "journal replay covers the gap the corrupt checkpoint left"
+    );
+    for e in &events[kill_at..] {
+        durable.ingest(e).unwrap();
+    }
+    assert_eq!(
+        reference,
+        serde_json::to_string(&durable.finish().output).unwrap()
+    );
+}
+
+#[test]
+fn torn_checkpoint_and_stray_tmp_fall_back_cleanly() {
+    let data = run(&ScenarioParams::tiny(6));
+    let config = AnalysisConfig::default();
+    let events = scenario_event_stream(&data);
+    let reference = stream_json_over(&data, &config, &events);
+    let policy = DurabilityPolicy {
+        checkpoint_interval: 40,
+        segment_max_records: 32,
+        retain_checkpoints: 3,
+        ..DurabilityPolicy::default()
+    };
+    let kill_at = events.len().min(150);
+    let tmp = TempDir::new("torn-newest");
+    run_to_kill(&tmp, &data, &config, policy, &events, kill_at);
+
+    // Tear the newest checkpoint mid-payload and leave a half-written
+    // temp file behind, as a crash inside the checkpoint writer would.
+    let victim = newest_checkpoint(tmp.path());
+    let bytes = fs::read(&victim).unwrap();
+    fs::write(&victim, &bytes[..bytes.len() * 2 / 3]).unwrap();
+    fs::write(tmp.path().join("ckpt-999999999999.ckpt.tmp"), b"{\"half\":").unwrap();
+
+    let (mut durable, report) = DurableStream::recover(tmp.path(), &data, config, policy).unwrap();
+    assert_eq!(report.checkpoints_rejected, 1, "{:?}", report.rejected);
+    assert!(report.checkpoint_seq.is_some());
+    assert_eq!(report.resumed_at_seq, kill_at as u64);
+    assert!(
+        !tmp.path().join("ckpt-999999999999.ckpt.tmp").exists(),
+        "stray temp files are swept during recovery"
+    );
+    for e in &events[kill_at..] {
+        durable.ingest(e).unwrap();
+    }
+    assert_eq!(
+        reference,
+        serde_json::to_string(&durable.finish().output).unwrap()
+    );
+}
+
+#[test]
+fn torn_journal_tail_recovers_good_prefix_and_resumes() {
+    let data = run(&ScenarioParams::tiny(7));
+    let config = AnalysisConfig::default();
+    let events = scenario_event_stream(&data);
+    let reference = stream_json_over(&data, &config, &events);
+    let policy = DurabilityPolicy {
+        checkpoint_interval: 0, // journal is the only durable state
+        segment_max_records: 1_000_000,
+        ..DurabilityPolicy::default()
+    };
+    let kill_at = events.len().min(120);
+    let tmp = TempDir::new("torn-journal");
+    run_to_kill(&tmp, &data, &config, policy, &events, kill_at);
+
+    // Cut the single segment mid-record: drop the last line's tail and
+    // leave the partial record behind.
+    let journal = tmp.path().join("journal");
+    let seg = fs::read_dir(&journal)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .next()
+        .expect("one journal segment");
+    let text = fs::read_to_string(&seg).unwrap();
+    let cut = text.len() - text.len() / 10;
+    fs::write(&seg, &text.as_bytes()[..cut]).unwrap();
+    let whole_lines = text[..cut].matches('\n').count();
+    assert!(whole_lines < kill_at, "the cut must tear real records");
+
+    let (mut durable, report) =
+        DurableStream::recover(tmp.path(), &data, config.clone(), policy).unwrap();
+    assert!(report.started_fresh);
+    assert_eq!(
+        report.resumed_at_seq, whole_lines as u64,
+        "every intact record replays, the torn one is discarded"
+    );
+    assert!(report.journal_truncated_records >= 1);
+    // Re-feed everything the tear lost, then the rest of the stream.
+    for e in &events[whole_lines..] {
+        durable.ingest(e).unwrap();
+    }
+    let result = durable.finish();
+    assert_eq!(reference, serde_json::to_string(&result.output).unwrap());
+    // And the repaired-by-continuation journal recovers again cleanly.
+    let (durable2, report2) = DurableStream::recover(tmp.path(), &data, config, policy).unwrap();
+    assert_eq!(report2.resumed_at_seq, events.len() as u64);
+    assert_eq!(
+        reference,
+        serde_json::to_string(&durable2.finish().output).unwrap()
+    );
+}
+
+#[test]
+fn mid_journal_damage_is_a_typed_error_not_a_panic() {
+    let data = run(&ScenarioParams::tiny(8));
+    let config = AnalysisConfig::default();
+    let events = scenario_event_stream(&data);
+    let policy = DurabilityPolicy {
+        checkpoint_interval: 0,
+        segment_max_records: 20, // force several segments
+        ..DurabilityPolicy::default()
+    };
+    let kill_at = events.len().min(100);
+    let tmp = TempDir::new("mid-journal");
+    run_to_kill(&tmp, &data, &config, policy, &events, kill_at);
+
+    // Damage a record in the FIRST segment; the later segments cannot
+    // bridge the hole, so the journal is unrecoverable and must say so.
+    let first_seg = tmp.path().join("journal").join("seg-000000000001.jl");
+    let text = fs::read_to_string(&first_seg).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3);
+    lines[1] = "{\"seq\":2,\"fnv\":\"0000000000000000\",\"event\":null}";
+    fs::write(&first_seg, format!("{}\n", lines.join("\n"))).unwrap();
+
+    let err = match DurableStream::recover(tmp.path(), &data, config, policy) {
+        Ok(_) => panic!("mid-journal damage must not recover silently"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, RecoveryError::CorruptJournal { seq: 2, .. }),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn chaos_injected_checkpoint_faults_are_retried_and_counted() {
+    let data = run(&ScenarioParams::tiny(9));
+    let config = AnalysisConfig::default();
+    let events = scenario_event_stream(&data);
+    let reference = stream_json_over(&data, &config, &events);
+    let tmp = TempDir::new("flaky-disk");
+    let policy = DurabilityPolicy {
+        checkpoint_interval: 25,
+        segment_max_records: 64,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 0, // keep the test fast; cadence is covered above
+        },
+        ..DurabilityPolicy::default()
+    };
+    let mut durable = DurableStream::create(tmp.path(), &data, config.clone(), policy).unwrap();
+    let mut plan = DurabilityChaos::flaky(13).plan();
+    durable.set_fault_hook(Some(Box::new(move |seq, attempt| {
+        plan.should_fail(seq, attempt)
+    })));
+    for e in &events {
+        durable.ingest(e).unwrap();
+    }
+    let result = durable.finish();
+    assert_eq!(reference, serde_json::to_string(&result.output).unwrap());
+    let d = result.report.durability.expect("durability counters");
+    assert!(
+        d.checkpoint_retries > 0,
+        "the flaky preset must actually exercise the retry path"
+    );
+    assert!(d.checkpoints_written > 0);
+
+    // With a budget of one attempt, the same flakiness is fatal — but
+    // typed, and the state on disk stays recoverable.
+    let tmp2 = TempDir::new("flaky-exhausted");
+    let policy2 = DurabilityPolicy {
+        checkpoint_interval: 1,
+        retry: RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+        },
+        ..policy
+    };
+    let mut durable2 = DurableStream::create(tmp2.path(), &data, config.clone(), policy2).unwrap();
+    durable2.set_fault_hook(Some(Box::new(|_, _| true)));
+    let err = (|| -> Result<(), RecoveryError> {
+        for e in &events {
+            durable2.ingest(e)?;
+        }
+        Ok(())
+    })()
+    .unwrap_err();
+    assert!(
+        matches!(err, RecoveryError::RetriesExhausted { attempts: 1, .. }),
+        "got: {err}"
+    );
+    drop(durable2);
+    let (_durable3, report) = DurableStream::recover(tmp2.path(), &data, config, policy2).unwrap();
+    assert!(report.started_fresh, "journal alone still rebuilds");
+    assert_eq!(report.events_replayed, 1);
+}

@@ -48,7 +48,9 @@ fn stream_json(data: &ScenarioData, config: &AnalysisConfig, chunking: Chunking)
                 stream.ingest_batch(c);
             }
         }
-        Chunking::All => stream.ingest_batch(&events),
+        Chunking::All => {
+            stream.ingest_batch(&events);
+        }
     }
     serde_json::to_string(&stream.flush().output).unwrap()
 }
