@@ -26,11 +26,8 @@
 //! violations listed under `"violations"`), and only then does the
 //! process exit nonzero so CI fails with the evidence attached.
 
-use faultline_bench::analyze_with;
-use faultline_core::export::pipeline_report_json;
-use faultline_core::{
-    scenario_event_stream, AnalysisConfig, PipelineReport, StreamAnalysis, StreamOutput,
-};
+use faultline_bench::{analyze_with, labeled_report_json, write_bench_json};
+use faultline_core::{scenario_event_stream, AnalysisConfig, PipelineReport, StreamAnalysis};
 use faultline_sim::scenario::{run, ScenarioData, ScenarioParams};
 use faultline_sim::ChaosConfig;
 use serde_json::json;
@@ -92,8 +89,7 @@ fn main() {
         assert_eq!(outcome.parse.lines, data.raw_syslog_lines as u64);
 
         let batch = analyze_with(&data, AnalysisConfig::default());
-        let batch_json =
-            serde_json::to_string(&StreamOutput::of_batch(&batch)).expect("serialize batch");
+        let batch_json = serde_json::to_string(&batch.output).expect("serialize batch");
 
         let mut stream = StreamAnalysis::new(&data, AnalysisConfig::default());
         let events = scenario_event_stream(&data);
@@ -149,14 +145,7 @@ fn main() {
         "violations": (serde_json::to_value(&violations).expect("violations json")),
         "runs": runs,
     });
-    let path = "results/BENCH_chaos.json";
-    match std::fs::File::create(path) {
-        Ok(f) => {
-            serde_json::to_writer_pretty(f, &doc).expect("serialize BENCH json");
-            println!("wrote {path}");
-        }
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_bench_json("results/BENCH_chaos.json", &doc);
 
     if !violations.is_empty() {
         eprintln!("mild-preset degradation bands violated:");
@@ -229,10 +218,7 @@ fn run_json(
     headline: &Headline,
     baseline: &Headline,
 ) -> serde_json::Value {
-    let mut buf = Vec::new();
-    pipeline_report_json(&mut buf, report).expect("in-memory write");
-    let mut v: serde_json::Value = serde_json::from_slice(&buf).expect("report is valid JSON");
-    v["label"] = json!(label);
+    let mut v = labeled_report_json(label, report);
     v["robustness"] = serde_json::to_value(&report.robustness).expect("robustness counters");
     v["chaos"] = match &data.chaos {
         Some(outcome) => serde_json::to_value(outcome).expect("chaos outcome"),

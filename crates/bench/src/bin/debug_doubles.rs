@@ -6,6 +6,7 @@ fn main() {
     let data = faultline_bench::paper_scenario();
     let a = faultline_bench::analyze(&data);
     let doubles: Vec<_> = a
+        .output
         .syslog_recon
         .ambiguous
         .iter()
@@ -37,7 +38,7 @@ fn main() {
             p.second
         );
         let margin = Duration::from_secs(90);
-        for m in &a.messages {
+        for m in &a.output.messages {
             if m.link == p.link && m.at + margin >= p.first && m.at <= p.second + margin {
                 println!(
                     "  msg {} {:?} {:?} {:?} host={}",

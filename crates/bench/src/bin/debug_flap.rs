@@ -27,15 +27,23 @@ fn main() {
             }
         }
     };
-    count_gaps(&a.isis_failures, &mut isis_gaps_small, &mut isis_gaps);
-    count_gaps(&a.syslog_failures, &mut sys_gaps_small, &mut sys_gaps);
+    count_gaps(
+        &a.output.isis_failures,
+        &mut isis_gaps_small,
+        &mut isis_gaps,
+    );
+    count_gaps(
+        &a.output.syslog_failures,
+        &mut sys_gaps_small,
+        &mut sys_gaps,
+    );
     println!(
         "isis gaps: {isis_gaps} ({isis_gaps_small} < 10min); syslog gaps: {sys_gaps} ({sys_gaps_small} < 10min)"
     );
 
-    let eps = detect_episodes(&a.isis_failures, Duration::from_secs(600));
+    let eps = detect_episodes(&a.output.isis_failures, Duration::from_secs(600));
     println!("isis episodes: {}", eps.len());
-    let eps_s = detect_episodes(&a.syslog_failures, Duration::from_secs(600));
+    let eps_s = detect_episodes(&a.output.syslog_failures, Duration::from_secs(600));
     println!("syslog episodes: {}", eps_s.len());
 
     // Pick the link with the most IS-IS failures and dump both views
@@ -50,25 +58,25 @@ fn main() {
     );
     let margin = Duration::from_secs(600);
     println!("-- isis failures in window --");
-    for f in &a.isis_failures {
+    for f in &a.output.isis_failures {
         if f.link == ep.link && f.end + margin >= ep.from && f.start <= ep.to + margin {
             println!("  {} .. {} ({})", f.start, f.end, f.duration());
         }
     }
     println!("-- syslog failures in window --");
-    for f in &a.syslog_failures {
+    for f in &a.output.syslog_failures {
         if f.link == ep.link && f.end + margin >= ep.from && f.start <= ep.to + margin {
             println!("  {} .. {} ({})", f.start, f.end, f.duration());
         }
     }
     println!("-- syslog transitions in window --");
-    for t in &a.syslog_transitions {
+    for t in &a.output.syslog_transitions {
         if t.link == ep.link && t.at + margin >= ep.from && t.at <= ep.to + margin {
             println!("  {} {:?}", t.at, t.direction);
         }
     }
     println!("-- raw resolved messages in window --");
-    for m in &a.messages {
+    for m in &a.output.messages {
         if m.link == ep.link && m.at + margin >= ep.from && m.at <= ep.to + margin {
             println!(
                 "  {} {:?} {:?} host={}",

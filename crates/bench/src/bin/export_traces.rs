@@ -18,17 +18,17 @@ fn main() -> std::io::Result<()> {
 
     failures_csv(
         BufWriter::new(File::create("results/failures_isis.csv")?),
-        &analysis.isis_failures,
+        &analysis.output.isis_failures,
         &analysis.table,
     )?;
     failures_csv(
         BufWriter::new(File::create("results/failures_syslog.csv")?),
-        &analysis.syslog_failures,
+        &analysis.output.syslog_failures,
         &analysis.table,
     )?;
     per_link_csv(
         BufWriter::new(File::create("results/per_link.csv")?),
-        &analysis.isis_failures,
+        &analysis.output.isis_failures,
         &analysis.table,
     )?;
     let fig = analysis.figure1();

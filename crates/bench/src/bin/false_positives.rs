@@ -17,8 +17,8 @@ fn main() {
     println!(
         "  total           : {} ({:.0}% of {} syslog failures), {:.1} h downtime",
         total,
-        100.0 * total as f64 / analysis.syslog_failures.len().max(1) as f64,
-        analysis.syslog_failures.len(),
+        100.0 * total as f64 / analysis.output.syslog_failures.len().max(1) as f64,
+        analysis.output.syslog_failures.len(),
         total_hours
     );
     println!(

@@ -11,9 +11,8 @@
 //! The serial and parallel runs must produce byte-identical tables — the
 //! binary asserts it — so the report differences are timing only.
 
-use faultline_bench::{analyze_with, paper_scenario};
-use faultline_core::export::pipeline_report_json;
-use faultline_core::{AnalysisConfig, ParallelismConfig, PipelineReport};
+use faultline_bench::{analyze_with, labeled_report_json, paper_scenario, write_bench_json};
+use faultline_core::{AnalysisConfig, ParallelismConfig};
 use faultline_sim::scenario::{run, ScenarioParams};
 use serde_json::json;
 
@@ -47,7 +46,7 @@ fn main() {
             );
             println!("serial and parallel table 4 are identical ✓");
         }
-        runs.push(report_json(label, &a.report));
+        runs.push(labeled_report_json(label, &a.report));
     }
 
     if sweep {
@@ -57,7 +56,7 @@ fn main() {
             let data = run(&params);
             let a = analyze_with(&data, AnalysisConfig::default());
             println!("{}", a.report);
-            runs.push(report_json(&format!("sweep_{scale}"), &a.report));
+            runs.push(labeled_report_json(&format!("sweep_{scale}"), &a.report));
         }
     }
 
@@ -67,20 +66,5 @@ fn main() {
         "seed": 42,
         "runs": runs,
     });
-    let path = "results/BENCH_pipeline.json";
-    match std::fs::File::create(path) {
-        Ok(f) => {
-            serde_json::to_writer_pretty(f, &doc).expect("serialize BENCH json");
-            println!("wrote {path}");
-        }
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
-}
-
-fn report_json(label: &str, report: &PipelineReport) -> serde_json::Value {
-    let mut buf = Vec::new();
-    pipeline_report_json(&mut buf, report).expect("in-memory write");
-    let mut v: serde_json::Value = serde_json::from_slice(&buf).expect("report is valid JSON");
-    v["label"] = json!(label);
-    v
+    write_bench_json("results/BENCH_pipeline.json", &doc);
 }

@@ -9,7 +9,7 @@
 //! cargo run --release --bin recovery_replay
 //! ```
 //!
-//! Two experiment arms share one simulated dataset:
+//! Three experiment arms share one simulated dataset:
 //!
 //! 1. **Checkpoint cost curve** — an uninterrupted durable run that
 //!    checkpoints manually every `CKPT_EVERY` events, recording each
@@ -18,15 +18,17 @@
 //!    without flush) at 10/30/50/70/90% of the stream under the
 //!    automatic checkpoint cadence, then recovered; each datapoint
 //!    records which checkpoint the supervisor landed on, how many
-//!    journal records it replayed, and the end-to-end recovery time.
+//!    journal records it replayed, and the end-to-end recovery time;
+//! 3. **Fsync cost curve** — uninterrupted runs with checkpoints off
+//!    and the journal's group-commit cadence
+//!    (`DurabilityPolicy::fsync_every_n_records`) swept from never to
+//!    every 64 records, isolating what journal durability costs per
+//!    ingested event.
 
 use std::path::{Path, PathBuf};
 
-use faultline_bench::{analyze_with, paper_scenario};
-use faultline_core::{
-    scenario_event_stream, AnalysisConfig, DurabilityPolicy, DurableStream, StreamEvent,
-    StreamOutput,
-};
+use faultline_bench::{analyze_with, paper_event_workload, write_bench_json};
+use faultline_core::{AnalysisConfig, DurabilityPolicy, DurableStream, StreamEvent};
 use faultline_sim::scenario::ScenarioData;
 use serde_json::json;
 
@@ -36,6 +38,9 @@ const CKPT_EVERY: u64 = 25_000;
 const AUTO_INTERVAL: u64 = 25_000;
 /// Stream fractions at which the kill/recover arm drops the run.
 const KILL_FRACTIONS: [f64; 5] = [0.10, 0.30, 0.50, 0.70, 0.90];
+/// Group-commit cadences for the fsync-cost arm (`0` = never fsync,
+/// the default policy).
+const FSYNC_CADENCES: [u64; 4] = [0, 1024, 256, 64];
 
 fn scratch_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -48,18 +53,10 @@ fn scratch_dir(name: &str) -> PathBuf {
 }
 
 fn main() {
-    let data = paper_scenario();
-    let events = scenario_event_stream(&data);
-    println!(
-        "paper scenario: {} syslog + {} isis = {} events",
-        data.syslog.len(),
-        data.transitions.len(),
-        events.len()
-    );
+    let (data, events) = paper_event_workload();
 
     let batch = analyze_with(&data, AnalysisConfig::default());
-    let batch_json =
-        serde_json::to_string(&StreamOutput::of_batch(&batch)).expect("serialize batch output");
+    let batch_json = serde_json::to_string(&batch.output).expect("serialize batch output");
 
     let policy = DurabilityPolicy {
         checkpoint_interval: AUTO_INTERVAL,
@@ -72,6 +69,7 @@ fn main() {
         .map(|&f| kill_and_recover(&data, &events, &batch_json, policy, f))
         .collect();
     println!("all recovered replays byte-identical to batch ✓");
+    let fsync_curve = fsync_cost_curve(&data, &events, &batch_json);
 
     let doc = json!({
         "bench": "recovery_replay",
@@ -82,15 +80,9 @@ fn main() {
         "checkpoint_every": (CKPT_EVERY),
         "checkpoints": (checkpoints),
         "recovery_curve": (recovery_curve),
+        "fsync_cost_curve": (fsync_curve),
     });
-    let path = "results/BENCH_recovery.json";
-    match std::fs::File::create(path) {
-        Ok(f) => {
-            serde_json::to_writer_pretty(f, &doc).expect("serialize BENCH json");
-            println!("wrote {path}");
-        }
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_bench_json("results/BENCH_recovery.json", &doc);
 }
 
 /// Arm 1: uninterrupted durable run with manual checkpoints, recording
@@ -194,6 +186,60 @@ fn kill_and_recover(
         "journal_truncated_records": (report.journal_truncated_records),
         "recover_micros": (report.recover_micros),
     })
+}
+
+/// Arm 3: uninterrupted durable runs with checkpoints off, sweeping the
+/// journal's group-commit cadence. With both runs journaling the same
+/// bytes, the ingest-time difference against cadence 0 is exactly the
+/// price of the fsync policy.
+fn fsync_cost_curve(
+    data: &ScenarioData,
+    events: &[StreamEvent],
+    batch_json: &str,
+) -> Vec<serde_json::Value> {
+    let mut baseline_micros = 0u64;
+    let mut points: Vec<serde_json::Value> = Vec::new();
+    for cadence in FSYNC_CADENCES {
+        let dir = scratch_dir(&format!("fsync-{cadence}"));
+        let policy = DurabilityPolicy {
+            checkpoint_interval: 0,
+            fsync_every_n_records: cadence,
+            ..DurabilityPolicy::default()
+        };
+        let mut stream =
+            DurableStream::create(&dir, data, AnalysisConfig::default(), policy).expect("create");
+        let t0 = std::time::Instant::now();
+        for event in events {
+            stream.ingest(event).expect("journaled ingest");
+        }
+        let ingest_micros = t0.elapsed().as_micros() as u64;
+        let result = stream.finish();
+        let counters = result.report.durability.expect("durability counters");
+        let replay_json = serde_json::to_string(&result.output).expect("serialize stream output");
+        assert_eq!(
+            batch_json, replay_json,
+            "fsync cadence {cadence} changed the analysis output"
+        );
+        if cadence == 0 {
+            baseline_micros = ingest_micros;
+        }
+        let slowdown = ingest_micros as f64 / baseline_micros.max(1) as f64;
+        println!(
+            "fsync every {cadence}: {} fsyncs, ingest {:.1} ms ({:.2}x vs no-fsync)",
+            counters.journal_fsyncs,
+            ingest_micros as f64 / 1e3,
+            slowdown,
+        );
+        cleanup(&dir);
+        points.push(json!({
+            "fsync_every_n_records": (cadence),
+            "journal_fsyncs": (counters.journal_fsyncs),
+            "ingest_micros": (ingest_micros),
+            "events_per_sec": (events.len() as f64 / (ingest_micros.max(1) as f64 / 1e6)),
+            "slowdown_vs_no_fsync": (slowdown),
+        }));
+    }
+    points
 }
 
 fn cleanup(dir: &Path) {

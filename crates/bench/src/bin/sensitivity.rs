@@ -31,8 +31,8 @@ fn main() {
             100.0 * (t3.down.none + t3.up.none) as f64 / total,
             100.0 * (t3.down.one + t3.up.one) as f64 / total,
             100.0 * (t3.down.both + t3.up.both) as f64 / total,
-            a.syslog_failures.len(),
-            a.isis_failures.len(),
+            a.output.syslog_failures.len(),
+            a.output.isis_failures.len(),
         );
     }
 
@@ -69,7 +69,7 @@ fn main() {
         let a = Analysis::new(&data, config);
         let t3 = a.table3();
         let eps = faultline_core::flap::detect_episodes(
-            &a.isis_recon.failures,
+            &a.output.isis_recon.failures,
             Duration::from_secs(mins * 60),
         );
         println!(

@@ -15,37 +15,17 @@
 //! a finalized-at-flush count near the failure count would mean it
 //! degenerated into batch.
 
-use faultline_bench::{analyze_with, paper_scenario};
-use faultline_core::export::pipeline_report_json;
-use faultline_core::{
-    scenario_event_stream, AnalysisConfig, ParallelismConfig, PipelineReport, StreamAnalysis,
-    StreamOutput,
+use faultline_bench::{
+    analyze_with, config_with_threads, labeled_report_json, paper_event_workload, write_bench_json,
 };
+use faultline_core::{PipelineReport, StreamAnalysis};
 use serde_json::json;
 
-fn config_with(threads: usize) -> AnalysisConfig {
-    AnalysisConfig {
-        parallelism: ParallelismConfig {
-            threads,
-            ..ParallelismConfig::default()
-        },
-        ..AnalysisConfig::default()
-    }
-}
-
 fn main() {
-    let data = paper_scenario();
-    let events = scenario_event_stream(&data);
-    println!(
-        "paper scenario: {} syslog + {} isis = {} events",
-        data.syslog.len(),
-        data.transitions.len(),
-        events.len()
-    );
+    let (data, events) = paper_event_workload();
 
-    let batch = analyze_with(&data, config_with(0));
-    let batch_json =
-        serde_json::to_string(&StreamOutput::of_batch(&batch)).expect("serialize batch output");
+    let batch = analyze_with(&data, config_with_threads(0));
+    let batch_json = serde_json::to_string(&batch.output).expect("serialize batch output");
     println!("batch reference: {:.3} ms", batch.report.total_millis());
 
     let mut runs: Vec<serde_json::Value> = Vec::new();
@@ -58,7 +38,7 @@ fn main() {
         ("chunk_4096_parallel", 4096, 0),
         ("one_shot_parallel", usize::MAX, 0),
     ] {
-        let mut stream = StreamAnalysis::new(&data, config_with(threads));
+        let mut stream = StreamAnalysis::new(&data, config_with_threads(threads));
         if chunk == 1 {
             for e in &events {
                 stream.ingest(e);
@@ -87,21 +67,11 @@ fn main() {
         "events": (events.len()),
         "runs": runs,
     });
-    let path = "results/BENCH_stream.json";
-    match std::fs::File::create(path) {
-        Ok(f) => {
-            serde_json::to_writer_pretty(f, &doc).expect("serialize BENCH json");
-            println!("wrote {path}");
-        }
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_bench_json("results/BENCH_stream.json", &doc);
 }
 
 fn report_json(label: &str, report: &PipelineReport) -> serde_json::Value {
-    let mut buf = Vec::new();
-    pipeline_report_json(&mut buf, report).expect("in-memory write");
-    let mut v: serde_json::Value = serde_json::from_slice(&buf).expect("report is valid JSON");
-    v["label"] = json!(label);
+    let mut v = labeled_report_json(label, report);
     v["streaming"] = serde_json::to_value(&report.streaming).expect("streaming counters");
     v
 }

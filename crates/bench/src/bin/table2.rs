@@ -15,8 +15,8 @@ fn main() {
     println!("{}", analysis.table2());
     println!(
         "IS transitions: {} (multi-link excluded: {}); IP transitions: {}",
-        analysis.is_stats.emitted,
-        analysis.is_stats.unresolvable_multilink,
-        analysis.ip_stats.emitted
+        analysis.output.is_stats.emitted,
+        analysis.output.is_stats.unresolvable_multilink,
+        analysis.output.ip_stats.emitted
     );
 }

@@ -13,6 +13,7 @@ fn main() {
     let data = faultline_bench::paper_scenario();
     let analysis = faultline_bench::analyze(&data);
     let isis_total_ms: u64 = analysis
+        .output
         .isis_failures
         .iter()
         .map(|f| f.duration().as_millis())
@@ -21,20 +22,20 @@ fn main() {
     println!("window_secs,matched_failures,pct_failures,pct_downtime");
     for secs in [1u64, 2, 3, 5, 7, 10, 15, 20, 30, 45, 60, 90, 120] {
         let m = match_failures(
-            &analysis.syslog_failures,
-            &analysis.isis_failures,
+            &analysis.output.syslog_failures,
+            &analysis.output.isis_failures,
             Duration::from_secs(secs),
         );
         let matched_ms: u64 = m
             .matched
             .iter()
-            .map(|&(_, j)| analysis.isis_failures[j].duration().as_millis())
+            .map(|&(_, j)| analysis.output.isis_failures[j].duration().as_millis())
             .sum();
         println!(
             "{},{},{:.1},{:.1}",
             secs,
             m.matched.len(),
-            100.0 * m.matched.len() as f64 / analysis.isis_failures.len().max(1) as f64,
+            100.0 * m.matched.len() as f64 / analysis.output.isis_failures.len().max(1) as f64,
             100.0 * matched_ms as f64 / isis_total_ms.max(1) as f64,
         );
     }

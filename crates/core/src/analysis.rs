@@ -1,9 +1,13 @@
 //! The end-to-end analysis: from a scenario's observables to every table
 //! and figure in the paper.
 //!
-//! [`Analysis::new`] runs the full pipeline once (resolution → transition
-//! extraction → reconstruction → sanitization); the `table*`/`figure1`
-//! methods then derive each exhibit. Experiment binaries in
+//! [`Analysis::new`] runs the full pipeline once — as the batch **driver**
+//! over the shared [`crate::kernel`]: one classification pass over the
+//! time-merged archive, per-link lanes fanned across the [`crate::par`]
+//! pool under a single end-of-archive watermark (batch = a stream whose
+//! watermark jumps straight to the end). The `table*`/`figure1` methods
+//! then derive each exhibit from the resulting
+//! [`StreamOutput`]. Experiment binaries in
 //! `faultline-bench` print these structures; integration tests assert on
 //! their fields.
 
@@ -14,32 +18,25 @@ use crate::fp::{
     LinkStateTimeline,
 };
 use crate::isolation::{self, IsolationComparison, IsolationOutcome};
+use crate::kernel::{Kernel, LaneEvent, StreamOutput};
 use crate::ks::{ks_two_sample, KsResult};
-use crate::linktable::{self, LinkIx, LinkTable};
+use crate::linktable::{LinkIx, LinkTable};
 use crate::matching::{
-    match_failures_par, match_fraction, match_transitions_to_messages, FailureMatching,
-    TransitionMatchCounts,
+    match_fraction, match_transitions_to_messages, FailureMatching, TransitionMatchCounts,
 };
-use crate::observe::{self, PipelineCounters, PipelineReport, RobustnessCounters};
+use crate::observe::{self, PipelineReport, RobustnessCounters};
 use crate::par::ParallelismConfig;
-use crate::reconstruct::{
-    dedup_syslog_par, reconstruct_par, AmbiguityStrategy, Failure, Reconstruction,
-};
-use crate::sanitize::{remove_offline_spanning, verify_long_failures, SanitizeReport};
+use crate::reconstruct::{AmbiguityStrategy, Failure};
 use crate::stats::{metric_samples, Ecdf, MetricSamples, Summary};
-use crate::transitions::{
-    isis_link_transitions_par, resolve_syslog, IsisMergeStats, LinkTransition, MessageFamily,
-    ResolvedMessage, SyslogResolveStats,
-};
-use faultline_isis::listener::{ReachabilityKind, Transition, TransitionDirection};
+use crate::transitions::{LinkTransition, MessageFamily, ResolvedMessage};
+use faultline_isis::listener::{Transition, TransitionDirection};
 use faultline_sim::ScenarioData;
 use faultline_syslog::SyslogMessage;
 use faultline_topology::link::{LinkClass, LinkId};
 use faultline_topology::router::RouterClass;
 use faultline_topology::time::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Instant;
 
@@ -104,35 +101,10 @@ pub struct Analysis<'a> {
     pub table: LinkTable,
     /// Analysis-index → topology-id translation (via unique /31s).
     pub link_of_ix: HashMap<LinkIx, LinkId>,
-    /// Resolved syslog messages (all families), time-sorted.
-    pub messages: Vec<ResolvedMessage>,
-    /// Syslog resolution counters.
-    pub resolve_stats: SyslogResolveStats,
-    /// Link-level IS-reachability transitions.
-    pub is_transitions: Vec<LinkTransition>,
-    /// IS merge counters.
-    pub is_stats: IsisMergeStats,
-    /// Link-level IP-reachability transitions.
-    pub ip_transitions: Vec<LinkTransition>,
-    /// IP merge counters.
-    pub ip_stats: IsisMergeStats,
-    /// Deduplicated syslog link transitions.
-    pub syslog_transitions: Vec<LinkTransition>,
-    /// Raw IS-IS reconstruction (pre-sanitization).
-    pub isis_recon: Reconstruction,
-    /// Raw syslog reconstruction (pre-sanitization).
-    pub syslog_recon: Reconstruction,
-    /// Sanitized IS-IS failures.
-    pub isis_failures: Vec<Failure>,
-    /// Sanitized syslog failures.
-    pub syslog_failures: Vec<Failure>,
-    /// Sanitization counters, IS-IS side.
-    pub isis_sanitize: SanitizeReport,
-    /// Sanitization counters, syslog side.
-    pub syslog_sanitize: SanitizeReport,
-    /// Failure matching between the sanitized sets (syslog on the left),
-    /// computed once during the run.
-    pub matching: FailureMatching,
+    /// Everything the kernel derived from the observables — the same
+    /// comparable surface a flushed [`crate::streaming::StreamAnalysis`]
+    /// produces, byte-identical for the same data and configuration.
+    pub output: StreamOutput,
     /// Per-stage counters and wall-clock timings for this run.
     pub report: PipelineReport,
 }
@@ -155,11 +127,13 @@ impl<'a> Analysis<'a> {
         Ok(Analysis::run(data, config))
     }
 
-    /// Run the full pipeline once: resolution → transition extraction →
-    /// reconstruction → sanitization → failure matching. Per-link stages
-    /// fan out according to `config.parallelism`; the result is identical
-    /// for every thread count. Stage timings and counters land in
-    /// [`Analysis::report`].
+    /// Run the full pipeline once, as the batch driver over the shared
+    /// [`crate::kernel`]: classify the time-merged archive in one serial
+    /// pass, apply every lane's events under a single end-of-archive
+    /// watermark (fanned across threads per `config.parallelism`), and
+    /// collect. The result is identical for every thread count — and
+    /// byte-identical to a streaming replay of the same data. Stage
+    /// timings and counters land in [`Analysis::report`].
     ///
     /// # Examples
     ///
@@ -171,7 +145,7 @@ impl<'a> Analysis<'a> {
     /// let analysis = Analysis::run(&data, AnalysisConfig::default());
     /// assert!(analysis.table4().isis_failures > 0);
     /// // The run carries its own per-stage accounting.
-    /// assert!(analysis.report.stage("reconstruct").is_some());
+    /// assert!(analysis.report.stage("classify").is_some());
     /// assert!(analysis.report.counters.syslog_ingested > 0);
     /// ```
     pub fn run(data: &'a ScenarioData, config: AnalysisConfig) -> Self {
@@ -188,197 +162,106 @@ impl<'a> Analysis<'a> {
         });
 
         let t = Instant::now();
-        let table = linktable::from_scenario(data);
-        let mut link_of_ix = HashMap::new();
-        for l in data.topology.links() {
-            if let Some(ix) = table.by_subnet(l.subnet) {
-                link_of_ix.insert(ix, l.id);
-            }
-        }
+        let mut kernel = Kernel::new(data, config);
         report.record_stage(
             "link_table",
             data.topology.links().len() as u64,
-            table.len() as u64,
+            kernel.table.len() as u64,
             t.elapsed(),
         );
 
-        // Quarantine lane: divert items past the horizon before they
-        // reach any state machine. The check is per-item and
-        // order-independent, so the streaming engine applying it on
+        // Classification pass: walk both archives as one time-ordered
+        // merge (by reference — same stable order as
+        // `crate::streaming::scenario_event_stream`, without cloning),
+        // diverting quarantined items and routing survivors to their
+        // link's lane. The quarantine check is per-item and
+        // order-independent, so the streaming driver applying it on
         // ingest reaches the same survivors.
         let mut robustness = robustness_baseline(data);
-        let (syslog_input, transitions_input): (Cow<'_, [SyslogMessage]>, Cow<'_, [Transition]>) =
-            match config.quarantine_horizon {
-                Some(h) => {
-                    let kept_syslog: Vec<SyslogMessage> = data
-                        .syslog
-                        .iter()
-                        .filter(|m| m.event.at <= h)
-                        .cloned()
-                        .collect();
-                    let kept_isis: Vec<Transition> = data
-                        .transitions
-                        .iter()
-                        .filter(|t| t.at <= h)
-                        .cloned()
-                        .collect();
-                    robustness.quarantined_syslog = (data.syslog.len() - kept_syslog.len()) as u64;
-                    robustness.quarantined_isis = (data.transitions.len() - kept_isis.len()) as u64;
-                    (Cow::Owned(kept_syslog), Cow::Owned(kept_isis))
+        let t = Instant::now();
+        let mut syslog: Vec<&SyslogMessage> = data.syslog.iter().collect();
+        syslog.sort_by_key(|m| m.event.at);
+        let mut isis: Vec<&Transition> = data.transitions.iter().collect();
+        isis.sort_by_key(|tr| tr.at);
+        let horizon = kernel.config.quarantine_horizon;
+        let mut grouped: BTreeMap<LinkIx, Vec<LaneEvent>> = BTreeMap::new();
+        let mut watermark: Option<Timestamp> = None;
+        let mut routed = 0u64;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < syslog.len() || j < isis.len() {
+            let take_syslog =
+                j >= isis.len() || (i < syslog.len() && syslog[i].event.at <= isis[j].at);
+            if take_syslog {
+                let m = syslog[i];
+                i += 1;
+                if horizon.is_some_and(|h| m.event.at > h) {
+                    robustness.quarantined_syslog += 1;
+                    continue;
                 }
-                None => (
-                    Cow::Borrowed(&data.syslog[..]),
-                    Cow::Borrowed(&data.transitions[..]),
-                ),
-            };
-
-        let t = Instant::now();
-        let (messages, resolve_stats) = resolve_syslog(&syslog_input, &table);
+                watermark = Some(m.event.at);
+                if let Some((link, ev)) = kernel.classify_syslog(m) {
+                    grouped.entry(link).or_default().push(ev);
+                    routed += 1;
+                }
+            } else {
+                let tr = isis[j];
+                j += 1;
+                if horizon.is_some_and(|h| tr.at > h) {
+                    robustness.quarantined_isis += 1;
+                    continue;
+                }
+                watermark = Some(tr.at);
+                if let Some((link, ev)) = kernel.classify_isis(tr) {
+                    grouped.entry(link).or_default().push(ev);
+                    routed += 1;
+                }
+            }
+        }
         report.record_stage(
-            "resolve_syslog",
-            syslog_input.len() as u64,
-            messages.len() as u64,
+            "classify",
+            (data.syslog.len() + data.transitions.len()) as u64,
+            routed,
             t.elapsed(),
         );
 
+        // Lane pass: one fan-out of every per-link state machine, with
+        // the watermark already at end-of-archive — batch is just a
+        // stream whose watermark jumps straight to the end.
         let t = Instant::now();
-        let (is_transitions, is_stats) = isis_link_transitions_par(
-            &transitions_input,
-            &table,
-            ReachabilityKind::IsReach,
-            &par_cfg,
-        );
-        let (ip_transitions, ip_stats) = isis_link_transitions_par(
-            &transitions_input,
-            &table,
-            ReachabilityKind::IpReach,
-            &par_cfg,
-        );
+        let lanes_touched = grouped.len() as u64;
+        if let Some(watermark) = watermark {
+            kernel.apply_grouped(grouped, watermark);
+        }
+        report.record_stage("lane_apply", routed, lanes_touched, t.elapsed());
+
+        let t = Instant::now();
+        let k = kernel.collect(data.syslog.len() as u64);
         report.record_stage(
-            "isis_transitions",
-            is_stats.raw + ip_stats.raw,
-            (is_transitions.len() + ip_transitions.len()) as u64,
+            "collect",
+            k.output.counters.failures_reconstructed,
+            k.output.counters.failures_matched,
             t.elapsed(),
         );
 
-        let t = Instant::now();
-        let syslog_transitions = dedup_syslog_par(&messages, config.dedup_window, &par_cfg);
-        report.record_stage(
-            "dedup_syslog",
-            messages.len() as u64,
-            syslog_transitions.len() as u64,
-            t.elapsed(),
-        );
-
-        let t = Instant::now();
-        let isis_recon = reconstruct_par(&is_transitions, config.strategy, &par_cfg);
-        let syslog_recon = reconstruct_par(&syslog_transitions, config.strategy, &par_cfg);
-        let reconstructed = (isis_recon.failures.len() + syslog_recon.failures.len()) as u64;
-        report.record_stage(
-            "reconstruct",
-            (is_transitions.len() + syslog_transitions.len()) as u64,
-            reconstructed,
-            t.elapsed(),
-        );
-
-        let t = Instant::now();
-        let mut isis_sanitize = SanitizeReport::default();
-        let isis_failures = remove_offline_spanning(
-            isis_recon.failures.clone(),
-            &data.offline_spans,
-            &mut isis_sanitize,
-        );
-
-        let mut syslog_sanitize = SanitizeReport::default();
-        let syslog_failures = remove_offline_spanning(
-            syslog_recon.failures.clone(),
-            &data.offline_spans,
-            &mut syslog_sanitize,
-        );
-        let tickets = &data.tickets;
-        let slack = config.ticket_slack;
-        let syslog_failures = verify_long_failures(
-            syslog_failures,
-            config.long_threshold,
-            |ix, start, end| {
-                link_of_ix
-                    .get(&ix)
-                    .is_some_and(|lid| tickets.verifies(*lid, start, end, slack))
-            },
-            &mut syslog_sanitize,
-        );
-
-        // §3.4: multi-link adjacencies are omitted from the failure-level
-        // analysis — IS reachability cannot resolve their members, so the
-        // comparison is only meaningful on singly-linked router pairs.
-        // Both sources are filtered identically.
-        let isis_failures: Vec<Failure> = isis_failures
-            .into_iter()
-            .filter(|f| table.is_resolvable(f.link))
-            .collect();
-        let syslog_failures: Vec<Failure> = syslog_failures
-            .into_iter()
-            .filter(|f| table.is_resolvable(f.link))
-            .collect();
-        let survived = (isis_failures.len() + syslog_failures.len()) as u64;
-        report.record_stage("sanitize", reconstructed, survived, t.elapsed());
-
-        let t = Instant::now();
-        let matching = match_failures_par(
-            &syslog_failures,
-            &isis_failures,
-            config.match_window,
-            &par_cfg,
-        );
-        report.record_stage(
-            "match_failures",
-            survived,
-            matching.matched.len() as u64,
-            t.elapsed(),
-        );
-
-        report.counters = PipelineCounters {
-            syslog_ingested: data.syslog.len() as u64,
-            isis_ingested: is_stats.raw + ip_stats.raw,
-            transitions_derived: (is_transitions.len()
-                + ip_transitions.len()
-                + syslog_transitions.len()) as u64,
-            failures_reconstructed: reconstructed,
-            failures_after_sanitize: survived,
-            sanitize_dropped: reconstructed - survived,
-            failures_matched: matching.matched.len() as u64,
-            ambiguous_periods: (isis_recon.ambiguous.len() + syslog_recon.ambiguous.len()) as u64,
-        };
+        report.counters = k.output.counters;
         report.robustness = robustness;
         report.total_micros = run_started.elapsed().as_micros() as u64;
         observe::narrate(|| format!("pipeline done in {:.3} ms", report.total_millis()));
 
         Analysis {
             data,
-            config,
-            table,
-            link_of_ix,
-            messages,
-            resolve_stats,
-            is_transitions,
-            is_stats,
-            ip_transitions,
-            ip_stats,
-            syslog_transitions,
-            isis_recon,
-            syslog_recon,
-            isis_failures,
-            syslog_failures,
-            isis_sanitize,
-            syslog_sanitize,
-            matching,
+            config: k.config,
+            table: k.table,
+            link_of_ix: k.link_of_ix,
+            output: k.output,
             report,
         }
     }
 
     /// Messages of one family.
     fn family(&self, family: MessageFamily) -> Vec<ResolvedMessage> {
-        self.messages
+        self.output
+            .messages
             .iter()
             .filter(|m| m.family == family)
             .cloned()
@@ -396,7 +279,7 @@ impl<'a> Analysis<'a> {
             core_links: topo.link_count(LinkClass::Core) as u64,
             cpe_links: topo.link_count(LinkClass::Cpe) as u64,
             multi_link_pairs: topo.multi_link_pairs() as u64,
-            syslog_adjacency_messages: self.resolve_stats.isis_resolved,
+            syslog_adjacency_messages: self.output.resolve_stats.isis_resolved,
             syslog_lines_total: self.data.raw_syslog_lines as u64,
             isis_updates: self.data.lsps_flooded,
         }
@@ -419,20 +302,20 @@ impl<'a> Analysis<'a> {
         use TransitionDirection::{Down, Up};
         Table2 {
             isis_down: (
-                cell(&self.is_transitions, &isis_msgs, Down),
-                cell(&self.ip_transitions, &isis_msgs, Down),
+                cell(&self.output.is_transitions, &isis_msgs, Down),
+                cell(&self.output.ip_transitions, &isis_msgs, Down),
             ),
             isis_up: (
-                cell(&self.is_transitions, &isis_msgs, Up),
-                cell(&self.ip_transitions, &isis_msgs, Up),
+                cell(&self.output.is_transitions, &isis_msgs, Up),
+                cell(&self.output.ip_transitions, &isis_msgs, Up),
             ),
             phys_down: (
-                cell(&self.is_transitions, &phys_msgs, Down),
-                cell(&self.ip_transitions, &phys_msgs, Down),
+                cell(&self.output.is_transitions, &phys_msgs, Down),
+                cell(&self.output.ip_transitions, &phys_msgs, Down),
             ),
             phys_up: (
-                cell(&self.is_transitions, &phys_msgs, Up),
-                cell(&self.ip_transitions, &phys_msgs, Up),
+                cell(&self.output.is_transitions, &phys_msgs, Up),
+                cell(&self.output.ip_transitions, &phys_msgs, Up),
             ),
         }
     }
@@ -442,14 +325,14 @@ impl<'a> Analysis<'a> {
     pub fn table3(&self) -> Table3 {
         let isis_msgs = self.family(MessageFamily::IsisAdjacency);
         let (down, up) = match_transitions_to_messages(
-            &self.is_transitions,
+            &self.output.is_transitions,
             &isis_msgs,
             self.config.match_window,
         );
         // Flapping share of unmatched transitions (§4.1's 67%/61%).
         let flaps = FlapIndex::new(
             &detect_episodes_par(
-                &self.isis_recon.failures,
+                &self.output.isis_recon.failures,
                 self.config.flap_gap,
                 &self.config.parallelism,
             ),
@@ -475,7 +358,7 @@ impl<'a> Analysis<'a> {
         for v in by_key.values_mut() {
             v.sort();
         }
-        for t in &self.is_transitions {
+        for t in &self.output.is_transitions {
             let near = by_key
                 .get(&(t.link, t.direction))
                 .map(|v| {
@@ -516,21 +399,23 @@ impl<'a> Analysis<'a> {
 
     /// Failure matching between the sanitized sets (syslog on the left).
     /// Computed once by [`Analysis::run`]; this returns a copy for
-    /// callers that want to own it — read [`Analysis::matching`] to
+    /// callers that want to own it — read `analysis.output.matching` to
     /// borrow instead.
     pub fn failure_matching(&self) -> FailureMatching {
-        self.matching.clone()
+        self.output.matching.clone()
     }
 
     /// Table 4: failure counts and downtime hours after sanitization.
     pub fn table4(&self) -> Table4 {
-        let matching = &self.matching;
+        let matching = &self.output.matching;
         let isis_downtime: f64 = self
+            .output
             .isis_failures
             .iter()
             .map(|f| f.duration().as_hours_f64())
             .sum();
         let syslog_downtime: f64 = self
+            .output
             .syslog_failures
             .iter()
             .map(|f| f.duration().as_hours_f64())
@@ -540,8 +425,8 @@ impl<'a> Analysis<'a> {
         // footnote separating partially-overlapping hours).
         let mut overlap_ms = 0u64;
         for &(i, j) in &matching.matched {
-            let s = &self.syslog_failures[i];
-            let g = &self.isis_failures[j];
+            let s = &self.output.syslog_failures[i];
+            let g = &self.output.isis_failures[j];
             let lo = s.start.max(g.start);
             let hi = s.end.min(g.end);
             if hi > lo {
@@ -549,22 +434,22 @@ impl<'a> Analysis<'a> {
             }
         }
         Table4 {
-            isis_failures: self.isis_failures.len() as u64,
-            syslog_failures: self.syslog_failures.len() as u64,
+            isis_failures: self.output.isis_failures.len() as u64,
+            syslog_failures: self.output.syslog_failures.len() as u64,
             overlap_failures: matching.matched.len() as u64,
             isis_downtime_hours: isis_downtime,
             syslog_downtime_hours: syslog_downtime,
             overlap_downtime_hours: overlap_ms as f64 / 3_600_000.0,
-            syslog_long_removed: self.syslog_sanitize.long_removed,
-            syslog_long_removed_hours: self.syslog_sanitize.long_removed_hours(),
+            syslog_long_removed: self.output.syslog_sanitize.long_removed,
+            syslog_long_removed_hours: self.output.syslog_sanitize.long_removed_hours(),
         }
     }
 
     /// Per-class metric samples for one source.
     pub fn samples(&self, source: Source) -> HashMap<LinkClass, MetricSamples> {
         let failures = match source {
-            Source::Isis => &self.isis_failures,
-            Source::Syslog => &self.syslog_failures,
+            Source::Isis => &self.output.isis_failures,
+            Source::Syslog => &self.output.syslog_failures,
         };
         metric_samples(failures, &self.table)
     }
@@ -603,8 +488,9 @@ impl<'a> Analysis<'a> {
     /// adjacency members are omitted, as everywhere in the paper's
     /// analysis: the IS-IS timeline cannot arbitrate them.
     pub fn table6(&self) -> (Table6, AmbiguityCounts) {
-        let timeline = LinkStateTimeline::new(&self.is_transitions);
+        let timeline = LinkStateTimeline::new(&self.output.is_transitions);
         let ambiguous: Vec<_> = self
+            .output
             .syslog_recon
             .ambiguous
             .iter()
@@ -628,17 +514,17 @@ impl<'a> Analysis<'a> {
 
     /// §4.3 false-positive report: syslog failures with no IS-IS match.
     pub fn false_positives(&self) -> FpReport {
-        let matching = &self.matching;
+        let matching = &self.output.matching;
         let mut fps: Vec<Failure> = matching
             .left_only
             .iter()
             .chain(matching.partial.iter().map(|(i, _)| i))
-            .map(|&i| self.syslog_failures[i])
+            .map(|&i| self.output.syslog_failures[i])
             .collect();
         fps.sort_by_key(|f| (f.link, f.start));
         let flaps = FlapIndex::new(
             &detect_episodes_par(
-                &self.isis_failures,
+                &self.output.isis_failures,
                 self.config.flap_gap,
                 &self.config.parallelism,
             ),
@@ -655,8 +541,8 @@ impl<'a> Analysis<'a> {
     /// Isolation outcomes for one source.
     pub fn isolation(&self, source: Source) -> IsolationOutcome {
         let failures = match source {
-            Source::Isis => &self.isis_failures,
-            Source::Syslog => &self.syslog_failures,
+            Source::Isis => &self.output.isis_failures,
+            Source::Syslog => &self.output.syslog_failures,
         };
         isolation::analyze(failures, &self.data.topology, &self.link_of_ix)
     }
@@ -691,7 +577,7 @@ impl<'a> Analysis<'a> {
         for &i in &cmp.left_only_indices {
             let cause = isolation::classify_miss(
                 &isis.events[i],
-                &self.syslog_failures,
+                &self.output.syslog_failures,
                 &ix_of_link,
                 self.config.match_window,
             );
@@ -707,7 +593,7 @@ impl<'a> Analysis<'a> {
         for &j in &cmp.right_only_indices {
             let cause = isolation::classify_miss(
                 &syslog.events[j],
-                &self.isis_failures,
+                &self.output.isis_failures,
                 &ix_of_link,
                 self.config.match_window,
             );
@@ -1363,11 +1249,12 @@ mod tests {
         let down = mk(crate::reconstruct::AmbiguityStrategy::AssumeDown);
         let up = mk(crate::reconstruct::AmbiguityStrategy::AssumeUp);
         assert_eq!(
-            prev.syslog_recon.ambiguous, down.syslog_recon.ambiguous,
+            prev.output.syslog_recon.ambiguous, down.output.syslog_recon.ambiguous,
             "ambiguity detection is strategy-independent"
         );
         let dt = |a: &Analysis<'_>| {
-            a.syslog_failures
+            a.output
+                .syslog_failures
                 .iter()
                 .map(|f| f.duration().as_millis())
                 .sum::<u64>()
@@ -1396,15 +1283,7 @@ mod tests {
     fn report_has_stages_and_counters() {
         let data = run(&ScenarioParams::tiny(32));
         let a = analysis(&data);
-        for stage in [
-            "link_table",
-            "resolve_syslog",
-            "isis_transitions",
-            "dedup_syslog",
-            "reconstruct",
-            "sanitize",
-            "match_failures",
-        ] {
+        for stage in ["link_table", "classify", "lane_apply", "collect"] {
             assert!(a.report.stage(stage).is_some(), "missing stage {stage}");
         }
         assert!(a.report.threads >= 1);
@@ -1440,13 +1319,16 @@ mod tests {
                 ..AnalysisConfig::default()
             },
         );
-        assert_eq!(serial.is_transitions, par.is_transitions);
-        assert_eq!(serial.ip_transitions, par.ip_transitions);
-        assert_eq!(serial.syslog_transitions, par.syslog_transitions);
-        assert_eq!(serial.isis_failures, par.isis_failures);
-        assert_eq!(serial.syslog_failures, par.syslog_failures);
-        assert_eq!(serial.matching.matched, par.matching.matched);
-        assert_eq!(serial.matching.partial, par.matching.partial);
+        assert_eq!(serial.output.is_transitions, par.output.is_transitions);
+        assert_eq!(serial.output.ip_transitions, par.output.ip_transitions);
+        assert_eq!(
+            serial.output.syslog_transitions,
+            par.output.syslog_transitions
+        );
+        assert_eq!(serial.output.isis_failures, par.output.isis_failures);
+        assert_eq!(serial.output.syslog_failures, par.output.syslog_failures);
+        assert_eq!(serial.output.matching.matched, par.output.matching.matched);
+        assert_eq!(serial.output.matching.partial, par.output.matching.partial);
         assert_eq!(format!("{}", serial.table4()), format!("{}", par.table4()));
         assert_eq!(
             format!("{}", serial.table6().0),
@@ -1500,8 +1382,8 @@ mod tests {
         let r = &gated.report.robustness;
         assert_eq!(r.quarantined_syslog, data.syslog.len() as u64);
         assert_eq!(r.quarantined_isis, data.transitions.len() as u64);
-        assert!(gated.messages.is_empty());
-        assert!(gated.isis_failures.is_empty());
+        assert!(gated.output.messages.is_empty());
+        assert!(gated.output.isis_failures.is_empty());
         // Offered-event accounting is unchanged by quarantine.
         assert_eq!(
             gated.report.counters.syslog_ingested,
@@ -1514,7 +1396,7 @@ mod tests {
         let data = run(&ScenarioParams::tiny(28));
         let a = analysis(&data);
         if !data.offline_spans.is_empty() {
-            for f in &a.isis_failures {
+            for f in &a.output.isis_failures {
                 for s in &data.offline_spans {
                     assert!(
                         f.end < s.from || f.start > s.to,

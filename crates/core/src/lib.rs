@@ -31,13 +31,19 @@
 //!    [`faultline_sim::ScenarioData`]; [`export`] writes the underlying
 //!    traces as CSV for downstream tooling.
 //!
-//! The whole pipeline also runs *incrementally*: [`streaming`] ingests
-//! the interleaved syslog/IS-IS event stream one event or micro-batch at
-//! a time, emits failures as soon as they are final, and is
-//! byte-identical to the batch analysis at flush. The streaming engine
-//! is crash-safe: [`recovery`] wraps it in a write-ahead journal plus
-//! versioned, hash-verified checkpoints, and its recovery supervisor
-//! resumes a killed run byte-identical to one that never stopped.
+//! All of those semantics live in **one kernel** ([`kernel`]): every
+//! per-link state machine — dedup, both-ends merge, reconstruction,
+//! sanitization, flap tracking, segment close — is owned by
+//! `kernel::LinkLane`, and the crate ships **two drivers** over it.
+//! The batch driver ([`analysis::Analysis::run`]) replays the whole
+//! archive in one pass with the watermark jumping straight to
+//! end-of-archive; the streaming driver ([`streaming`]) ingests the
+//! interleaved syslog/IS-IS event stream one event or micro-batch at a
+//! time, emits failures as soon as they are final, and is byte-identical
+//! to the batch analysis at flush. The streaming driver is crash-safe:
+//! [`recovery`] wraps it in a write-ahead journal plus versioned,
+//! hash-verified checkpoints, and its recovery supervisor resumes a
+//! killed run byte-identical to one that never stopped.
 //!
 //! The per-link stages fan out across threads ([`par`], configured via
 //! [`analysis::AnalysisConfig::parallelism`]) with results independent of
@@ -54,6 +60,7 @@ pub mod export;
 pub mod flap;
 pub mod fp;
 pub mod isolation;
+pub mod kernel;
 pub mod ks;
 pub mod linktable;
 pub mod matching;

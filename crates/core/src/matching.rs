@@ -9,14 +9,12 @@
 //! several same-direction transitions crowd inside one window.
 
 use crate::linktable::LinkIx;
-use crate::par::{self, ParallelismConfig};
 use crate::reconstruct::Failure;
 use crate::transitions::{LinkTransition, ResolvedMessage};
 use faultline_isis::listener::TransitionDirection;
 use faultline_topology::time::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::ops::Range;
 
 /// Result of matching one IS-IS transition against the (up to two)
 /// per-router syslog messages — the columns of Table 3.
@@ -269,69 +267,6 @@ pub fn match_failures(left: &[Failure], right: &[Failure], window: Duration) -> 
     out
 }
 
-/// Like [`match_failures`], fanning per-link matching across threads.
-///
-/// Matching never crosses links, and both inputs are sorted by
-/// `(link, start)`, so each link occupies a contiguous range in each
-/// slice. Per-link results are index-shifted back into the global
-/// numbering and concatenated in link order — exactly the order the
-/// serial function produces.
-pub fn match_failures_par(
-    left: &[Failure],
-    right: &[Failure],
-    window: Duration,
-    par_cfg: &ParallelismConfig,
-) -> FailureMatching {
-    let tasks = link_ranges(left, right);
-    let parts = par::par_map(&tasks, par_cfg, |(lr, rr)| {
-        match_failures(&left[lr.clone()], &right[rr.clone()], window)
-    });
-    let mut out = FailureMatching::default();
-    for ((lr, rr), part) in tasks.iter().zip(parts) {
-        out.matched.extend(
-            part.matched
-                .into_iter()
-                .map(|(i, j)| (i + lr.start, j + rr.start)),
-        );
-        out.partial.extend(
-            part.partial
-                .into_iter()
-                .map(|(i, j)| (i + lr.start, j + rr.start)),
-        );
-        out.left_only
-            .extend(part.left_only.into_iter().map(|i| i + lr.start));
-        out.right_only
-            .extend(part.right_only.into_iter().map(|j| j + rr.start));
-    }
-    out
-}
-
-/// Contiguous per-link index ranges over two `(link, start)`-sorted
-/// failure slices, for the union of links present in either.
-fn link_ranges(left: &[Failure], right: &[Failure]) -> Vec<(Range<usize>, Range<usize>)> {
-    let mut tasks = Vec::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < left.len() || j < right.len() {
-        let link = match (left.get(i), right.get(j)) {
-            (Some(l), Some(r)) => l.link.min(r.link),
-            (Some(l), None) => l.link,
-            (None, Some(r)) => r.link,
-            // Invariant: the enclosing loop runs only while at least one
-            // side has unconsumed failures — not data-dependent.
-            (None, None) => unreachable!("loop condition guarantees an element"),
-        };
-        let (i0, j0) = (i, j);
-        while i < left.len() && left[i].link == link {
-            i += 1;
-        }
-        while j < right.len() && right[j].link == link {
-            j += 1;
-        }
-        tasks.push((i0..i, j0..j));
-    }
-    tasks
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,40 +382,6 @@ mod tests {
         assert!(m.matched.is_empty() && m.partial.is_empty());
         assert_eq!(m.left_only, vec![0]);
         assert_eq!(m.right_only.len(), 2);
-    }
-
-    #[test]
-    fn parallel_failure_matching_matches_serial() {
-        // Several links, a mix of exact matches, partial overlaps, and
-        // one-sided failures; links 1 and 5 are one-sided entirely.
-        let mut left = Vec::new();
-        let mut right = Vec::new();
-        for link in 0..6u32 {
-            for k in 0..8u64 {
-                let base = 1_000 * k + 10_000 * link as u64;
-                if link != 5 {
-                    left.push(fail(link, base, base + 100));
-                }
-                if link != 1 {
-                    let jitter = (k % 3) * 4; // 0, 4, 8 s offsets
-                    right.push(fail(link, base + jitter, base + 100 + jitter));
-                }
-            }
-        }
-        left.sort_by_key(|f| (f.link, f.start));
-        right.sort_by_key(|f| (f.link, f.start));
-        let serial = match_failures(&left, &right, W);
-        for threads in [2, 4] {
-            let cfg = ParallelismConfig {
-                threads,
-                chunk_size: 1,
-            };
-            let par = match_failures_par(&left, &right, W, &cfg);
-            assert_eq!(serial.matched, par.matched, "threads={threads}");
-            assert_eq!(serial.partial, par.partial);
-            assert_eq!(serial.left_only, par.left_only);
-            assert_eq!(serial.right_only, par.right_only);
-        }
     }
 
     #[test]

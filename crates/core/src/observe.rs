@@ -22,9 +22,9 @@ use std::time::Duration as WallDuration;
 /// One pipeline stage's accounting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StageReport {
-    /// Stable stage identifier (`link_table`, `resolve_syslog`,
-    /// `isis_transitions`, `dedup_syslog`, `reconstruct`, `sanitize`,
-    /// `match_failures`).
+    /// Stable stage identifier. The batch driver records `link_table`,
+    /// `classify`, `lane_apply`, and `collect`; the streaming driver
+    /// records `link_table`, `stream_ingest`, and `stream_flush`.
     pub stage: String,
     /// Items entering the stage.
     pub items_in: u64,
@@ -123,6 +123,11 @@ pub struct DurabilityCounters {
     pub journal_segments: u64,
     /// Bytes appended to the journal this run.
     pub journal_bytes: u64,
+    /// Group-commit `fsync` calls issued on journal segments this run
+    /// (0 unless [`crate::recovery::DurabilityPolicy`] sets
+    /// `fsync_every_n_records`).
+    #[serde(default)]
+    pub journal_fsyncs: u64,
     /// Recoveries this engine instance went through (0 for an
     /// uninterrupted run, 1 when built by the recovery supervisor).
     pub restores: u64,
@@ -396,6 +401,7 @@ mod tests {
             journal_records: 1000,
             journal_segments: 2,
             journal_bytes: 123_456,
+            journal_fsyncs: 125,
             restores: 1,
             events_replayed: 250,
             journal_truncated_records: 1,

@@ -11,9 +11,14 @@
 //! reminder). [`AmbiguityStrategy`] selects among the paper's three
 //! candidate interpretations; the paper's conclusion — keep the previous
 //! state, i.e. treat the repeat as spurious — is the default.
+//!
+//! The state machines themselves live in [`crate::kernel`]
+//! ([`kernel::DedupState`](crate::kernel) drives [`dedup_syslog`],
+//! `kernel::ReconLane` drives [`reconstruct`]); this module keeps the
+//! whole-stream convenience surface and the result types.
 
+use crate::kernel::{DedupState, ReconLane};
 use crate::linktable::LinkIx;
-use crate::par::{self, ParallelismConfig};
 use crate::transitions::{LinkTransition, MessageFamily, ResolvedMessage};
 use faultline_isis::listener::TransitionDirection;
 use faultline_topology::time::{Duration, Timestamp};
@@ -142,49 +147,21 @@ impl Reconstruction {
 /// messages serve Table 2's matching, not reconstruction.
 pub fn dedup_syslog(messages: &[ResolvedMessage], window: Duration) -> Vec<LinkTransition> {
     let mut out: Vec<LinkTransition> = Vec::new();
-    // Last kept transition per link.
-    let mut last: HashMap<LinkIx, (Timestamp, TransitionDirection)> = HashMap::new();
+    // One kernel dedup machine per link.
+    let mut lanes: HashMap<LinkIx, DedupState> = HashMap::new();
     for m in messages {
         if m.family != MessageFamily::IsisAdjacency {
             continue;
         }
-        if let Some(&(at, dir)) = last.get(&m.link) {
-            if dir == m.direction && m.at.abs_diff(at) <= window {
-                // Confirmation from the other end; refresh the anchor so
-                // chains of confirmations keep merging.
-                last.insert(m.link, (m.at, dir));
-                continue;
-            }
-        }
-        last.insert(m.link, (m.at, m.direction));
-        out.push(LinkTransition {
-            at: m.at,
-            link: m.link,
-            direction: m.direction,
-        });
-    }
-    out
-}
-
-/// Like [`dedup_syslog`], deduplicating links independently across
-/// threads. The per-link anchor chain never crosses links, so grouping
-/// preserves [`dedup_syslog`]'s semantics exactly; output is sorted by
-/// `(time, link)` and identical for every thread count.
-pub fn dedup_syslog_par(
-    messages: &[ResolvedMessage],
-    window: Duration,
-    par_cfg: &ParallelismConfig,
-) -> Vec<LinkTransition> {
-    let mut groups: BTreeMap<LinkIx, Vec<ResolvedMessage>> = BTreeMap::new();
-    for m in messages {
-        if m.family == MessageFamily::IsisAdjacency {
-            groups.entry(m.link).or_default().push(m.clone());
+        let lane = lanes.entry(m.link).or_default();
+        if lane.keep(m.at, m.direction, window) {
+            out.push(LinkTransition {
+                at: m.at,
+                link: m.link,
+                direction: m.direction,
+            });
         }
     }
-    let groups: Vec<Vec<ResolvedMessage>> = groups.into_values().collect();
-    let per_link = par::par_map(&groups, par_cfg, |g| dedup_syslog(g, window));
-    let mut out: Vec<LinkTransition> = per_link.into_iter().flatten().collect();
-    out.sort_by_key(|t| (t.at, t.link));
     out
 }
 
@@ -209,144 +186,24 @@ pub fn dedup_syslog_par(
 /// assert_eq!(r.total_downtime().as_secs(), 60);
 /// ```
 pub fn reconstruct(transitions: &[LinkTransition], strategy: AmbiguityStrategy) -> Reconstruction {
-    #[derive(Clone, Copy)]
-    struct LinkState {
-        /// Open failure start, if the link is currently considered down.
-        open: Option<Timestamp>,
-        /// Time of the last transition message.
-        last_at: Option<Timestamp>,
-        last_dir: Option<TransitionDirection>,
-        /// Index into `failures` of the last closed failure on this link.
-        last_closed: Option<usize>,
-    }
-
-    let mut states: HashMap<LinkIx, LinkState> = HashMap::new();
-    let mut failures: Vec<Failure> = Vec::new();
-    let mut ambiguous = Vec::new();
-    let mut boundary_ups = 0;
-
+    let mut lanes: BTreeMap<LinkIx, ReconLane> = BTreeMap::new();
     for t in transitions {
-        let s = states.entry(t.link).or_insert(LinkState {
-            open: None,
-            last_at: None,
-            last_dir: None,
-            last_closed: None,
-        });
-        match (t.direction, s.open) {
-            (TransitionDirection::Down, None) => {
-                s.open = Some(t.at);
-            }
-            (TransitionDirection::Up, Some(start)) => {
-                let idx = failures.len();
-                failures.push(Failure {
-                    link: t.link,
-                    start,
-                    end: t.at,
-                });
-                s.open = None;
-                s.last_closed = Some(idx);
-            }
-            (TransitionDirection::Down, Some(_)) => {
-                // Double down. Invariant: an open failure was set by a
-                // prior transition, which also recorded `last_at`.
-                let first = s.last_at.expect("open failure implies a prior message");
-                ambiguous.push(AmbiguousPeriod {
-                    link: t.link,
-                    first,
-                    second: t.at,
-                    direction: TransitionDirection::Down,
-                });
-                match strategy {
-                    AmbiguityStrategy::PreviousState | AmbiguityStrategy::AssumeDown => {
-                        // Spurious repeat: leave the open failure alone.
-                    }
-                    AmbiguityStrategy::AssumeUp => {
-                        // The ambiguous span was uptime: the earlier down
-                        // produced an unknowable (zero-credit) failure;
-                        // restart at the repeat.
-                        s.open = Some(t.at);
-                    }
-                }
-            }
-            (TransitionDirection::Up, None) => {
-                match s.last_dir {
-                    Some(TransitionDirection::Up) => {
-                        // Invariant: `last_dir`/`last_at` are set together.
-                        let first = s.last_at.expect("had a previous message");
-                        ambiguous.push(AmbiguousPeriod {
-                            link: t.link,
-                            first,
-                            second: t.at,
-                            direction: TransitionDirection::Up,
-                        });
-                        match strategy {
-                            AmbiguityStrategy::PreviousState | AmbiguityStrategy::AssumeUp => {}
-                            AmbiguityStrategy::AssumeDown => {
-                                // Count the ambiguous span as downtime by
-                                // extending the preceding failure.
-                                if let Some(idx) = s.last_closed {
-                                    failures[idx].end = t.at;
-                                } else {
-                                    let idx = failures.len();
-                                    failures.push(Failure {
-                                        link: t.link,
-                                        start: first,
-                                        end: t.at,
-                                    });
-                                    s.last_closed = Some(idx);
-                                }
-                            }
-                        }
-                    }
-                    _ => {
-                        // An up with no history: boundary artifact (e.g.
-                        // recovery from a failure that predates the data).
-                        boundary_ups += 1;
-                    }
-                }
-            }
-        }
-        s.last_at = Some(t.at);
-        s.last_dir = Some(t.direction);
+        lanes
+            .entry(t.link)
+            .or_default()
+            .step(t.link, t.at, t.direction, strategy);
     }
-
-    let unterminated = states.values().filter(|s| s.open.is_some()).count() as u32;
-    failures.sort_by_key(|f| (f.link, f.start));
-    ambiguous.sort_by_key(|a| (a.link, a.first));
-    Reconstruction {
-        failures,
-        ambiguous,
-        unterminated,
-        boundary_ups,
+    let mut out = Reconstruction::default();
+    for (_, mut lane) in lanes {
+        lane.finish();
+        out.unterminated += lane.open.is_some() as u32;
+        out.boundary_ups += lane.boundary_ups;
+        out.failures.append(&mut lane.failures);
+        out.ambiguous.append(&mut lane.ambiguous);
     }
-}
-
-/// Like [`reconstruct`], fanning per-link reconstruction across threads.
-/// Each link's state machine is independent; groups are merged in
-/// ascending-link order, so the result equals [`reconstruct`]'s for every
-/// thread count.
-pub fn reconstruct_par(
-    transitions: &[LinkTransition],
-    strategy: AmbiguityStrategy,
-    par_cfg: &ParallelismConfig,
-) -> Reconstruction {
-    let mut groups: BTreeMap<LinkIx, Vec<LinkTransition>> = BTreeMap::new();
-    for t in transitions {
-        groups.entry(t.link).or_default().push(*t);
-    }
-    let groups: Vec<Vec<LinkTransition>> = groups.into_values().collect();
-    let parts = par::par_map(&groups, par_cfg, |g| reconstruct(g, strategy));
-    let mut merged = Reconstruction::default();
-    for mut part in parts {
-        // Groups are visited in ascending-link order and each part is
-        // internally sorted, so the concatenation is already sorted by
-        // `(link, start)`.
-        merged.failures.append(&mut part.failures);
-        merged.ambiguous.append(&mut part.ambiguous);
-        merged.unterminated += part.unterminated;
-        merged.boundary_ups += part.boundary_ups;
-    }
-    merged
+    out.failures.sort_by_key(|f| (f.link, f.start));
+    out.ambiguous.sort_by_key(|a| (a.link, a.first));
+    out
 }
 
 #[cfg(test)]
@@ -457,39 +314,6 @@ mod tests {
         assert_eq!(r.failures[0].duration(), Duration::from_secs(60));
     }
 
-    #[test]
-    fn parallel_reconstruct_matches_serial() {
-        // An interleaved multi-link stream with doubles and boundary ups.
-        let mut stream = Vec::new();
-        for i in 0..240u64 {
-            let link = (i % 7) as u32;
-            let dir = match i % 5 {
-                0 | 2 => Down,
-                4 if i % 3 == 0 => Down, // occasional double-down
-                _ => Up,
-            };
-            stream.push(tr(link, i, dir));
-        }
-        for strategy in [
-            AmbiguityStrategy::PreviousState,
-            AmbiguityStrategy::AssumeDown,
-            AmbiguityStrategy::AssumeUp,
-        ] {
-            let serial = reconstruct(&stream, strategy);
-            for threads in [2, 4, 8] {
-                let cfg = ParallelismConfig {
-                    threads,
-                    chunk_size: 2,
-                };
-                let par = reconstruct_par(&stream, strategy, &cfg);
-                assert_eq!(serial.failures, par.failures, "{strategy:?} t={threads}");
-                assert_eq!(serial.ambiguous, par.ambiguous);
-                assert_eq!(serial.unterminated, par.unterminated);
-                assert_eq!(serial.boundary_ups, par.boundary_ups);
-            }
-        }
-    }
-
     mod dedup {
         use super::*;
         use crate::transitions::MessageFamily;
@@ -558,34 +382,6 @@ mod tests {
             // Each is within 10s of the previous kept anchor.
             let out = dedup_syslog(&msgs, Duration::from_secs(10));
             assert_eq!(out.len(), 1);
-        }
-
-        #[test]
-        fn parallel_dedup_matches_serial() {
-            // Multi-link message stream with confirmations and repeats;
-            // strictly increasing timestamps keep ordering unambiguous.
-            let mut msgs = Vec::new();
-            for i in 0..180u64 {
-                let link = (i % 5) as u32;
-                let dir = if (i / 5) % 2 == 0 { Down } else { Up };
-                let host = if i % 2 == 0 { "a" } else { "b" };
-                msgs.push(msg(
-                    link,
-                    i * 3_000,
-                    dir,
-                    host,
-                    MessageFamily::IsisAdjacency,
-                ));
-            }
-            let serial = dedup_syslog(&msgs, Duration::from_secs(10));
-            for threads in [2, 4] {
-                let cfg = ParallelismConfig {
-                    threads,
-                    chunk_size: 1,
-                };
-                let par = dedup_syslog_par(&msgs, Duration::from_secs(10), &cfg);
-                assert_eq!(serial, par, "threads={threads}");
-            }
         }
 
         #[test]

@@ -103,6 +103,15 @@ pub struct DurabilityPolicy {
     /// How many of the newest checkpoints to keep on disk. Keeping more
     /// than one is what makes the fallback ladder possible.
     pub retain_checkpoints: usize,
+    /// Group-commit cadence for the journal: `fsync` the active segment
+    /// after every this many appended records (and on segment rotation).
+    /// `0` — the default — never fsyncs, matching the original
+    /// OS-buffered behavior: an in-*process* kill still loses nothing,
+    /// but a whole-machine crash may drop the buffered tail. The cost of
+    /// each cadence is measured by the `fsync_cost_curve` arm of
+    /// `recovery_replay`.
+    #[serde(default)]
+    pub fsync_every_n_records: u64,
     /// Retry discipline for checkpoint writes.
     pub retry: RetryPolicy,
 }
@@ -113,6 +122,7 @@ impl Default for DurabilityPolicy {
             checkpoint_interval: 10_000,
             segment_max_records: 8_192,
             retain_checkpoints: 2,
+            fsync_every_n_records: 0,
             retry: RetryPolicy::default(),
         }
     }
@@ -137,6 +147,14 @@ pub struct RecoveryReport {
     /// The engine's event position after recovery: the caller resumes
     /// feeding from source position `resumed_at_seq` (0-based) onward.
     pub resumed_at_seq: u64,
+    /// The replayed journal prefix was folded into a fresh checkpoint at
+    /// `resumed_at_seq` (snapshot compaction), so the next recovery
+    /// restores directly instead of re-replaying the same tail.
+    /// Best-effort: `false` when nothing was replayed or the compaction
+    /// checkpoint failed to write (the pre-compaction state still
+    /// recovers fine).
+    #[serde(default)]
+    pub compacted: bool,
     /// Wall-clock cost of the whole recovery (load + replay), in µs.
     pub recover_micros: u64,
 }
@@ -303,13 +321,16 @@ struct JournalWriter {
     records_in_segment: u64,
     next_seq: u64,
     max_records: u64,
+    fsync_every: u64,
+    records_since_sync: u64,
     bytes_written: u64,
     records_written: u64,
     segments_opened: u64,
+    fsyncs: u64,
 }
 
 impl JournalWriter {
-    fn new(dir: PathBuf, next_seq: u64, max_records: u64) -> JournalWriter {
+    fn new(dir: PathBuf, next_seq: u64, max_records: u64, fsync_every: u64) -> JournalWriter {
         JournalWriter {
             segment_path: dir.clone(),
             dir,
@@ -317,13 +338,35 @@ impl JournalWriter {
             records_in_segment: 0,
             next_seq,
             max_records: max_records.max(1),
+            fsync_every,
+            records_since_sync: 0,
             bytes_written: 0,
             records_written: 0,
             segments_opened: 0,
+            fsyncs: 0,
         }
     }
 
+    /// Group commit: flush the active segment's unsynced tail to stable
+    /// storage. No-op while the policy is disabled (`fsync_every == 0`)
+    /// or there is nothing unsynced.
+    fn sync(&mut self) -> Result<(), RecoveryError> {
+        if self.fsync_every == 0 || self.records_since_sync == 0 {
+            return Ok(());
+        }
+        if let Some(file) = self.file.as_mut() {
+            file.sync_data()
+                .map_err(|e| io_err("fsync journal segment", &self.segment_path, e))?;
+            self.fsyncs += 1;
+        }
+        self.records_since_sync = 0;
+        Ok(())
+    }
+
     fn open_segment(&mut self) -> Result<(), RecoveryError> {
+        // The outgoing segment is never written again; make its tail
+        // durable before moving on so rotation is also a commit point.
+        self.sync()?;
         let path = self.dir.join(segment_name(self.next_seq));
         let file = File::create(&path).map_err(|e| io_err("open journal segment", &path, e))?;
         self.file = Some(file);
@@ -357,6 +400,10 @@ impl JournalWriter {
         self.next_seq += 1;
         self.records_written += 1;
         self.bytes_written += line.len() as u64;
+        self.records_since_sync += 1;
+        if self.fsync_every > 0 && self.records_since_sync >= self.fsync_every {
+            self.sync()?;
+        }
         Ok(())
     }
 }
@@ -507,7 +554,12 @@ impl<'a> DurableStream<'a> {
             });
         }
         let engine = StreamAnalysis::try_new(data, config)?;
-        let journal = JournalWriter::new(journal_dir, 1, policy.segment_max_records);
+        let journal = JournalWriter::new(
+            journal_dir,
+            1,
+            policy.segment_max_records,
+            policy.fsync_every_n_records,
+        );
         Ok(DurableStream {
             engine,
             dir: dir.to_path_buf(),
@@ -614,6 +666,7 @@ impl<'a> DurableStream<'a> {
             journal_dir,
             report.resumed_at_seq + 1,
             policy.segment_max_records,
+            policy.fsync_every_n_records,
         );
         let counters = DurabilityCounters {
             restores: 1,
@@ -621,7 +674,7 @@ impl<'a> DurableStream<'a> {
             journal_truncated_records: replay.truncated_records,
             ..DurabilityCounters::default()
         };
-        let stream = DurableStream {
+        let mut stream = DurableStream {
             engine,
             dir: dir.to_path_buf(),
             journal,
@@ -630,7 +683,44 @@ impl<'a> DurableStream<'a> {
             counters,
             last_checkpoint_seq,
         };
+        if replay.replayed > 0 {
+            report.compacted = stream.compact_after_recovery();
+        }
         Ok((stream, report))
+    }
+
+    /// Snapshot compaction: fold the journal prefix this recovery just
+    /// replayed into a fresh checkpoint at the resumed sequence, then
+    /// let the usual retention pass prune checkpoints and the journal
+    /// segments every retained checkpoint has absorbed. Repeated
+    /// crash/recover cycles therefore pay the replay cost once per
+    /// crash, not cumulatively, and the journal directory stays bounded.
+    ///
+    /// Best-effort by design: a failed checkpoint write leaves the
+    /// pre-compaction files exactly as the recovery ladder already
+    /// proved them recoverable, so nothing is pruned and `false` is
+    /// returned.
+    fn compact_after_recovery(&mut self) -> bool {
+        let seq = self.engine.events_ingested();
+        let Ok(payload) = serde_json::to_string(&self.engine.checkpoint()) else {
+            return false;
+        };
+        let t = Instant::now();
+        let Ok(bytes) = write_checkpoint_file(&self.dir, &payload, seq) else {
+            return false;
+        };
+        self.counters.checkpoints_written += 1;
+        self.counters.checkpoint_bytes_last = bytes;
+        self.counters.checkpoint_write_micros_max = self
+            .counters
+            .checkpoint_write_micros_max
+            .max(t.elapsed().as_micros() as u64);
+        self.last_checkpoint_seq = seq;
+        self.prune();
+        observe::narrate(|| {
+            format!("recovery: compacted journal prefix into checkpoint seq {seq}")
+        });
+        true
     }
 
     /// Inject transient checkpoint-write failures (chaos testing). The
@@ -657,6 +747,7 @@ impl<'a> DurableStream<'a> {
         c.journal_records = self.journal.records_written;
         c.journal_segments = self.journal.segments_opened;
         c.journal_bytes = self.journal.bytes_written;
+        c.journal_fsyncs = self.journal.fsyncs;
         c
     }
 
@@ -769,9 +860,13 @@ impl<'a> DurableStream<'a> {
         }
     }
 
-    /// End of stream: flush the engine and stamp this run's
+    /// End of stream: group-commit the journal tail (when the fsync
+    /// policy is on), flush the engine, and stamp this run's
     /// [`DurabilityCounters`] into the report.
-    pub fn finish(self) -> StreamResult {
+    pub fn finish(mut self) -> StreamResult {
+        // Best-effort: the stream is over either way, and an fsync
+        // failure here cannot un-ingest anything.
+        let _ = self.journal.sync();
         let counters = self.counters();
         let mut result = self.engine.flush();
         result.report.durability = Some(counters);
@@ -782,7 +877,7 @@ impl<'a> DurableStream<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::streaming::{scenario_event_stream, StreamOutput};
+    use crate::streaming::scenario_event_stream;
     use crate::Analysis;
     use faultline_sim::scenario::{run, ScenarioParams};
 
@@ -891,7 +986,7 @@ mod tests {
         let config = AnalysisConfig::default();
         let events = scenario_event_stream(&data);
         let batch = Analysis::run(&data, config.clone());
-        let reference = serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap();
+        let reference = serde_json::to_string(&batch.output).unwrap();
 
         let policy = DurabilityPolicy {
             checkpoint_interval: 37,
@@ -921,6 +1016,57 @@ mod tests {
         let d = result.report.durability.expect("durability counters");
         assert_eq!(d.restores, 1);
         assert_eq!(d.events_replayed, report.events_replayed);
+    }
+
+    #[test]
+    fn fsync_policy_group_commits_and_counts() {
+        let tmp = TempDir::new("fsync-policy");
+        let data = run(&ScenarioParams::tiny(10));
+        let config = AnalysisConfig::default();
+        let events = scenario_event_stream(&data);
+        let n = events.len().min(100);
+
+        // Default policy: the journal never fsyncs (OS-buffered).
+        let off = TempDir::new("fsync-off");
+        let mut durable = DurableStream::create(
+            off.path(),
+            &data,
+            config.clone(),
+            DurabilityPolicy::default(),
+        )
+        .unwrap();
+        for e in &events[..n] {
+            durable.ingest(e).unwrap();
+        }
+        assert_eq!(
+            durable.finish().report.durability.unwrap().journal_fsyncs,
+            0
+        );
+
+        // Group commit every 8 records (+ rotation + finish commit the
+        // partial tails), so every record ends up synced.
+        let policy = DurabilityPolicy {
+            checkpoint_interval: 0,
+            segment_max_records: 40,
+            fsync_every_n_records: 8,
+            ..DurabilityPolicy::default()
+        };
+        let mut durable = DurableStream::create(tmp.path(), &data, config, policy).unwrap();
+        for e in &events[..n] {
+            durable.ingest(e).unwrap();
+        }
+        let mid = durable.counters();
+        assert!(
+            mid.journal_fsyncs >= n as u64 / 8,
+            "{} fsyncs for {n} records at cadence 8",
+            mid.journal_fsyncs
+        );
+        let d = durable.finish().report.durability.unwrap();
+        assert!(
+            d.journal_fsyncs * 8 >= n as u64,
+            "finish() must group-commit the unsynced tail ({} fsyncs, {n} records)",
+            d.journal_fsyncs
+        );
     }
 
     #[test]
@@ -967,7 +1113,7 @@ mod tests {
             durable.ingest(e).unwrap();
         }
         let batch = Analysis::run(&data, config);
-        let reference = serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap();
+        let reference = serde_json::to_string(&batch.output).unwrap();
         assert_eq!(
             reference,
             serde_json::to_string(&durable.finish().output).unwrap()

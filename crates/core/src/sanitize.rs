@@ -40,7 +40,9 @@ impl SanitizeReport {
     }
 }
 
-/// Remove failures overlapping any listener offline span.
+/// Remove failures overlapping any listener offline span. The overlap
+/// predicate is `kernel::overlaps_offline` — the same per-failure check
+/// the unified kernel's lanes apply.
 pub fn remove_offline_spanning(
     failures: Vec<Failure>,
     spans: &[OfflineSpan],
@@ -52,7 +54,7 @@ pub fn remove_offline_spanning(
     failures
         .into_iter()
         .filter(|f| {
-            let overlapping = spans.iter().any(|s| f.start <= s.to && s.from <= f.end);
+            let overlapping = crate::kernel::overlaps_offline(f, spans);
             if overlapping {
                 report.removed_offline += 1;
                 report.removed_offline_ms += f.duration().as_millis();

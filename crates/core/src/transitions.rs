@@ -14,8 +14,8 @@
 //! reachability (adjacency pairs; multi-link adjacencies unresolvable,
 //! hence excluded and counted) and IP reachability (unique /31s).
 
+use crate::kernel::MergeState;
 use crate::linktable::{LinkIx, LinkTable};
-use crate::par::{self, ParallelismConfig};
 use faultline_isis::listener::{
     ReachabilityKind, Transition, TransitionDirection, TransitionSubject,
 };
@@ -23,7 +23,7 @@ use faultline_syslog::message::{AdjChangeDetail, LinkEventKind, SyslogMessage};
 use faultline_topology::osi::SystemId;
 use faultline_topology::time::Timestamp;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A link-level state transition (the unit both sources are reduced to).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -144,26 +144,15 @@ pub struct IsisMergeStats {
 
 /// Merge the listener's per-origin transitions of the given reachability
 /// kind into link-level transitions.
+///
+/// Resolution to links is a couple of hash lookups per raw transition;
+/// the stateful AND-merge — the expensive part on flapping links — runs
+/// one `kernel::MergeState` machine per link (the same machine
+/// the unified kernel's lanes run). Output is sorted by `(time, link)`.
 pub fn isis_link_transitions(
     raw: &[Transition],
     table: &LinkTable,
     kind: ReachabilityKind,
-) -> (Vec<LinkTransition>, IsisMergeStats) {
-    isis_link_transitions_par(raw, table, kind, &ParallelismConfig::SERIAL)
-}
-
-/// Like [`isis_link_transitions`], fanning the per-link both-ends merges
-/// across threads.
-///
-/// Resolution to links stays serial (a couple of hash lookups per raw
-/// transition); the stateful AND-merge — the expensive part on flapping
-/// links — runs one state machine per link. Output is sorted by
-/// `(time, link)` and identical for every thread count.
-pub fn isis_link_transitions_par(
-    raw: &[Transition],
-    table: &LinkTable,
-    kind: ReachabilityKind,
-    par_cfg: &ParallelismConfig,
 ) -> (Vec<LinkTransition>, IsisMergeStats) {
     let mut stats = IsisMergeStats::default();
     // Per-link event groups in raw-stream (time) order. BTreeMap keeps
@@ -210,14 +199,9 @@ pub fn isis_link_transitions_par(
             .push((t.at, t.source, t.direction));
     }
 
-    #[allow(clippy::type_complexity)]
-    let groups: Vec<(LinkIx, Vec<(Timestamp, SystemId, TransitionDirection)>)> =
-        groups.into_iter().collect();
-    let merged = par::par_map(&groups, par_cfg, |(link, events)| {
-        merge_one_link(*link, events)
-    });
     let mut out = Vec::new();
-    for (transitions, inconsistent) in merged {
+    for (link, events) in groups {
+        let (transitions, inconsistent) = merge_one_link(link, &events);
         stats.inconsistent += inconsistent;
         stats.emitted += transitions.len() as u64;
         out.extend(transitions);
@@ -234,50 +218,18 @@ fn merge_one_link(
     link: LinkIx,
     events: &[(Timestamp, SystemId, TransitionDirection)],
 ) -> (Vec<LinkTransition>, u64) {
-    // Which endpoints currently advertise the link (both assumed up at
-    // the start of the measurement period).
-    let mut advertised: HashMap<SystemId, bool> = HashMap::new();
-    // Withdrawn-endpoint count (0 = fully up).
-    let mut down_count: u32 = 0;
-    let mut inconsistent = 0u64;
+    let mut merge = MergeState::default();
     let mut out = Vec::new();
     for &(at, source, direction) in events {
-        let adv = advertised.entry(source).or_insert(true);
-        match direction {
-            TransitionDirection::Down => {
-                if !*adv {
-                    inconsistent += 1;
-                    continue;
-                }
-                *adv = false;
-                down_count += 1;
-                if down_count == 1 {
-                    // First withdrawal: the link-level DOWN event.
-                    out.push(LinkTransition {
-                        at,
-                        link,
-                        direction: TransitionDirection::Down,
-                    });
-                }
-            }
-            TransitionDirection::Up => {
-                if *adv {
-                    inconsistent += 1;
-                    continue;
-                }
-                *adv = true;
-                down_count -= 1;
-                if down_count == 0 {
-                    out.push(LinkTransition {
-                        at,
-                        link,
-                        direction: TransitionDirection::Up,
-                    });
-                }
-            }
+        if merge.step(source, direction) {
+            out.push(LinkTransition {
+                at,
+                link,
+                direction,
+            });
         }
     }
-    (out, inconsistent)
+    (out, merge.inconsistent)
 }
 
 #[cfg(test)]
@@ -285,6 +237,7 @@ mod tests {
     use super::*;
     use crate::linktable;
     use faultline_sim::scenario::{run, ScenarioParams};
+    use std::collections::HashMap;
 
     fn scenario() -> (faultline_sim::ScenarioData, LinkTable) {
         let data = run(&ScenarioParams::tiny(3).lossless());
@@ -372,24 +325,6 @@ mod tests {
                     + stats.inconsistent
         );
         assert_eq!(stats.unknown, 0, "all routers are in the mined inventory");
-    }
-
-    #[test]
-    fn parallel_merge_matches_serial() {
-        let (data, table) = scenario();
-        for kind in [ReachabilityKind::IsReach, ReachabilityKind::IpReach] {
-            let (serial, serial_stats) = isis_link_transitions(&data.transitions, &table, kind);
-            for threads in [2, 4] {
-                let cfg = ParallelismConfig {
-                    threads,
-                    chunk_size: 3,
-                };
-                let (par, par_stats) =
-                    isis_link_transitions_par(&data.transitions, &table, kind, &cfg);
-                assert_eq!(serial, par, "{kind:?} threads={threads}");
-                assert_eq!(serial_stats, par_stats);
-            }
-        }
     }
 
     #[test]

@@ -16,15 +16,15 @@ fn survives_post_hoc_syslog_truncation() {
     let mut data = run(&ScenarioParams::tiny(601));
     let baseline = {
         let a = Analysis::new(&data, AnalysisConfig::default());
-        a.syslog_failures.len()
+        a.output.syslog_failures.len()
     };
     let mut rng = StdRng::seed_from_u64(99);
     data.syslog.retain(|_| rng.random::<f64>() > 0.33);
     let a = Analysis::new(&data, AnalysisConfig::default());
     // No panic, and the reconstruction shrinks rather than explodes.
-    assert!(a.syslog_failures.len() <= baseline + 10);
+    assert!(a.output.syslog_failures.len() <= baseline + 10);
     // Every surviving failure is still well-formed.
-    for f in &a.syslog_failures {
+    for f in &a.output.syslog_failures {
         assert!(f.end > f.start);
     }
 }
@@ -40,7 +40,7 @@ fn survives_reordered_listener_log() {
     // the merge counts every inconsistency instead of panicking.
     let _ = a.table4();
     let _ = a.table3();
-    assert!(a.is_stats.raw > 0);
+    assert!(a.output.is_stats.raw > 0);
 }
 
 /// A scenario with a failure-free workload: everything is zero, nothing
@@ -91,7 +91,7 @@ fn listener_offline_for_most_of_the_period() {
     let t4 = a.table4();
     // Sanitization removed failures overlapping the giant outage.
     assert!(
-        (a.isis_sanitize.removed_offline + a.syslog_sanitize.removed_offline) > 0
+        (a.output.isis_sanitize.removed_offline + a.output.syslog_sanitize.removed_offline) > 0
             || data.truth.failures.is_empty()
     );
     assert!(t4.overlap_failures <= t4.isis_failures.min(t4.syslog_failures));

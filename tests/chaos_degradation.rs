@@ -20,9 +20,7 @@
 //! conservation, parse taxonomy balance, and the `RobustnessCounters`
 //! surfaced on every `PipelineReport`.
 
-use faultline_core::{
-    scenario_event_stream, Analysis, AnalysisConfig, StreamAnalysis, StreamOutput,
-};
+use faultline_core::{scenario_event_stream, Analysis, AnalysisConfig, StreamAnalysis};
 use faultline_sim::scenario::{run, ScenarioParams};
 use faultline_sim::ChaosConfig;
 use faultline_topology::time::Timestamp;
@@ -56,8 +54,8 @@ fn chaos_off_is_byte_identical_to_a_clean_run() {
     let a = Analysis::run(&clean, AnalysisConfig::default());
     let b = Analysis::run(&off, AnalysisConfig::default());
     assert_eq!(
-        serde_json::to_string(&StreamOutput::of_batch(&a)).unwrap(),
-        serde_json::to_string(&StreamOutput::of_batch(&b)).unwrap()
+        serde_json::to_string(&a.output).unwrap(),
+        serde_json::to_string(&b.output).unwrap()
     );
     assert_eq!(a.report.robustness, b.report.robustness);
 }
@@ -116,7 +114,7 @@ fn no_preset_panics_and_stream_stays_batch_equivalent() {
             }
             let result = stream.flush();
             assert_eq!(
-                serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap(),
+                serde_json::to_string(&batch.output).unwrap(),
                 serde_json::to_string(&result.output).unwrap(),
                 "{name} seed {seed}: stream must equal batch under chaos"
             );
@@ -147,7 +145,10 @@ fn mild_chaos_stays_within_drift_bands() {
         let t4_chaos = chaotic.table4();
 
         // Band 0 (exact): the untouched source does not move.
-        assert_eq!(clean.isis_failures, chaotic.isis_failures, "seed {seed}");
+        assert_eq!(
+            clean.output.isis_failures, chaotic.output.isis_failures,
+            "seed {seed}"
+        );
         assert_eq!(t4_clean.isis_failures, t4_chaos.isis_failures);
 
         // Band 1: syslog failure count within ±25% of clean.
@@ -218,7 +219,7 @@ fn injected_listener_outages_feed_sanitization() {
     }
     let a = Analysis::run(&chaotic_data, AnalysisConfig::default());
     // No surviving IS-IS failure spans an offline period.
-    for f in &a.isis_failures {
+    for f in &a.output.isis_failures {
         for s in &chaotic_data.offline_spans {
             assert!(f.end < s.from || f.start > s.to);
         }
@@ -325,7 +326,7 @@ fn event_exactly_at_quarantine_horizon_is_classified_identically() {
     assert!(quarantined_in_stream > 0, "events past the horizon exist");
     let result = stream.flush();
     assert_eq!(
-        serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap(),
+        serde_json::to_string(&batch.output).unwrap(),
         serde_json::to_string(&result.output).unwrap(),
         "batch and stream must classify the boundary identically"
     );

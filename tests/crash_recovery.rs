@@ -23,7 +23,7 @@
 use faultline_core::recovery::{DurabilityPolicy, DurableStream, RetryPolicy};
 use faultline_core::{
     scenario_event_stream, Analysis, AnalysisConfig, ParallelismConfig, RecoveryError,
-    StreamAnalysis, StreamEvent, StreamOutput,
+    StreamAnalysis, StreamEvent,
 };
 use faultline_sim::scenario::{run, ScenarioParams};
 use faultline_sim::{crash_points_seeded, ChaosConfig, DurabilityChaos};
@@ -74,7 +74,7 @@ fn stream_json_over(
 
 fn batch_json(data: &faultline_sim::ScenarioData, config: &AnalysisConfig) -> String {
     let batch = Analysis::run(data, config.clone());
-    serde_json::to_string(&StreamOutput::of_batch(&batch)).unwrap()
+    serde_json::to_string(&batch.output).unwrap()
 }
 
 /// Kill and recover at EVERY event boundary (k = 1): one chain of
@@ -207,6 +207,48 @@ fn run_to_kill(
     for e in &events[..kill_at] {
         durable.ingest(e).unwrap();
     }
+}
+
+/// Snapshot compaction: a successful recovery folds the replayed journal
+/// prefix into a fresh checkpoint at the resume point, so a SECOND crash
+/// at the same boundary recovers straight from the compacted dir —
+/// checkpoint only, zero replay — and the finished output is still
+/// byte-identical to batch.
+#[test]
+fn second_recovery_from_compacted_dir_is_byte_identical() {
+    let data = run(&ScenarioParams::tiny(11));
+    let config = AnalysisConfig::default();
+    let events = scenario_event_stream(&data);
+    let reference = batch_json(&data, &config);
+    let policy = DurabilityPolicy {
+        checkpoint_interval: 60,
+        segment_max_records: 32,
+        ..DurabilityPolicy::default()
+    };
+    let kill_at = events.len() * 2 / 3;
+    let tmp = TempDir::new("compaction");
+    run_to_kill(&tmp, &data, &config, policy, &events, kill_at);
+
+    // First recovery replays the journal tail and compacts it away.
+    let (durable, first) =
+        DurableStream::recover(tmp.path(), &data, config.clone(), policy).unwrap();
+    assert!(first.events_replayed > 0, "kill point must leave a tail");
+    assert!(first.compacted, "replayed prefix must be folded away");
+    drop(durable); // crash again immediately, before any new event
+
+    // Second recovery: the compaction checkpoint IS the resume point.
+    let (mut durable, second) = DurableStream::recover(tmp.path(), &data, config, policy).unwrap();
+    assert_eq!(second.checkpoint_seq, Some(kill_at as u64));
+    assert_eq!(second.events_replayed, 0, "nothing left to re-replay");
+    assert!(!second.compacted, "nothing replayed, nothing to compact");
+    assert_eq!(second.resumed_at_seq, kill_at as u64);
+    for e in &events[kill_at..] {
+        durable.ingest(e).unwrap();
+    }
+    assert_eq!(
+        reference,
+        serde_json::to_string(&durable.finish().output).unwrap()
+    );
 }
 
 #[test]

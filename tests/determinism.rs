@@ -61,9 +61,15 @@ fn thread_count_does_not_change_results() {
             baseline,
             "threads={threads} chunk_size={chunk_size} diverged"
         );
-        assert_eq!(parallel.isis_failures, serial.isis_failures);
-        assert_eq!(parallel.syslog_failures, serial.syslog_failures);
-        assert_eq!(parallel.syslog_transitions, serial.syslog_transitions);
+        assert_eq!(parallel.output.isis_failures, serial.output.isis_failures);
+        assert_eq!(
+            parallel.output.syslog_failures,
+            serial.output.syslog_failures
+        );
+        assert_eq!(
+            parallel.output.syslog_transitions,
+            serial.output.syslog_transitions
+        );
     }
 }
 

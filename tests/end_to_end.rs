@@ -15,7 +15,7 @@ fn lossless_differential_baseline() {
     let data = run(&ScenarioParams::tiny(101).lossless());
     let a = Analysis::new(&data, AnalysisConfig::default());
     let matching = a.failure_matching();
-    let isis_n = a.isis_failures.len();
+    let isis_n = a.output.isis_failures.len();
     let matched = matching.matched.len();
     assert!(
         matched as f64 >= 0.9 * isis_n as f64,
@@ -40,8 +40,16 @@ fn lossy_run_shows_paper_asymmetries() {
     // Both sources reconstruct a meaningful number of failures. (The tiny
     // topology has few links and flapping is concentrated, so counts are
     // modest.)
-    assert!(a.isis_failures.len() > 40, "{}", a.isis_failures.len());
-    assert!(a.syslog_failures.len() > 40, "{}", a.syslog_failures.len());
+    assert!(
+        a.output.isis_failures.len() > 40,
+        "{}",
+        a.output.isis_failures.len()
+    );
+    assert!(
+        a.output.syslog_failures.len() > 40,
+        "{}",
+        a.output.syslog_failures.len()
+    );
 
     // Syslog downtime does not exceed IS-IS downtime by much (lost
     // messages and silent outages bias it down; small runs are noisy).
@@ -65,7 +73,12 @@ fn failures_are_well_formed() {
     let data = run(&ScenarioParams::tiny(104));
     let a = Analysis::new(&data, AnalysisConfig::default());
     let period_ms = (data.period_days * 86_400_000.0) as u64;
-    for f in a.isis_failures.iter().chain(a.syslog_failures.iter()) {
+    for f in a
+        .output
+        .isis_failures
+        .iter()
+        .chain(a.output.syslog_failures.iter())
+    {
         assert!(f.end > f.start, "non-positive duration: {f:?}");
         assert!(f.end.as_millis() <= period_ms + 3_600_000);
         assert!(a.table.is_resolvable(f.link));
@@ -78,11 +91,11 @@ fn failures_are_well_formed() {
 fn naming_layer_is_closed() {
     let data = run(&ScenarioParams::tiny(105));
     let a = Analysis::new(&data, AnalysisConfig::default());
-    assert_eq!(a.resolve_stats.unresolved, 0);
-    assert_eq!(a.is_stats.unknown, 0);
-    assert_eq!(a.ip_stats.unknown, 0);
+    assert_eq!(a.output.resolve_stats.unresolved, 0);
+    assert_eq!(a.output.is_stats.unknown, 0);
+    assert_eq!(a.output.ip_stats.unknown, 0);
     // IP reachability identifies every link uniquely (/31s).
-    assert_eq!(a.ip_stats.unresolvable_multilink, 0);
+    assert_eq!(a.output.ip_stats.unresolvable_multilink, 0);
 }
 
 /// Table 5 metric samples feed a KS test without panicking, for both
@@ -113,13 +126,18 @@ fn statistics_pipeline_runs() {
 fn sanitization_invariants() {
     let data = run(&ScenarioParams::tiny(107));
     let a = Analysis::new(&data, AnalysisConfig::default());
-    for f in a.isis_failures.iter().chain(a.syslog_failures.iter()) {
+    for f in a
+        .output
+        .isis_failures
+        .iter()
+        .chain(a.output.syslog_failures.iter())
+    {
         for s in &data.offline_spans {
             assert!(f.end < s.from || f.start > s.to);
         }
     }
     let cfg = AnalysisConfig::default();
-    for f in &a.syslog_failures {
+    for f in &a.output.syslog_failures {
         if f.duration() > cfg.long_threshold {
             let lid = a.link_of_ix[&f.link];
             assert!(

@@ -187,7 +187,7 @@ fn false_positive_taxonomy_matches_paper() {
     let fp = a.false_positives();
     let total = fp.short_count + fp.long_count;
     // Paper: 2,440 FPs = 21% of syslog failures; 83% short.
-    let share = total as f64 / a.syslog_failures.len() as f64;
+    let share = total as f64 / a.output.syslog_failures.len() as f64;
     assert!((0.10..0.35).contains(&share), "FP share {share}");
     let short_share = fp.short_count as f64 / total as f64;
     assert!(short_share > 0.7, "short share {short_share}");

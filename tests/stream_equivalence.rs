@@ -1,21 +1,26 @@
-//! Differential harness: the streaming engine must be **byte-identical**
-//! to the batch pipeline.
+//! Differential harness: both drivers of the shared kernel must be
+//! **byte-identical**.
 //!
-//! For every scenario, the comparable surface ([`StreamOutput`]) of a
+//! For every scenario, the comparable surface (`StreamOutput`) of a
 //! [`StreamAnalysis`] replay — under any chunking of the event stream,
-//! any ambiguity strategy, and any thread count — must serialize to
-//! exactly the same JSON as [`StreamOutput::of_batch`] over
-//! [`Analysis::run`] on the same data. A deterministic grid pins the
-//! corner chunkings (one event at a time, a prime micro-batch size, one
-//! all-encompassing batch) across several seeds; property tests then
-//! randomize seed, scale, chunk pattern, strategy, and parallelism.
+//! any ambiguity strategy, any quarantine horizon, any chaos preset, and
+//! any thread count — must serialize to exactly the same JSON as the
+//! `output` of [`Analysis::run`] on the same data. Both paths execute
+//! the same per-link state machines in `faultline_core::kernel`; this
+//! grid is the permanent regression guard proving the two *drivers*
+//! (batch watermark-jumps-to-end vs. incremental watermarks) cannot
+//! drift apart. A deterministic grid pins the corner chunkings (one
+//! event at a time, a prime micro-batch size, one all-encompassing
+//! batch) across several seeds; property tests then randomize seed,
+//! scale, chunk pattern, strategy, and parallelism.
 
 use faultline_core::{
     scenario_event_stream, AmbiguityStrategy, Analysis, AnalysisConfig, ParallelismConfig,
-    StreamAnalysis, StreamOutput,
+    StreamAnalysis,
 };
 use faultline_sim::scenario::{run, ScenarioParams};
-use faultline_sim::ScenarioData;
+use faultline_sim::{ChaosConfig, ScenarioData};
+use faultline_topology::time::Timestamp;
 use proptest::prelude::*;
 
 /// How the event stream is fed to the engine.
@@ -31,7 +36,7 @@ enum Chunking {
 
 fn batch_json(data: &ScenarioData, config: &AnalysisConfig) -> String {
     let analysis = Analysis::run(data, config.clone());
-    serde_json::to_string(&StreamOutput::of_batch(&analysis)).unwrap()
+    serde_json::to_string(&analysis.output).unwrap()
 }
 
 fn stream_json(data: &ScenarioData, config: &AnalysisConfig, chunking: Chunking) -> String {
@@ -69,6 +74,82 @@ fn grid_of_seeds_and_chunkings_is_byte_identical() {
                 expected, got,
                 "stream output diverged from batch: seed {seed}, {chunking:?}"
             );
+        }
+    }
+}
+
+/// A mid-period event time, used as a quarantine horizon that diverts a
+/// real, nonzero share of both sources.
+fn mid_horizon(data: &ScenarioData) -> Timestamp {
+    let events = scenario_event_stream(data);
+    events[events.len() / 2].at()
+}
+
+/// The seeds×chunkings grid again, with `quarantine_horizon` set: the
+/// admission decision is per-item on both drivers, so diverting a big
+/// slice of the archive must not open any gap between them.
+#[test]
+fn quarantine_grid_is_byte_identical() {
+    for seed in [11u64, 42, 77] {
+        let data = run(&ScenarioParams::tiny(seed));
+        let config = AnalysisConfig {
+            quarantine_horizon: Some(mid_horizon(&data)),
+            ..AnalysisConfig::default()
+        };
+        let batch = Analysis::run(&data, config.clone());
+        assert!(
+            batch.report.robustness.total_quarantined() > 0,
+            "seed {seed}: horizon must actually divert events"
+        );
+        let expected = serde_json::to_string(&batch.output).unwrap();
+        for chunking in [Chunking::OneAtATime, Chunking::Fixed(7), Chunking::All] {
+            let got = stream_json(&data, &config, chunking);
+            assert_eq!(expected, got, "quarantined: seed {seed}, {chunking:?}");
+        }
+    }
+}
+
+/// The grid under the mild chaos preset: mangled archives (skewed
+/// stamps, malformed lines, duplicates) flow through both drivers of
+/// the kernel identically.
+#[test]
+fn mild_chaos_grid_is_byte_identical() {
+    for seed in [11u64, 42, 77] {
+        let mut params = ScenarioParams::tiny(seed);
+        params.chaos = ChaosConfig::mild(seed * 31);
+        let data = run(&params);
+        assert!(data.chaos.is_some(), "seed {seed}: chaos must have run");
+        let config = AnalysisConfig::default();
+        let expected = batch_json(&data, &config);
+        for chunking in [Chunking::OneAtATime, Chunking::Fixed(7), Chunking::All] {
+            let got = stream_json(&data, &config, chunking);
+            assert_eq!(expected, got, "chaotic: seed {seed}, {chunking:?}");
+        }
+    }
+}
+
+/// Quarantine × chaos combined — the configuration the chaos harness
+/// recommends for adversarial archives. Both adversity mechanisms at
+/// once still cannot separate the two drivers.
+#[test]
+fn quarantine_and_chaos_combined_stay_byte_identical() {
+    for seed in [13u64, 59] {
+        let mut params = ScenarioParams::tiny(seed);
+        params.chaos = ChaosConfig::mild(seed * 17);
+        let data = run(&params);
+        let config = AnalysisConfig {
+            quarantine_horizon: Some(mid_horizon(&data)),
+            ..AnalysisConfig::default()
+        };
+        let batch = Analysis::run(&data, config.clone());
+        assert!(
+            batch.report.robustness.total_quarantined() > 0,
+            "seed {seed}"
+        );
+        let expected = serde_json::to_string(&batch.output).unwrap();
+        for chunking in [Chunking::OneAtATime, Chunking::Fixed(13), Chunking::All] {
+            let got = stream_json(&data, &config, chunking);
+            assert_eq!(expected, got, "quarantine×chaos: seed {seed}, {chunking:?}");
         }
     }
 }
