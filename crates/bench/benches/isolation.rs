@@ -3,6 +3,7 @@
 //! dominate.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use faultline_core::intern::FastMap;
 use faultline_core::linktable::LinkIx;
 use faultline_core::{isolation, Failure};
 use faultline_sim::scenario::{run, ScenarioParams};
@@ -10,7 +11,6 @@ use faultline_topology::generator::CenicParams;
 use faultline_topology::graph::LinkStateView;
 use faultline_topology::link::LinkId;
 use faultline_topology::time::Timestamp;
-use std::collections::HashMap;
 
 fn bench_reachability(c: &mut Criterion) {
     let topo = CenicParams::default().generate();
@@ -36,7 +36,7 @@ fn bench_reachability(c: &mut Criterion) {
 fn bench_isolation_analysis(c: &mut Criterion) {
     let data = run(&ScenarioParams::default());
     let topo = &data.topology;
-    let map: HashMap<LinkIx, LinkId> = (0..topo.links().len() as u32)
+    let map: FastMap<LinkIx, LinkId> = (0..topo.links().len() as u32)
         .map(|i| (LinkIx(i), LinkId(i)))
         .collect();
     // Use the ground truth failures as the densest realistic input.

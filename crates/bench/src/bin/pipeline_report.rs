@@ -1,20 +1,33 @@
 //! Per-stage pipeline instrumentation: runs the canonical paper-scale
 //! analysis once serially (`threads = 1`) and once with automatic
-//! fan-out, prints both [`faultline_core::PipelineReport`]s, and writes
-//! the timings as the first `BENCH_*.json` datapoint under `results/`.
+//! fan-out, prints both [`faultline_core::PipelineReport`]s, then runs
+//! the **streaming ingest scaling sweep** (chunked non-durable replay at
+//! threads = 1, 2, 4, 8, 16) and writes everything — including the
+//! `headline.ingest_events_per_sec` number the regression gate watches —
+//! to `results/BENCH_pipeline.json`.
 //!
 //! ```sh
 //! cargo run --release --bin pipeline_report            # paper scenario
-//! cargo run --release --bin pipeline_report -- --sweep # + scaling sweep
+//! cargo run --release --bin pipeline_report -- --sweep # + scale sweep
 //! ```
 //!
-//! The serial and parallel runs must produce byte-identical tables — the
+//! Every measured configuration must produce byte-identical tables — the
 //! binary asserts it — so the report differences are timing only.
+//!
+//! `scripts/check_bench_regression.sh` compares a freshly written
+//! `BENCH_pipeline.json` against the committed
+//! `results/BENCH_pipeline.baseline.json` and fails when the headline
+//! throughput drops more than 10%.
 
 use faultline_bench::{analyze_with, labeled_report_json, paper_scenario, write_bench_json};
-use faultline_core::{AnalysisConfig, ParallelismConfig};
-use faultline_sim::scenario::{run, ScenarioParams};
+use faultline_core::{scenario_event_stream, AnalysisConfig, ParallelismConfig, StreamAnalysis};
 use serde_json::json;
+
+/// Thread counts of the ingest scaling curve.
+const SWEEP_THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+/// Micro-batch size of the sweep replays: the same chunking the
+/// streaming benchmark uses for its headline non-durable number.
+const SWEEP_CHUNK: usize = 4096;
 
 fn config_with(par: ParallelismConfig) -> AnalysisConfig {
     AnalysisConfig {
@@ -23,12 +36,20 @@ fn config_with(par: ParallelismConfig) -> AnalysisConfig {
     }
 }
 
+fn threads_config(threads: usize) -> AnalysisConfig {
+    config_with(ParallelismConfig {
+        threads,
+        ..ParallelismConfig::default()
+    })
+}
+
 fn main() {
     let sweep = std::env::args().any(|a| a == "--sweep");
     let data = paper_scenario();
     let mut runs: Vec<serde_json::Value> = Vec::new();
 
     let mut table4_serial = String::new();
+    let mut batch_output_json = String::new();
     for (label, par) in [
         ("serial", ParallelismConfig::SERIAL),
         ("parallel", ParallelismConfig::default()),
@@ -39,6 +60,7 @@ fn main() {
         let table4 = format!("{}", a.table4());
         if label == "serial" {
             table4_serial = table4;
+            batch_output_json = serde_json::to_string(&a.output).expect("serialize batch output");
         } else {
             assert_eq!(
                 table4, table4_serial,
@@ -49,7 +71,57 @@ fn main() {
         runs.push(labeled_report_json(label, &a.report));
     }
 
+    // Streaming ingest scaling curve: chunked non-durable replays at
+    // fixed thread counts, each checked byte-identical against batch
+    // before its timing counts.
+    let events = scenario_event_stream(&data);
+    let mut thread_curve: Vec<serde_json::Value> = Vec::new();
+    let mut serial_eps = 0.0f64;
+    let mut best_eps = 0.0f64;
+    println!("== ingest scaling sweep (chunk = {SWEEP_CHUNK}) ==");
+    for threads in SWEEP_THREADS {
+        let mut stream = StreamAnalysis::new(&data, threads_config(threads));
+        for c in events.chunks(SWEEP_CHUNK) {
+            stream.ingest_batch(c);
+        }
+        let result = stream.flush();
+        let replay_json = serde_json::to_string(&result.output).expect("serialize stream output");
+        assert_eq!(
+            batch_output_json, replay_json,
+            "threads={threads} ingest replay diverged from the batch pipeline"
+        );
+        let counters = result
+            .report
+            .streaming
+            .as_ref()
+            .expect("streaming counters present");
+        let eps = counters.events_per_sec;
+        if threads == 1 {
+            serial_eps = eps;
+        }
+        best_eps = best_eps.max(eps);
+        let speedup = if serial_eps > 0.0 {
+            eps / serial_eps
+        } else {
+            0.0
+        };
+        println!(
+            "threads {threads:>2}: {eps:>12.0} events/s  ({speedup:.2}x vs serial, {:.3} ms total)",
+            result.report.total_millis()
+        );
+        thread_curve.push(json!({
+            "threads": threads,
+            "chunk": SWEEP_CHUNK,
+            "events": (events.len()),
+            "events_per_sec": eps,
+            "speedup_vs_serial": speedup,
+            "total_micros": (result.report.total_micros),
+        }));
+    }
+    println!("all sweep replays byte-identical to batch ✓");
+
     if sweep {
+        use faultline_sim::scenario::{run, ScenarioParams};
         for scale in [0.25, 0.5, 1.0] {
             let params = ScenarioParams::sized(42, scale, 97.25);
             println!("== sweep: scale {scale} ==");
@@ -65,6 +137,13 @@ fn main() {
         "scenario": "paper_389d",
         "seed": 42,
         "runs": runs,
+        "threads_sweep": thread_curve,
+        "headline": {
+            // Best chunked non-durable ingest rate across the thread
+            // curve — the number the regression gate compares.
+            "ingest_events_per_sec": best_eps,
+            "chunk": SWEEP_CHUNK,
+        },
     });
     write_bench_json("results/BENCH_pipeline.json", &doc);
 }

@@ -11,12 +11,14 @@
 //! `faultline-bench` print these structures; integration tests assert on
 //! their fields.
 
+use crate::arena::EventArena;
 use crate::error::AnalysisError;
 use crate::flap::{detect_episodes_par, FlapIndex};
 use crate::fp::{
     classify_ambiguous_par, classify_false_positives_par, AmbiguityCounts, FpReport,
     LinkStateTimeline,
 };
+use crate::intern::FastMap;
 use crate::isolation::{self, IsolationComparison, IsolationOutcome};
 use crate::kernel::{Kernel, LaneEvent, StreamOutput};
 use crate::ks::{ks_two_sample, KsResult};
@@ -36,7 +38,7 @@ use faultline_topology::link::{LinkClass, LinkId};
 use faultline_topology::router::RouterClass;
 use faultline_topology::time::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
 
@@ -100,7 +102,7 @@ pub struct Analysis<'a> {
     /// Common naming layer.
     pub table: LinkTable,
     /// Analysis-index → topology-id translation (via unique /31s).
-    pub link_of_ix: HashMap<LinkIx, LinkId>,
+    pub link_of_ix: FastMap<LinkIx, LinkId>,
     /// Everything the kernel derived from the observables — the same
     /// comparable surface a flushed [`crate::streaming::StreamAnalysis`]
     /// produces, byte-identical for the same data and configuration.
@@ -184,9 +186,8 @@ impl<'a> Analysis<'a> {
         let mut isis: Vec<&Transition> = data.transitions.iter().collect();
         isis.sort_by_key(|tr| tr.at);
         let horizon = kernel.config.quarantine_horizon;
-        let mut grouped: BTreeMap<LinkIx, Vec<LaneEvent>> = BTreeMap::new();
+        let mut grouped: EventArena<LinkIx, LaneEvent> = EventArena::new();
         let mut watermark: Option<Timestamp> = None;
-        let mut routed = 0u64;
         let (mut i, mut j) = (0usize, 0usize);
         while i < syslog.len() || j < isis.len() {
             let take_syslog =
@@ -200,8 +201,7 @@ impl<'a> Analysis<'a> {
                 }
                 watermark = Some(m.event.at);
                 if let Some((link, ev)) = kernel.classify_syslog(m) {
-                    grouped.entry(link).or_default().push(ev);
-                    routed += 1;
+                    grouped.push(link, ev);
                 }
             } else {
                 let tr = isis[j];
@@ -212,11 +212,11 @@ impl<'a> Analysis<'a> {
                 }
                 watermark = Some(tr.at);
                 if let Some((link, ev)) = kernel.classify_isis(tr) {
-                    grouped.entry(link).or_default().push(ev);
-                    routed += 1;
+                    grouped.push(link, ev);
                 }
             }
         }
+        let routed = grouped.len() as u64;
         report.record_stage(
             "classify",
             (data.syslog.len() + data.transitions.len()) as u64,
@@ -228,9 +228,9 @@ impl<'a> Analysis<'a> {
         // the watermark already at end-of-archive — batch is just a
         // stream whose watermark jumps straight to the end.
         let t = Instant::now();
-        let lanes_touched = grouped.len() as u64;
+        let mut lanes_touched = 0u64;
         if let Some(watermark) = watermark {
-            kernel.apply_grouped(grouped, watermark);
+            lanes_touched = kernel.apply_grouped(&mut grouped, watermark) as u64;
         }
         report.record_stage("lane_apply", routed, lanes_touched, t.elapsed());
 

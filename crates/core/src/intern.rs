@@ -1,0 +1,326 @@
+//! String interning for the hot path.
+//!
+//! The classify stage touches a router hostname and an interface name for
+//! every one of the archive's ~171k events. Keying the resolution maps on
+//! owned `String` pairs costs two heap allocations *per lookup*; at
+//! paper scale that is the single largest slice of ingest time. This
+//! module replaces those keys with dense `u32` [`Sym`] ids handed out by
+//! a [`SymbolTable`]:
+//!
+//! - **Interning is deterministic.** [`crate::linktable::from_scenario`]
+//!   interns link endpoints in inventory order, then hostnames in
+//!   system-ID order, so the same scenario always produces the same id
+//!   assignment — a property the checkpoint/restore round-trip tests
+//!   rely on (ids are *rebuilt*, not persisted, and must come out
+//!   identical).
+//! - **Lookups are allocation-free.** `SymbolTable::lookup` takes `&str`
+//!   and borrows into the index; no `String` is built to ask a question.
+//! - **Resolved strings are shared.** [`SymbolTable::shared`] returns an
+//!   `Arc<str>` clone (a refcount bump), which is how
+//!   `ResolvedMessage.host` avoids one owned-`String` clone per resolved
+//!   message while serializing byte-identically to the old `String`
+//!   field.
+//!
+//! The module also provides [`FastHasher`], a FNV-1a hasher for the
+//! small fixed-width keys (`Sym` pairs, system IDs, link indices) that
+//! dominate the hot path, where SipHash's per-call setup is measurable.
+//! It is *not* DoS-resistant and must only be used for keys derived from
+//! trusted scenario data, never for attacker-controlled input.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// An interned string id: a dense index into its [`SymbolTable`].
+///
+/// `Sym` is `Copy`, 4 bytes, and hashes/compares as a plain integer —
+/// the whole point of interning. Ids are only meaningful relative to the
+/// table that produced them; serializing a `Sym` on its own (it
+/// serializes as its `u32`) is useful for debugging but resolving it
+/// requires the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The id as a dense `usize` index (for parallel `Vec`s).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Serialize for Sym {
+    fn serialize_value(&self) -> Value {
+        self.0.serialize_value()
+    }
+}
+
+impl Deserialize for Sym {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        u32::deserialize_value(value).map(Sym)
+    }
+}
+
+/// An append-only string interner mapping strings to dense [`Sym`] ids.
+///
+/// Ids are assigned in first-intern order starting at 0 and never
+/// change, so a table built by replaying the same inputs in the same
+/// order is identical — including across
+/// [`StreamAnalysis::restore`](crate::streaming::StreamAnalysis::restore),
+/// which rebuilds the table from the scenario rather than persisting it.
+/// The table itself is still serializable (as the id-ordered string
+/// array) for tooling that wants to dump or diff it.
+///
+/// # Examples
+///
+/// ```
+/// use faultline_core::intern::SymbolTable;
+///
+/// let mut t = SymbolTable::new();
+/// let lax = t.intern("lax-core-1");
+/// let sac = t.intern("sac-agg-2");
+/// assert_ne!(lax, sac);
+/// // Interning is idempotent and lookup never allocates.
+/// assert_eq!(t.intern("lax-core-1"), lax);
+/// assert_eq!(t.lookup("lax-core-1"), Some(lax));
+/// assert_eq!(t.lookup("missing"), None);
+/// assert_eq!(t.resolve(sac), "sac-agg-2");
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Interned strings in id order; `syms[sym.index()]` resolves a sym.
+    syms: Vec<Arc<str>>,
+    /// Reverse index. Shares the `Arc` allocations with `syms`.
+    index: HashMap<Arc<str>, u32, FastBuildHasher>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Intern a string, returning its stable id. Repeated calls with the
+    /// same string return the same id; a new string gets the next dense
+    /// id and allocates exactly one shared copy.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&id) = self.index.get(s) {
+            return Sym(id);
+        }
+        let id = u32::try_from(self.syms.len()).expect("symbol table overflow");
+        let shared: Arc<str> = Arc::from(s);
+        self.syms.push(shared.clone());
+        self.index.insert(shared, id);
+        Sym(id)
+    }
+
+    /// Look up an already-interned string without allocating. Returns
+    /// `None` for strings never interned.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.index.get(s).map(|&id| Sym(id))
+    }
+
+    /// Resolve an id back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this table.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.syms[sym.index()]
+    }
+
+    /// A shared handle to the interned string — a refcount bump, not a
+    /// copy. This is what hot-path consumers store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this table.
+    pub fn shared(&self, sym: Sym) -> Arc<str> {
+        Arc::clone(&self.syms[sym.index()])
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// All interned strings in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> + '_ {
+        self.syms
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+    }
+}
+
+impl PartialEq for SymbolTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.syms == other.syms
+    }
+}
+
+impl Eq for SymbolTable {}
+
+impl Serialize for SymbolTable {
+    /// Serializes as the id-ordered string array — index `i` of the
+    /// array is the string for `Sym(i)`.
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.syms
+                .iter()
+                .map(|s| Value::String(s.as_ref().to_string()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for SymbolTable {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let strings: Vec<String> = Vec::deserialize_value(value)?;
+        let mut t = SymbolTable::new();
+        for (i, s) in strings.iter().enumerate() {
+            let sym = t.intern(s);
+            if sym.index() != i {
+                return Err(Error::custom("duplicate string in symbol table"));
+            }
+        }
+        Ok(t)
+    }
+}
+
+/// A FNV-1a hasher for small trusted keys (interned ids, system IDs,
+/// link indices). Several times cheaper than the default SipHash for the
+/// 4–16 byte keys the kernel routes on, at the cost of having no
+/// DoS resistance — do not use it for attacker-controlled keys.
+///
+/// # Examples
+///
+/// ```
+/// use faultline_core::intern::{FastMap, Sym};
+///
+/// let mut m: FastMap<(Sym, Sym), u32> = FastMap::default();
+/// m.insert((Sym(0), Sym(1)), 42);
+/// assert_eq!(m[&(Sym(0), Sym(1))], 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for FastHasher {
+    fn default() -> Self {
+        FastHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        // One round over the whole word: the keys are already
+        // well-distributed ids, not text.
+        self.0 = (self.0 ^ i).wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`], usable as a `HashMap` hasher
+/// parameter.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with [`FastHasher`] — the kernel's standard map for
+/// id-keyed routing state.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let ids: Vec<Sym> = ["a", "b", "c", "b", "a"]
+            .iter()
+            .map(|s| t.intern(s))
+            .collect();
+        assert_eq!(ids, vec![Sym(0), Sym(1), Sym(2), Sym(1), Sym(0)]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn lookup_matches_intern_without_allocating_new_ids() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alpha");
+        assert_eq!(t.lookup("alpha"), Some(a));
+        assert_eq!(t.lookup("beta"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn shared_handles_point_at_the_same_allocation() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("router-1");
+        assert!(Arc::ptr_eq(&t.shared(a), &t.shared(a)));
+        assert_eq!(&*t.shared(a), "router-1");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_ids() {
+        let mut t = SymbolTable::new();
+        for s in ["lax", "sac", "fre", "oak"] {
+            t.intern(s);
+        }
+        let back = SymbolTable::deserialize_value(&t.serialize_value()).unwrap();
+        assert_eq!(back, t);
+        for (sym, s) in t.iter() {
+            assert_eq!(back.lookup(s), Some(sym));
+        }
+    }
+
+    #[test]
+    fn serde_rejects_duplicates() {
+        let v = vec!["x".to_string(), "x".to_string()].serialize_value();
+        assert!(SymbolTable::deserialize_value(&v).is_err());
+    }
+
+    #[test]
+    fn fast_hasher_distinguishes_tuple_order() {
+        use std::hash::BuildHasher;
+        let bh = FastBuildHasher::default();
+        let hash = |k: &(Sym, Sym)| bh.hash_one(k);
+        assert_ne!(hash(&(Sym(1), Sym(2))), hash(&(Sym(2), Sym(1))));
+    }
+}

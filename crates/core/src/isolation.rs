@@ -12,6 +12,7 @@
 //! is swept chronologically against the topology to find the intervals
 //! each customer spends isolated.
 
+use crate::intern::FastMap;
 use crate::linktable::LinkIx;
 use crate::reconstruct::Failure;
 use faultline_topology::customer::CustomerId;
@@ -100,7 +101,7 @@ impl IsolationOutcome {
 pub fn analyze(
     failures: &[Failure],
     topo: &Topology,
-    link_of_ix: &HashMap<LinkIx, LinkId>,
+    link_of_ix: &FastMap<LinkIx, LinkId>,
 ) -> IsolationOutcome {
     analyze_with_tolerance(failures, topo, link_of_ix, DEFAULT_EVENT_TOLERANCE)
 }
@@ -123,7 +124,7 @@ pub const DEFAULT_EVENT_TOLERANCE: Duration = Duration::from_secs(60);
 pub fn analyze_with_tolerance(
     failures: &[Failure],
     topo: &Topology,
-    link_of_ix: &HashMap<LinkIx, LinkId>,
+    link_of_ix: &FastMap<LinkIx, LinkId>,
     tolerance: Duration,
 ) -> IsolationOutcome {
     // Sort by start time to form overlap components.
@@ -153,7 +154,7 @@ pub fn analyze_with_tolerance(
 fn sweep_component(
     comp: &[&Failure],
     topo: &Topology,
-    link_of_ix: &HashMap<LinkIx, LinkId>,
+    link_of_ix: &FastMap<LinkIx, LinkId>,
     outcome: &mut IsolationOutcome,
 ) {
     outcome.components += 1;
@@ -449,7 +450,7 @@ mod tests {
     /// Build a mapping assuming LinkIx(i) == LinkId(i) (true when the
     /// table is built from the same topology; tests construct failures
     /// directly in topology order).
-    fn identity_map(topo: &Topology) -> HashMap<LinkIx, LinkId> {
+    fn identity_map(topo: &Topology) -> FastMap<LinkIx, LinkId> {
         (0..topo.links().len() as u32)
             .map(|i| (LinkIx(i), LinkId(i)))
             .collect()

@@ -33,6 +33,8 @@
 //! [`crate::streaming`] module docs.
 
 use crate::analysis::AnalysisConfig;
+use crate::arena::EventArena;
+use crate::intern::FastMap;
 use crate::linktable::{self, LinkIx, LinkTable};
 use crate::matching::{match_failures, FailureMatching};
 use crate::observe::PipelineCounters;
@@ -52,7 +54,7 @@ use faultline_topology::link::LinkId;
 use faultline_topology::osi::SystemId;
 use faultline_topology::time::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Everything the pipeline derives from the observables — the complete
@@ -159,7 +161,7 @@ impl DedupState {
 /// [`crate::transitions::isis_link_transitions`].
 #[derive(Default)]
 pub(crate) struct MergeState {
-    pub(crate) advertised: HashMap<SystemId, bool>,
+    pub(crate) advertised: FastMap<SystemId, bool>,
     pub(crate) down_count: u32,
     pub(crate) inconsistent: u64,
 }
@@ -757,7 +759,7 @@ pub(crate) struct KernelOutput {
     /// The mined link table.
     pub(crate) table: LinkTable,
     /// Analysis-index → topology-id translation (via unique /31s).
-    pub(crate) link_of_ix: HashMap<LinkIx, LinkId>,
+    pub(crate) link_of_ix: FastMap<LinkIx, LinkId>,
     /// Match segments closed across all lanes.
     pub(crate) segments_closed: u64,
     /// Flap episodes observed across all lanes.
@@ -776,7 +778,7 @@ pub(crate) struct Kernel<'a> {
     pub(crate) data: &'a ScenarioData,
     pub(crate) config: AnalysisConfig,
     pub(crate) table: LinkTable,
-    pub(crate) link_of_ix: HashMap<LinkIx, LinkId>,
+    pub(crate) link_of_ix: FastMap<LinkIx, LinkId>,
     pub(crate) lanes: BTreeMap<LinkIx, LinkLane>,
     /// Resolved messages in feed order (finalized at resolution).
     pub(crate) messages: Vec<ResolvedMessage>,
@@ -794,7 +796,7 @@ impl<'a> Kernel<'a> {
     /// an empty kernel. No events are consumed.
     pub(crate) fn new(data: &'a ScenarioData, config: AnalysisConfig) -> Kernel<'a> {
         let table = linktable::from_scenario(data);
-        let mut link_of_ix = HashMap::new();
+        let mut link_of_ix = FastMap::default();
         for l in data.topology.links() {
             if let Some(ix) = table.by_subnet(l.subnet) {
                 link_of_ix.insert(ix, l.id);
@@ -834,7 +836,10 @@ impl<'a> Kernel<'a> {
                 return None;
             }
         };
-        let Some(link) = self.table.by_interface(&m.event.host, &m.event.interface) else {
+        let Some((link, host)) = self
+            .table
+            .by_interface_sym(&m.event.host, &m.event.interface)
+        else {
             self.resolve_stats.unresolved += 1;
             return None;
         };
@@ -848,7 +853,7 @@ impl<'a> Kernel<'a> {
             link,
             direction,
             family,
-            host: m.event.host.clone(),
+            host: self.table.symbols().shared(host),
             detail,
         });
         match family {
@@ -941,23 +946,31 @@ impl<'a> Kernel<'a> {
         self.open_items_hwm = self.open_items_hwm.max(self.open_items);
     }
 
-    /// Apply a batch of classified events, sharded by link, fanning the
-    /// per-link state machines across threads via [`crate::par`]. Every
-    /// lane sees its events in feed order and closes segments against the
-    /// same watermark, so the result is identical for every thread count.
+    /// Apply a micro-batch of classified events from the driver's
+    /// [`EventArena`], sharded by link, fanning the per-link state
+    /// machines across threads via [`crate::par`]. The arena's grouped
+    /// iteration is key-ordered and push-stable, so every lane sees its
+    /// events in feed order and closes segments against the same
+    /// watermark — the result is identical for every thread count. The
+    /// arena is borrowed for grouping only; the caller `clear()`s it for
+    /// the next batch, reusing the allocation. Returns the number of
+    /// lanes touched.
     pub(crate) fn apply_grouped(
         &mut self,
-        grouped: BTreeMap<LinkIx, Vec<LaneEvent>>,
+        grouped: &mut EventArena<LinkIx, LaneEvent>,
         watermark: Timestamp,
-    ) {
+    ) -> usize {
         if grouped.is_empty() {
-            return;
+            return 0;
         }
-        // A lane plus its slice of the batch, handed to one worker; the
-        // Mutex moves the owned pair through `par_map`'s `Fn(&T)` surface.
-        type LaneTask = (LinkIx, Mutex<Option<(LinkLane, Vec<LaneEvent>)>>);
-        let mut tasks: Vec<LaneTask> = Vec::with_capacity(grouped.len());
-        for (link, lane_events) in grouped {
+        // A lane plus its borrowed run of `(link, index)` keys, handed
+        // to one worker; the Mutex moves the owned lane through
+        // `par_map`'s `Fn(&T)` surface. Events themselves stay put in
+        // the arena's value array — workers read them by index.
+        type LaneTask<'s> = (LinkIx, &'s [(LinkIx, u32)], Mutex<Option<LinkLane>>);
+        let mut tasks: Vec<LaneTask<'_>> = Vec::new();
+        let (groups, events) = grouped.group();
+        for (link, run) in groups {
             let lane = self.lanes.remove(&link).unwrap_or_else(|| {
                 LinkLane::new(
                     link,
@@ -966,7 +979,7 @@ impl<'a> Kernel<'a> {
                 )
             });
             self.open_items -= lane.open_items();
-            tasks.push((link, Mutex::new(Some((lane, lane_events)))));
+            tasks.push((link, run, Mutex::new(Some(lane))));
         }
         let ctx = LaneCtx {
             config: &self.config,
@@ -974,23 +987,26 @@ impl<'a> Kernel<'a> {
             tickets: &self.data.tickets,
         };
         let par_cfg = self.config.parallelism;
-        let processed: Vec<(LinkIx, LinkLane)> = par::par_map(&tasks, &par_cfg, |(link, cell)| {
-            let (mut lane, lane_events) = cell
-                .lock()
-                .expect("lane cell poisoned")
-                .take()
-                .expect("each lane task is processed exactly once");
-            for e in &lane_events {
-                lane.apply(e, &ctx);
-            }
-            lane.maybe_close_segment(watermark, &ctx);
-            (*link, lane)
-        });
+        let processed: Vec<(LinkIx, LinkLane)> =
+            par::par_map(&tasks, &par_cfg, |(link, run, cell)| {
+                let mut lane = cell
+                    .lock()
+                    .expect("lane cell poisoned")
+                    .take()
+                    .expect("each lane task is processed exactly once");
+                for &(_, ix) in run.iter() {
+                    lane.apply(&events[ix as usize], &ctx);
+                }
+                lane.maybe_close_segment(watermark, &ctx);
+                (*link, lane)
+            });
+        let lanes_touched = processed.len();
         for (link, lane) in processed {
             self.open_items += lane.open_items();
             self.lanes.insert(link, lane);
         }
         self.open_items_hwm = self.open_items_hwm.max(self.open_items);
+        lanes_touched
     }
 
     /// End of data: finalize every lane and assemble the global output —

@@ -55,10 +55,12 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod arena;
 pub mod error;
 pub mod export;
 pub mod flap;
 pub mod fp;
+pub mod intern;
 pub mod isolation;
 pub mod kernel;
 pub mod ks;
@@ -74,7 +76,9 @@ pub mod streaming;
 pub mod transitions;
 
 pub use analysis::{Analysis, AnalysisConfig};
+pub use arena::EventArena;
 pub use error::{AnalysisError, RecoveryError};
+pub use intern::{Sym, SymbolTable};
 pub use linktable::{LinkIx, LinkTable};
 pub use observe::{
     DurabilityCounters, PipelineCounters, PipelineReport, RobustnessCounters, StreamingCounters,

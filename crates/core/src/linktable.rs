@@ -8,6 +8,7 @@
 //! mapping, built from a [`MinedInventory`] plus the listener's
 //! hostname-TLV map.
 
+use crate::intern::{FastMap, Sym, SymbolTable};
 use faultline_topology::config::MinedInventory;
 use faultline_topology::interface::InterfaceName;
 use faultline_topology::link::{LinkClass, LinkName};
@@ -23,6 +24,15 @@ use std::collections::HashMap;
 pub struct LinkIx(pub u32);
 
 /// The resolution layer joining both data sources.
+///
+/// Internally every hostname and interface name is interned into the
+/// table's [`SymbolTable`]; all resolution maps are keyed on dense
+/// [`Sym`] pairs hashed with the kernel's fast hasher, so a lookup never
+/// allocates. Interning order is deterministic (link endpoints in
+/// inventory order, then hostnames in system-ID order), which makes the
+/// id assignment reproducible for a given scenario — the property the
+/// streaming checkpoint/restore path relies on when it rebuilds the
+/// table instead of persisting it.
 #[derive(Debug, Clone, Default)]
 pub struct LinkTable {
     names: Vec<LinkName>,
@@ -30,10 +40,16 @@ pub struct LinkTable {
     /// Active window per link (provisioning history from the config
     /// archive), used to annualize per-link rates.
     windows: Vec<(Timestamp, Timestamp)>,
-    by_iface: HashMap<(String, InterfaceName), LinkIx>,
-    by_subnet: HashMap<Subnet31, LinkIx>,
-    by_hostpair: HashMap<(String, String), Vec<LinkIx>>,
-    host_of_sysid: HashMap<SystemId, String>,
+    /// Interner for every hostname and interface name the table knows.
+    symbols: SymbolTable,
+    by_iface: FastMap<(Sym, Sym), LinkIx>,
+    by_subnet: FastMap<Subnet31, LinkIx>,
+    by_hostpair: FastMap<(Sym, Sym), Vec<LinkIx>>,
+    host_of_sysid: FastMap<SystemId, Sym>,
+    /// Precomputed [`Self::by_sysid_pair`] answers: one probe on the
+    /// IS-reachability hot path instead of two sysid resolutions plus a
+    /// host-pair probe.
+    by_sysid: FastMap<(SystemId, SystemId), Vec<LinkIx>>,
     /// False for members of multi-link adjacencies.
     resolvable: Vec<bool>,
 }
@@ -50,10 +66,7 @@ impl LinkTable {
         hostnames: &HashMap<SystemId, String>,
         windows: impl Fn(&LinkName) -> (Timestamp, Timestamp),
     ) -> Self {
-        let mut t = LinkTable {
-            host_of_sysid: hostnames.clone(),
-            ..LinkTable::default()
-        };
+        let mut t = LinkTable::default();
         for (i, l) in inventory.links.iter().enumerate() {
             let ix = LinkIx(i as u32);
             t.names.push(l.name.clone());
@@ -64,11 +77,25 @@ impl LinkTable {
                 LinkClass::Core
             });
             t.windows.push(windows(&l.name));
-            t.by_iface.insert((l.a.0.clone(), l.a.1.clone()), ix);
-            t.by_iface.insert((l.b.0.clone(), l.b.1.clone()), ix);
+            let host_a = t.symbols.intern(&l.a.0);
+            let iface_a = t.symbols.intern(l.a.1.as_str());
+            let host_b = t.symbols.intern(&l.b.0);
+            let iface_b = t.symbols.intern(l.b.1.as_str());
+            t.by_iface.insert((host_a, iface_a), ix);
+            t.by_iface.insert((host_b, iface_b), ix);
             t.by_subnet.insert(l.subnet, ix);
-            let key = Self::pair_key(&l.a.0, &l.b.0);
-            t.by_hostpair.entry(key).or_default().push(ix);
+            t.by_hostpair
+                .entry(Self::pair_key(host_a, host_b))
+                .or_default()
+                .push(ix);
+        }
+        // Hostname TLVs in system-ID order: `hostnames` is a `HashMap`,
+        // whose iteration order must never leak into id assignment.
+        let mut tlv: Vec<(SystemId, &String)> = hostnames.iter().map(|(k, v)| (*k, v)).collect();
+        tlv.sort_by_key(|&(id, _)| id);
+        for (id, host) in tlv {
+            let sym = t.symbols.intern(host);
+            t.host_of_sysid.insert(id, sym);
         }
         t.resolvable = vec![true; t.names.len()];
         for members in t.by_hostpair.values() {
@@ -78,14 +105,36 @@ impl LinkTable {
                 }
             }
         }
+        // Flatten sysid-pair resolution into one probe. A hostname sym
+        // can be claimed by several system IDs (duplicate TLVs under
+        // chaos), so invert to a multimap before crossing the pairs.
+        let mut sysids_of_sym: FastMap<Sym, Vec<SystemId>> = FastMap::default();
+        for (&id, &sym) in &t.host_of_sysid {
+            sysids_of_sym.entry(sym).or_default().push(id);
+        }
+        for (&(ha, hb), links) in &t.by_hostpair {
+            let (Some(sas), Some(sbs)) = (sysids_of_sym.get(&ha), sysids_of_sym.get(&hb)) else {
+                continue;
+            };
+            for &sa in sas {
+                for &sb in sbs {
+                    let key = if sa <= sb { (sa, sb) } else { (sb, sa) };
+                    t.by_sysid.insert(key, links.clone());
+                }
+            }
+        }
         t
     }
 
-    fn pair_key(a: &str, b: &str) -> (String, String) {
+    /// Canonical unordered-pair key: the smaller id first. Allocation-free
+    /// (the pre-interning version built two fresh `String`s per call) and
+    /// partition-equivalent to ordering by hostname, since every insert
+    /// and lookup canonicalizes the same way.
+    fn pair_key(a: Sym, b: Sym) -> (Sym, Sym) {
         if a <= b {
-            (a.to_string(), b.to_string())
+            (a, b)
         } else {
-            (b.to_string(), a.to_string())
+            (b, a)
         }
     }
 
@@ -120,11 +169,20 @@ impl LinkTable {
         (to - from).as_years_f64()
     }
 
-    /// Resolve a syslog-side key.
+    /// Resolve a syslog-side key. Allocation-free: both strings are
+    /// looked up in the interner and the map is keyed on the resulting
+    /// id pair.
     pub fn by_interface(&self, host: &str, iface: &InterfaceName) -> Option<LinkIx> {
-        self.by_iface
-            .get(&(host.to_string(), iface.clone()))
-            .copied()
+        self.by_interface_sym(host, iface).map(|(ix, _)| ix)
+    }
+
+    /// Resolve a syslog-side key, also returning the interned host
+    /// symbol so callers can keep a shared handle to the hostname
+    /// (via [`SymbolTable::shared`]) without cloning it.
+    pub fn by_interface_sym(&self, host: &str, iface: &InterfaceName) -> Option<(LinkIx, Sym)> {
+        let h = self.symbols.lookup(host)?;
+        let i = self.symbols.lookup(iface.as_str())?;
+        self.by_iface.get(&(h, i)).map(|&ix| (ix, h))
     }
 
     /// Resolve an IP-reachability-side key.
@@ -136,18 +194,22 @@ impl LinkTable {
     /// identified by system ID. More than one entry is a *multi-link
     /// adjacency* — unresolvable from IS reachability alone (§3.4).
     pub fn by_sysid_pair(&self, a: SystemId, b: SystemId) -> &[LinkIx] {
-        let (Some(ha), Some(hb)) = (self.host_of_sysid.get(&a), self.host_of_sysid.get(&b)) else {
-            return &[];
-        };
-        self.by_hostpair
-            .get(&Self::pair_key(ha, hb))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.by_sysid.get(&key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Hostname for a system ID (learned from hostname TLVs).
     pub fn hostname(&self, sysid: SystemId) -> Option<&str> {
-        self.host_of_sysid.get(&sysid).map(String::as_str)
+        self.host_of_sysid
+            .get(&sysid)
+            .map(|&s| self.symbols.resolve(s))
+    }
+
+    /// The table's interner over every hostname and interface name it
+    /// knows. Lets callers resolve or share [`Sym`]s handed out by
+    /// [`LinkTable::by_interface_sym`].
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
     /// All link indices.

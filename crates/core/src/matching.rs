@@ -8,13 +8,13 @@
 //! closest candidate wins — the discipline a flapping link needs, where
 //! several same-direction transitions crowd inside one window.
 
+use crate::intern::FastMap;
 use crate::linktable::LinkIx;
 use crate::reconstruct::Failure;
 use crate::transitions::{LinkTransition, ResolvedMessage};
 use faultline_isis::listener::TransitionDirection;
 use faultline_topology::time::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Result of matching one IS-IS transition against the (up to two)
 /// per-router syslog messages — the columns of Table 3.
@@ -60,12 +60,13 @@ pub fn match_transitions_to_messages(
     // Bucket messages per (link, direction): (time, reporting host,
     // consumed flag).
     type Candidate<'a> = (Timestamp, &'a str, bool);
-    let mut buckets: HashMap<(LinkIx, TransitionDirection), Vec<Candidate<'_>>> = HashMap::new();
+    let mut buckets: FastMap<(LinkIx, TransitionDirection), Vec<Candidate<'_>>> =
+        FastMap::default();
     for m in messages {
         buckets
             .entry((m.link, m.direction))
             .or_default()
-            .push((m.at, m.host.as_str(), false));
+            .push((m.at, m.host.as_ref(), false));
     }
 
     let mut down = TransitionMatchCounts::default();
@@ -119,7 +120,7 @@ pub fn match_fraction(
     window: Duration,
     direction: TransitionDirection,
 ) -> (u64, u64) {
-    let mut buckets: HashMap<LinkIx, Vec<(Timestamp, bool)>> = HashMap::new();
+    let mut buckets: FastMap<LinkIx, Vec<(Timestamp, bool)>> = FastMap::default();
     for m in messages {
         if m.direction == direction {
             buckets.entry(m.link).or_default().push((m.at, false));
@@ -196,7 +197,7 @@ pub struct FailureMatching {
 /// assert_eq!(m.matched, vec![(0, 0)]);
 /// ```
 pub fn match_failures(left: &[Failure], right: &[Failure], window: Duration) -> FailureMatching {
-    let mut right_by_link: HashMap<LinkIx, Vec<usize>> = HashMap::new();
+    let mut right_by_link: FastMap<LinkIx, Vec<usize>> = FastMap::default();
     for (j, f) in right.iter().enumerate() {
         right_by_link.entry(f.link).or_default().push(j);
     }

@@ -65,6 +65,7 @@
 //! segments only drain at flush — the documented degenerate case.
 
 use crate::analysis::{self, AnalysisConfig};
+use crate::arena::EventArena;
 use crate::error::AnalysisError;
 use crate::kernel::{Kernel, LaneEvent, LinkLane};
 use crate::observe::{self, PipelineReport, StreamingCounters};
@@ -75,7 +76,6 @@ use faultline_sim::ScenarioData;
 use faultline_syslog::message::SyslogMessage;
 use faultline_topology::time::Timestamp;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::kernel::LaneSnapshot;
@@ -250,6 +250,9 @@ impl StreamCheckpoint {
 pub struct StreamAnalysis<'a> {
     kernel: Kernel<'a>,
     watermark: Option<Timestamp>,
+    /// Micro-batch grouping buffer, reused across `ingest_batch` calls so
+    /// steady-state ingestion does not allocate per batch.
+    arena: EventArena<LinkIx, LaneEvent>,
     started: Instant,
     ingest_wall: std::time::Duration,
     link_table_wall: std::time::Duration,
@@ -278,6 +281,7 @@ impl<'a> StreamAnalysis<'a> {
         StreamAnalysis {
             kernel,
             watermark: None,
+            arena: EventArena::new(),
             started,
             ingest_wall: std::time::Duration::ZERO,
             link_table_wall,
@@ -473,7 +477,10 @@ impl<'a> StreamAnalysis<'a> {
         let t0 = Instant::now();
         self.batches += 1;
         let mut summary = IngestSummary::default();
-        let mut grouped: BTreeMap<LinkIx, Vec<LaneEvent>> = BTreeMap::new();
+        // The arena is cleared after each batch (keeping its capacity),
+        // so grouping stops allocating once the buffer has grown to the
+        // largest batch seen.
+        self.arena.clear();
         for event in events {
             if !self.admit(event) {
                 summary.note(IngestOutcome::Quarantined);
@@ -486,11 +493,11 @@ impl<'a> StreamAnalysis<'a> {
             self.watermark = Some(event.at());
             summary.note(IngestOutcome::Accepted);
             if let Some((link, lane_event)) = self.classify(event) {
-                grouped.entry(link).or_default().push(lane_event);
+                self.arena.push(link, lane_event);
             }
         }
         if let Some(watermark) = self.watermark {
-            self.kernel.apply_grouped(grouped, watermark);
+            self.kernel.apply_grouped(&mut self.arena, watermark);
         }
         self.ingest_wall += t0.elapsed();
         summary

@@ -24,6 +24,7 @@ use faultline_topology::osi::SystemId;
 use faultline_topology::time::Timestamp;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A link-level state transition (the unit both sources are reduced to).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,8 +59,11 @@ pub struct ResolvedMessage {
     /// Message family.
     pub family: MessageFamily,
     /// Reporting router's hostname (distinguishes the two ends for
-    /// Table 3's None/One/Both accounting).
-    pub host: String,
+    /// Table 3's None/One/Both accounting). A shared handle into the
+    /// link table's interner — cloning is a refcount bump, and it
+    /// serializes as a plain string exactly like the owned `String` it
+    /// replaced.
+    pub host: Arc<str>,
     /// ADJCHANGE reason text, when present.
     pub detail: Option<AdjChangeDetail>,
 }
@@ -102,8 +106,8 @@ pub fn resolve_syslog(
                 continue;
             }
         };
-        match table.by_interface(&m.event.host, &m.event.interface) {
-            Some(link) => {
+        match table.by_interface_sym(&m.event.host, &m.event.interface) {
+            Some((link, host)) => {
                 match family {
                     MessageFamily::IsisAdjacency => stats.isis_resolved += 1,
                     MessageFamily::PhysicalMedia => stats.physical_resolved += 1,
@@ -113,7 +117,7 @@ pub fn resolve_syslog(
                     link,
                     direction,
                     family,
-                    host: m.event.host.clone(),
+                    host: table.symbols().shared(host),
                     detail,
                 });
             }

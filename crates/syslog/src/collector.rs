@@ -89,8 +89,10 @@ impl Collector {
 pub fn parse_records(records: &[LogRecord]) -> (Vec<SyslogMessage>, ParseStats) {
     let mut order: Vec<usize> = (0..records.len()).collect();
     order.sort_by_key(|&i| records[i].arrived_at);
+    // Zero-copy fast path; byte-identical to `parse_archive_stats` on
+    // these (always valid UTF-8) rendered lines.
     let (mut events, stats) =
-        crate::parse::parse_archive_stats(order.iter().map(|&i| records[i].line.as_str()));
+        crate::parse::parse_archive_stats_bytes(order.iter().map(|&i| records[i].line.as_bytes()));
     events.sort_by(|a, b| {
         (a.event.at, &a.event.host, a.seq).cmp(&(b.event.at, &b.event.host, b.seq))
     });

@@ -34,5 +34,8 @@ pub mod transport;
 
 pub use collector::{Collector, LogRecord};
 pub use message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
-pub use parse::{ParseError, ParseOutcome, ParseStats};
+pub use parse::{
+    parse_bytes, LinkEventKindRef, ParseError, ParseOutcome, ParseOutcomeRef, ParseStats,
+    SyslogMessageRef,
+};
 pub use transport::{LossyTransport, TransportConfig};

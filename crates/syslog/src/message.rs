@@ -56,14 +56,21 @@ impl AdjChangeDetail {
 
     /// Recover the detail from its rendered text (case-insensitive on the
     /// first letter, since IOS and IOS XR capitalize differently).
+    /// Allocation-free: this runs once per ADJCHANGE message on the parse
+    /// hot path.
     pub fn from_text(text: &str) -> AdjChangeDetail {
-        let lower = text.to_ascii_lowercase();
-        match lower.as_str() {
-            "new adjacency" => AdjChangeDetail::NewAdjacency,
-            "hold time expired" => AdjChangeDetail::HoldTimeExpired,
-            "interface down" | "interface state down" => AdjChangeDetail::InterfaceDown,
-            "adjacency reset" => AdjChangeDetail::AdjacencyReset,
-            _ => AdjChangeDetail::Other,
+        if text.eq_ignore_ascii_case("new adjacency") {
+            AdjChangeDetail::NewAdjacency
+        } else if text.eq_ignore_ascii_case("hold time expired") {
+            AdjChangeDetail::HoldTimeExpired
+        } else if text.eq_ignore_ascii_case("interface down")
+            || text.eq_ignore_ascii_case("interface state down")
+        {
+            AdjChangeDetail::InterfaceDown
+        } else if text.eq_ignore_ascii_case("adjacency reset") {
+            AdjChangeDetail::AdjacencyReset
+        } else {
+            AdjChangeDetail::Other
         }
     }
 }

@@ -10,6 +10,7 @@ use crate::caltime;
 use crate::message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
 use faultline_topology::interface::InterfaceName;
 use faultline_topology::router::RouterOs;
+use faultline_topology::time::Timestamp;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of parsing one line.
@@ -57,6 +58,107 @@ pub enum ParseOutcome {
     Irrelevant,
     /// Not parseable; the error says which part failed first.
     Malformed(ParseError),
+}
+
+/// Borrowed view of [`LinkEventKind`]: the neighbor hostname points into
+/// the input buffer instead of owning a `String`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEventKindRef<'a> {
+    /// IS-IS adjacency change.
+    IsisAdjacency {
+        /// Hostname of the adjacent router, borrowed from the input.
+        neighbor: &'a str,
+        /// Why the adjacency changed.
+        detail: AdjChangeDetail,
+    },
+    /// Physical interface state (`%LINK-3-UPDOWN`).
+    Link,
+    /// Line protocol state (`%LINEPROTO-5-UPDOWN`).
+    LineProtocol,
+}
+
+impl LinkEventKindRef<'_> {
+    /// Convert to the owning [`LinkEventKind`], allocating the neighbor
+    /// hostname.
+    pub fn to_owned(&self) -> LinkEventKind {
+        match *self {
+            LinkEventKindRef::IsisAdjacency { neighbor, detail } => LinkEventKind::IsisAdjacency {
+                neighbor: neighbor.to_string(),
+                detail,
+            },
+            LinkEventKindRef::Link => LinkEventKind::Link,
+            LinkEventKindRef::LineProtocol => LinkEventKind::LineProtocol,
+        }
+    }
+}
+
+/// Borrowed view of [`SyslogMessage`], produced by [`parse_bytes`]: every
+/// textual field is a `&str` slice of the input buffer, so parsing a line
+/// performs **zero heap allocations**.
+///
+/// The interface field holds the text exactly as it appeared on the wire
+/// (possibly in short form like `Te0/0/0/5`); [`SyslogMessageRef::to_owned`]
+/// applies [`InterfaceName::expand`] so the owned form matches what
+/// [`classify_line`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyslogMessageRef<'a> {
+    /// Per-router sequence number.
+    pub seq: u64,
+    /// Router-local timestamp.
+    pub at: Timestamp,
+    /// Reporting router's hostname, borrowed from the input.
+    pub host: &'a str,
+    /// Local interface text as written on the wire (not yet expanded).
+    pub interface: &'a str,
+    /// Which message family.
+    pub kind: LinkEventKindRef<'a>,
+    /// New state: `true` = Up.
+    pub up: bool,
+    /// OS family of the reporting router.
+    pub os: RouterOs,
+}
+
+impl SyslogMessageRef<'_> {
+    /// Convert to the owning [`SyslogMessage`]. The result is identical to
+    /// what [`classify_line`] produces for the same line (interface short
+    /// forms are expanded here).
+    pub fn to_owned(&self) -> SyslogMessage {
+        SyslogMessage {
+            seq: self.seq,
+            event: LinkEvent {
+                at: self.at,
+                host: self.host.to_string(),
+                interface: InterfaceName::expand(self.interface),
+                kind: self.kind.to_owned(),
+                up: self.up,
+            },
+            os: self.os,
+        }
+    }
+}
+
+/// Borrowed analogue of [`ParseOutcome`], returned by [`parse_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseOutcomeRef<'a> {
+    /// A link-state message the study uses, borrowing from the input.
+    Event(SyslogMessageRef<'a>),
+    /// Well-formed syslog, but not one of the studied mnemonics.
+    Irrelevant,
+    /// Not parseable; the error says which part failed first.
+    Malformed(ParseError),
+}
+
+impl ParseOutcomeRef<'_> {
+    /// Convert to the owning [`ParseOutcome`]. For any valid-UTF-8 input,
+    /// `parse_bytes(line).to_owned() == classify_line(line)` — the
+    /// differential tests in `tests/fuzz_parse.rs` enforce this.
+    pub fn to_owned(&self) -> ParseOutcome {
+        match self {
+            ParseOutcomeRef::Event(m) => ParseOutcome::Event(m.to_owned()),
+            ParseOutcomeRef::Irrelevant => ParseOutcome::Irrelevant,
+            ParseOutcomeRef::Malformed(e) => ParseOutcome::Malformed(*e),
+        }
+    }
 }
 
 /// Per-category parse accounting over an archive. The invariant
@@ -323,6 +425,213 @@ fn parse_adjchange(
     })
 }
 
+/// Parse one raw line from its wire bytes without allocating.
+///
+/// This is the zero-copy twin of [`classify_line`]: it walks the same
+/// `<PRI>SEQ: HOST: TIMESTAMP: %BODY` grammar over `&[u8]` and returns a
+/// [`ParseOutcomeRef`] whose string fields borrow from `line`. Because
+/// every grammar separator is ASCII, byte-wise splitting agrees exactly
+/// with the `&str` splitting in [`classify_line`]; for any input that is
+/// valid UTF-8, `parse_bytes(line).to_owned() == classify_line(line)`.
+///
+/// Inputs that are *not* valid UTF-8 are still classified totally: a field
+/// whose bytes cannot be decoded reports the same [`ParseError`] that an
+/// unparseable value of that field would (a non-UTF-8 sequence number is
+/// [`ParseError::BadSeq`], a non-UTF-8 timestamp is
+/// [`ParseError::BadTimestamp`], and so on). Nothing panics.
+///
+/// # Examples
+///
+/// ```
+/// use faultline_syslog::parse::{classify_line, parse_bytes, ParseOutcomeRef};
+///
+/// let line = "<189>1: lax-agg-01: Oct 21 2010 00:00:00.000: \
+///             %LINK-3-UPDOWN: Interface Te0/0/0/5, changed state to Down";
+/// let ParseOutcomeRef::Event(m) = parse_bytes(line.as_bytes()) else {
+///     panic!("expected an event");
+/// };
+/// assert_eq!(m.host, "lax-agg-01");
+/// assert_eq!(m.interface, "Te0/0/0/5"); // borrowed: still in wire form
+/// assert!(!m.up);
+/// // The owned conversion matches the string-path parser exactly.
+/// assert_eq!(
+///     parse_bytes(line.as_bytes()).to_owned(),
+///     classify_line(line),
+/// );
+/// ```
+pub fn parse_bytes(line: &[u8]) -> ParseOutcomeRef<'_> {
+    // <PRI>SEQ: HOST: TIMESTAMP: %BODY
+    let Some(rest) = line.strip_prefix(b"<") else {
+        return ParseOutcomeRef::Malformed(ParseError::MissingPri);
+    };
+    let Some((pri, rest)) = split_once_bytes(rest, b">") else {
+        return ParseOutcomeRef::Malformed(ParseError::MissingPri);
+    };
+    if std::str::from_utf8(pri)
+        .ok()
+        .and_then(|p| p.parse::<u8>().ok())
+        .is_none()
+    {
+        return ParseOutcomeRef::Malformed(ParseError::BadPri);
+    }
+    let Some((seq, rest)) = split_once_bytes(rest, b": ") else {
+        return ParseOutcomeRef::Malformed(ParseError::BadSeq);
+    };
+    let Some(seq) = std::str::from_utf8(seq)
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    else {
+        return ParseOutcomeRef::Malformed(ParseError::BadSeq);
+    };
+    let Some((host, rest)) = split_once_bytes(rest, b": ") else {
+        return ParseOutcomeRef::Malformed(ParseError::MissingHost);
+    };
+    let Ok(host) = std::str::from_utf8(host) else {
+        return ParseOutcomeRef::Malformed(ParseError::MissingHost);
+    };
+    // ": %" separates the timestamp from the body in every rendered
+    // message (the HH:MM:SS colons are never followed by " %").
+    let Some((ts_text, body)) = split_once_bytes(rest, b": %") else {
+        return ParseOutcomeRef::Malformed(ParseError::MissingBody);
+    };
+    let Some(at) = std::str::from_utf8(ts_text).ok().and_then(caltime::parse) else {
+        return ParseOutcomeRef::Malformed(ParseError::BadTimestamp);
+    };
+
+    parse_body_bytes(at, host, body, seq)
+}
+
+/// Byte-slice analogue of `str::split_once` for an ASCII needle. On valid
+/// UTF-8 input this agrees with `str::split_once` because an ASCII needle
+/// can never match starting inside a multi-byte sequence.
+fn split_once_bytes<'a>(haystack: &'a [u8], needle: &[u8]) -> Option<(&'a [u8], &'a [u8])> {
+    let pos = haystack.windows(needle.len()).position(|w| w == needle)?;
+    Some((&haystack[..pos], &haystack[pos + needle.len()..]))
+}
+
+fn parse_body_bytes<'a>(
+    at: Timestamp,
+    host: &'a str,
+    body: &'a [u8],
+    seq: u64,
+) -> ParseOutcomeRef<'a> {
+    if let Some(rest) = body.strip_prefix(b"CLNS-5-ADJCHANGE: ISIS: Adjacency to ") {
+        return parse_adjchange_bytes(at, host, rest, seq, RouterOs::Ios);
+    }
+    if let Some(rest) = body.strip_prefix(b"ROUTING-ISIS-4-ADJCHANGE: Adjacency to ") {
+        return parse_adjchange_bytes(at, host, rest, seq, RouterOs::IosXr);
+    }
+    if let Some(rest) = body.strip_prefix(b"LINK-3-UPDOWN: Interface ") {
+        // "IFACE, changed state to Down"
+        let Some((iface, up)) = parse_updown_bytes(rest) else {
+            return ParseOutcomeRef::Malformed(ParseError::MalformedBody);
+        };
+        return ParseOutcomeRef::Event(SyslogMessageRef {
+            seq,
+            at,
+            host,
+            interface: iface,
+            kind: LinkEventKindRef::Link,
+            up,
+            os: RouterOs::Ios,
+        });
+    }
+    if let Some(rest) = body.strip_prefix(b"LINEPROTO-5-UPDOWN: Line protocol on Interface ") {
+        let Some((iface, up)) = parse_updown_bytes(rest) else {
+            return ParseOutcomeRef::Malformed(ParseError::MalformedBody);
+        };
+        return ParseOutcomeRef::Event(SyslogMessageRef {
+            seq,
+            at,
+            host,
+            interface: iface,
+            kind: LinkEventKindRef::LineProtocol,
+            up,
+            os: RouterOs::Ios,
+        });
+    }
+    // Anything else with a plausible mnemonic shape is irrelevant, not
+    // garbage.
+    let mnemonic_end = body.iter().position(|&b| b == b':').unwrap_or(body.len());
+    let mut parts = body[..mnemonic_end].split(|&b| b == b'-');
+    if matches!(
+        (parts.next(), parts.next(), parts.next()),
+        (Some(f), Some(s), Some(_))
+            if !f.is_empty()
+                && std::str::from_utf8(s)
+                    .ok()
+                    .and_then(|s| s.parse::<u8>().ok())
+                    .is_some()
+    ) {
+        return ParseOutcomeRef::Irrelevant;
+    }
+    ParseOutcomeRef::Malformed(ParseError::UnrecognizedBody)
+}
+
+/// Parse the shared `"IFACE, changed state to STATE"` tail of the two
+/// UPDOWN families, returning the borrowed interface text and the state.
+fn parse_updown_bytes(rest: &[u8]) -> Option<(&str, bool)> {
+    let (iface, state) = split_once_bytes(rest, b", changed state to ")?;
+    let up = match state {
+        b"Up" | b"up" => true,
+        b"Down" | b"down" => false,
+        _ => return None,
+    };
+    let iface = std::str::from_utf8(iface).ok()?;
+    Some((iface, up))
+}
+
+fn parse_adjchange_bytes<'a>(
+    at: Timestamp,
+    host: &'a str,
+    rest: &'a [u8],
+    seq: u64,
+    os: RouterOs,
+) -> ParseOutcomeRef<'a> {
+    // IOS:    "NEIGHBOR (IFACE) Up, detail"
+    // IOS XR: "NEIGHBOR (IFACE) (L2) Up, detail"
+    let Some((neighbor, rest)) = split_once_bytes(rest, b" (") else {
+        return ParseOutcomeRef::Malformed(ParseError::MalformedBody);
+    };
+    let Some((iface, rest)) = split_once_bytes(rest, b") ") else {
+        return ParseOutcomeRef::Malformed(ParseError::MalformedBody);
+    };
+    let rest = match os {
+        RouterOs::IosXr => match rest.strip_prefix(b"(L2) ") {
+            Some(r) => r,
+            None => return ParseOutcomeRef::Malformed(ParseError::MalformedBody),
+        },
+        RouterOs::Ios => rest,
+    };
+    let Some((state, detail)) = split_once_bytes(rest, b", ") else {
+        return ParseOutcomeRef::Malformed(ParseError::MalformedBody);
+    };
+    let up = match state {
+        b"Up" => true,
+        b"Down" => false,
+        _ => return ParseOutcomeRef::Malformed(ParseError::MalformedBody),
+    };
+    let (Ok(neighbor), Ok(iface), Ok(detail)) = (
+        std::str::from_utf8(neighbor),
+        std::str::from_utf8(iface),
+        std::str::from_utf8(detail),
+    ) else {
+        return ParseOutcomeRef::Malformed(ParseError::MalformedBody);
+    };
+    ParseOutcomeRef::Event(SyslogMessageRef {
+        seq,
+        at,
+        host,
+        interface: iface,
+        kind: LinkEventKindRef::IsisAdjacency {
+            neighbor,
+            detail: AdjChangeDetail::from_text(detail),
+        },
+        up,
+        os,
+    })
+}
+
 /// Parse a whole archive of lines, dropping everything that is not a
 /// studied link-state event. Returns `(events, irrelevant, garbage)`
 /// counts alongside the events.
@@ -344,6 +653,48 @@ pub fn parse_archive_stats<'a>(
         stats.note(&outcome);
         if let ParseOutcome::Event(m) = outcome {
             events.push(m);
+        }
+    }
+    (events, stats)
+}
+
+/// Parse a whole archive from raw line *bytes* with full per-cause
+/// accounting, on the zero-copy [`parse_bytes`] fast path: a line only
+/// touches the heap if it classifies as a studied event (for the owned
+/// conversion). For valid-UTF-8 archives the result is identical to
+/// [`parse_archive_stats`]; non-UTF-8 lines are counted under the
+/// [`ParseError`] of the field that failed to decode instead of being
+/// dropped.
+///
+/// # Examples
+///
+/// ```
+/// use faultline_syslog::parse::parse_archive_stats_bytes;
+///
+/// let lines: [&[u8]; 2] = [
+///     b"<189>1: lax-agg-01: Oct 21 2010 00:00:00.000: \
+///       %LINK-3-UPDOWN: Interface Gi0/2, changed state to Down",
+///     b"not syslog \xff at all",
+/// ];
+/// let (events, stats) = parse_archive_stats_bytes(lines);
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(stats.lines, 2);
+/// assert_eq!(stats.malformed, 1);
+/// assert!(stats.is_balanced());
+/// ```
+pub fn parse_archive_stats_bytes<'a>(
+    lines: impl IntoIterator<Item = &'a [u8]>,
+) -> (Vec<SyslogMessage>, ParseStats) {
+    let mut events = Vec::new();
+    let mut stats = ParseStats::default();
+    for line in lines {
+        match parse_bytes(line) {
+            ParseOutcomeRef::Event(m) => {
+                stats.lines += 1;
+                stats.events += 1;
+                events.push(m.to_owned());
+            }
+            outcome => stats.note(&outcome.to_owned()),
         }
     }
     (events, stats)

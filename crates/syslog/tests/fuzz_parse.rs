@@ -14,7 +14,9 @@
 //! 3. an *unmutated* rendered line still round-trips exactly.
 
 use faultline_syslog::message::{AdjChangeDetail, LinkEvent, LinkEventKind, SyslogMessage};
-use faultline_syslog::parse::{classify_line, parse_archive_stats, ParseOutcome, ParseStats};
+use faultline_syslog::parse::{
+    classify_line, parse_archive_stats, parse_bytes, ParseOutcome, ParseStats,
+};
 use faultline_topology::interface::InterfaceName;
 use faultline_topology::router::RouterOs;
 use faultline_topology::time::Timestamp;
@@ -187,6 +189,54 @@ proptest! {
             let outcome = classify_line(&prefix);
             if n == chars.len() {
                 prop_assert!(matches!(outcome, ParseOutcome::Event(_)));
+            }
+        }
+    }
+
+    /// Differential property: over the whole mutated corpus (the same
+    /// corruptions the string-path fuzz arm sees), the zero-copy byte
+    /// parser agrees with [`classify_line`] exactly once its borrowed
+    /// output is converted to the owning form.
+    #[test]
+    fn parse_bytes_matches_classify_line(
+        msg in arb_message(),
+        other in arb_message(),
+        mutation in arb_mutation(),
+    ) {
+        let mutated = apply(&msg.render(), &other.render(), &mutation);
+        prop_assert_eq!(
+            parse_bytes(mutated.as_bytes()).to_owned(),
+            classify_line(&mutated),
+            "line: {:?}",
+            mutated
+        );
+    }
+
+    /// Totality over raw bytes: arbitrary byte strings — including
+    /// invalid UTF-8, which the `&str` parser can never even see —
+    /// classify without panicking, and the outcome feeds the accounting
+    /// consistently.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let outcome = parse_bytes(&bytes).to_owned();
+        let mut stats = ParseStats::default();
+        stats.note(&outcome);
+        prop_assert!(stats.is_balanced(), "{:?} -> {:?}", bytes, outcome);
+    }
+
+    /// Byte-level truncation sweep: every *byte* prefix of a real line —
+    /// including cuts through the middle of a multi-byte character, which
+    /// the char-level sweep above cannot produce — classifies without
+    /// panicking, and agrees with the string parser whenever the prefix
+    /// happens to be valid UTF-8.
+    #[test]
+    fn every_byte_prefix_classifies(msg in arb_message()) {
+        let line = msg.render();
+        let bytes = line.as_bytes();
+        for n in 0..=bytes.len() {
+            let outcome = parse_bytes(&bytes[..n]).to_owned();
+            if let Ok(prefix) = std::str::from_utf8(&bytes[..n]) {
+                prop_assert_eq!(outcome, classify_line(prefix), "prefix: {:?}", prefix);
             }
         }
     }

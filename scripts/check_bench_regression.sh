@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Throughput regression gate for the analysis pipeline.
+#
+# Compares the headline ingest rate of a freshly written
+# results/BENCH_pipeline.json (produced by `cargo run --release -p
+# faultline-bench --bin pipeline_report`) against the committed
+# results/BENCH_pipeline.baseline.json and fails when throughput drops
+# more than the tolerance (default 10%). CI runs this after the bench so
+# a hot-path regression fails the build with both numbers in the log.
+#
+# Re-blessing the baseline (after an intentional change, measured on the
+# same class of machine):
+#
+#   cargo run --release -p faultline-bench --bin pipeline_report
+#   cp results/BENCH_pipeline.json results/BENCH_pipeline.baseline.json
+#   git add results/BENCH_pipeline.baseline.json   # commit with the why
+#
+# Usage: scripts/check_bench_regression.sh [fresh.json] [baseline.json]
+# Env:   BENCH_TOLERANCE=0.10   fractional allowed drop
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH=${1:-results/BENCH_pipeline.json}
+BASELINE=${2:-results/BENCH_pipeline.baseline.json}
+TOLERANCE=${BENCH_TOLERANCE:-0.10}
+
+for f in "$FRESH" "$BASELINE"; do
+    if [ ! -f "$f" ]; then
+        echo "check_bench_regression: missing $f" >&2
+        echo "(run: cargo run --release -p faultline-bench --bin pipeline_report)" >&2
+        exit 1
+    fi
+done
+
+python3 - "$FRESH" "$BASELINE" "$TOLERANCE" <<'EOF'
+import json, sys
+
+fresh_path, base_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+fresh = json.load(open(fresh_path))["headline"]["ingest_events_per_sec"]
+base = json.load(open(base_path))["headline"]["ingest_events_per_sec"]
+floor = base * (1.0 - tol)
+print(f"baseline: {base:,.0f} events/s ({base_path})")
+print(f"fresh:    {fresh:,.0f} events/s ({fresh_path})")
+print(f"floor:    {floor:,.0f} events/s (tolerance -{tol:.0%})")
+if fresh < floor:
+    drop = 1.0 - fresh / base
+    print(
+        f"BENCH REGRESSION: headline ingest dropped {drop:.1%} "
+        f"(allowed {tol:.0%}) — see PERFORMANCE.md for the re-bless flow "
+        f"if this change is intentional",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+print("bench regression gate passed \N{CHECK MARK}")
+EOF

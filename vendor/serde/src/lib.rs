@@ -477,6 +477,21 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::sync::Arc<str> {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.as_ref().to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(std::sync::Arc::from)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize_value(&self) -> Value {
         match self {
