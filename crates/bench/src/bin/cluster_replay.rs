@@ -1,0 +1,144 @@
+//! Cluster-replay benchmark: run the paper-scale workload through the
+//! sharded cluster runtime (`faultline_core::cluster`) at several shard
+//! counts, verify every merged answer byte-identical to the batch
+//! pipeline, and record throughput and merge cost per shard count as
+//! `results/BENCH_cluster.json`.
+//!
+//! ```sh
+//! cargo run --release -p faultline-bench --bin cluster_replay
+//! ```
+//!
+//! Two tiers:
+//! - **paper scale** — the canonical 389-day CENIC-scale scenario every
+//!   other benchmark uses (same seed, same archive);
+//! - **10× links** — `ScenarioParams::sized` with 10× the topology over
+//!   a proportionally shorter period, the shape the ROADMAP's
+//!   multi-collector north star actually cares about: many more links,
+//!   so the partitioner has real spreading to do.
+//!
+//! Each run's JSON carries the full `PipelineReport` plus the `cluster`
+//! section (per-shard event counts, skew, merge cost), so the document
+//! doubles as a monitor for partition balance: a skew drifting far above
+//! 1.0 means the consistent hash stopped spreading the hot links.
+
+use faultline_bench::{
+    analyze_with, config_with_threads, labeled_report_json, paper_event_workload, write_bench_json,
+};
+use faultline_core::cluster::{run_cluster, ClusterConfig};
+use faultline_core::{scenario_event_stream, AnalysisConfig, PipelineReport, StreamEvent};
+use faultline_sim::scenario::{run, ScenarioData, ScenarioParams};
+use serde_json::json;
+
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let (data, events) = paper_event_workload();
+
+    let batch = analyze_with(&data, config_with_threads(0));
+    let batch_json = serde_json::to_string(&batch.output).expect("serialize batch output");
+    println!("batch reference: {:.3} ms", batch.report.total_millis());
+
+    let mut runs: Vec<serde_json::Value> = Vec::new();
+    runs.push(labeled_report_json("batch_reference", &batch.report));
+    let mut best_eps = 0.0f64;
+
+    for shards in SHARD_COUNTS {
+        let (_, report_json, eps) = cluster_run("paper", &data, &events, shards, Some(&batch_json));
+        best_eps = best_eps.max(eps);
+        runs.push(report_json);
+    }
+    println!("all paper-scale merges byte-identical to batch ✓");
+
+    // The 10× tier: ten times the links over a tenth of the period, so
+    // the stream stays comparable in volume while the partitioner works
+    // on a 10× keyspace. The byte-identity check here compares against
+    // the 1-shard cluster (running batch at this tier too would double
+    // the bench's wall time for no extra signal — shards=1 exercises the
+    // identical merge path).
+    eprintln!("simulating 10x-links tier ...");
+    let sized = run(&ScenarioParams::sized(42, 10.0, 38.9));
+    let sized_events = scenario_event_stream(&sized);
+    println!(
+        "10x tier: {} links, {} events",
+        sized.topology.links().len(),
+        sized_events.len()
+    );
+    let reference = run_cluster(&sized, &sized_events, &ClusterConfig::new(1))
+        .expect("valid 10x reference run");
+    let reference_json = serde_json::to_string(&reference.output).expect("serialize 10x reference");
+    runs.push(cluster_report_json("sized10x_shards_1", &reference.report));
+    for shards in [2u32, 4, 8] {
+        let (_, report_json, _) = cluster_run(
+            "sized10x",
+            &sized,
+            &sized_events,
+            shards,
+            Some(&reference_json),
+        );
+        runs.push(report_json);
+    }
+    println!("all 10x-tier merges byte-identical across shard counts ✓");
+
+    let doc = json!({
+        "bench": "cluster_replay",
+        "scenario": "paper_389d + sized10x_38.9d",
+        "seed": 42,
+        "events": (events.len()),
+        "events_10x": (sized_events.len()),
+        "shard_counts": (serde_json::to_value(&SHARD_COUNTS.to_vec()).expect("shard counts")),
+        "runs": runs,
+        "headline": {
+            // Best merged-cluster ingest rate at paper scale across the
+            // shard sweep — the number the regression gate compares.
+            "ingest_events_per_sec": best_eps,
+        },
+    });
+    write_bench_json("results/BENCH_cluster.json", &doc);
+}
+
+/// One measured cluster run: returns its label, JSON record, and
+/// events-per-second; asserts byte-identity against `expected` when
+/// given.
+fn cluster_run(
+    tier: &str,
+    data: &ScenarioData,
+    events: &[StreamEvent],
+    shards: u32,
+    expected: Option<&str>,
+) -> (String, serde_json::Value, f64) {
+    let cfg = ClusterConfig {
+        shards,
+        analysis: AnalysisConfig::default(),
+        chunk: 4096,
+    };
+    let result = run_cluster(data, events, &cfg).expect("valid cluster run");
+    if let Some(expected) = expected {
+        let merged = serde_json::to_string(&result.output).expect("serialize merged output");
+        assert_eq!(
+            expected, &merged,
+            "{tier} cluster at {shards} shards diverged from the reference"
+        );
+    }
+    let label = format!("{tier}_shards_{shards}");
+    let eps = result
+        .report
+        .streaming
+        .as_ref()
+        .map(|s| s.events_per_sec)
+        .unwrap_or(0.0);
+    println!("== {label} ==");
+    println!("{}", result.report);
+    (
+        label.clone(),
+        cluster_report_json(&label, &result.report),
+        eps,
+    )
+}
+
+/// A labelled report record with the cluster section attached.
+fn cluster_report_json(label: &str, report: &PipelineReport) -> serde_json::Value {
+    let mut v = labeled_report_json(label, report);
+    v["streaming"] = serde_json::to_value(&report.streaming).expect("streaming counters");
+    v["cluster"] = serde_json::to_value(&report.cluster).expect("cluster counters");
+    v
+}

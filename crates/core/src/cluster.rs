@@ -1,0 +1,832 @@
+//! Sharded multi-collector runtime — many kernels, one answer.
+//!
+//! The paper analyzes one 299-link backbone in a single process; a
+//! production deployment watches orders of magnitude more links than one
+//! collector can ingest. Because every semantic stage of the pipeline is
+//! strictly per-link (the [`crate::kernel`] never shares state between
+//! links), the stream can be *partitioned by link* across N independent
+//! worker shards, each running the ordinary streaming driver over its
+//! substream, and the per-shard answers can be merged back into the
+//! exact single-process answer. This module is that runtime:
+//!
+//! ```text
+//!                      ┌─ shard-0: StreamAnalysis ─ StreamOutput ─┐
+//!  event stream ─ route ─ shard-1: StreamAnalysis ─ StreamOutput ─┼─ merge ─ StreamOutput
+//!  (consistent hash on └─ shard-N: StreamAnalysis ─ StreamOutput ─┘  (deterministic
+//!   the interned link key)   │ own thread, own shard-{i}/ dir │       aggregator)
+//!                            └── supervisor recovers crashes ──┘
+//! ```
+//!
+//! - **Partitioner.** [`route_event`] resolves each event to its link
+//!   exactly as the kernel's classify stage would, then hashes the
+//!   link's interned `(Sym, Sym)` key ([`crate::linktable::LinkTable::shard_key`])
+//!   through a jump consistent hash ([`shard_of_key`]). Jump hashing
+//!   gives the resharding property the property tests pin: growing
+//!   N → N+1 shards moves only the ~1/(N+1) of keys that land on the new
+//!   shard, and every moved key moves *to* the new shard. Events that
+//!   resolve to no link (unresolved hostnames, unknown prefixes) go to a
+//!   deterministic fallback shard — they only increment counters, which
+//!   sum shard-wise, so any deterministic placement preserves the merge.
+//! - **Shards.** Each shard is an unmodified [`StreamAnalysis`] (or
+//!   [`DurableStream`] in the durable runtime) fed its substream on its
+//!   own thread. A shard's substream preserves global time order, and a
+//!   link's entire history lands on exactly one shard, so every per-link
+//!   state machine sees byte-for-byte the history it would see in a
+//!   single process.
+//! - **Aggregator.** [`merge_outputs`] rebuilds the global
+//!   [`StreamOutput`] from the shard outputs: counter structs are
+//!   field-wise sums (each offered event is counted by exactly one
+//!   shard), event-level vectors are stable-sorted by the same keys
+//!   `Kernel::collect` uses (ties only ever come from one shard, so
+//!   stability reproduces the single-process order exactly), and the
+//!   match index pairs are re-based from shard-local to global failure
+//!   positions. `tests/cluster_equivalence.rs` asserts the merged JSON is
+//!   byte-identical to [`crate::analysis::Analysis::run`] for every
+//!   tested shard count, seed, and chaos preset.
+//! - **Supervisor.** In the durable runtime ([`run_durable_cluster`])
+//!   every shard journals and checkpoints under its own `shard-{i}/`
+//!   directory. When a shard dies mid-run (simulated by
+//!   [`faultline_sim::chaos::ShardKill`]), the supervisor recovers *that
+//!   shard only* through the ordinary [`DurableStream::recover`] ladder,
+//!   re-feeds the tail of its substream, and the merged answer is still
+//!   byte-identical; healthy shards never restart
+//!   (`tests/cluster_recovery.rs`).
+
+use crate::analysis::{self, AnalysisConfig};
+use crate::error::{AnalysisError, RecoveryError};
+use crate::intern::Sym;
+use crate::linktable::{self, LinkIx, LinkTable};
+use crate::matching::FailureMatching;
+use crate::observe::{
+    self, DurabilityCounters, PipelineCounters, PipelineReport, ShardCounters, StreamingCounters,
+};
+use crate::reconstruct::{Failure, Reconstruction};
+use crate::recovery::{DurabilityPolicy, DurableStream, RecoveryReport};
+use crate::sanitize::SanitizeReport;
+use crate::streaming::{StreamAnalysis, StreamEvent, StreamOutput, StreamResult};
+use crate::transitions::{IsisMergeStats, SyslogResolveStats};
+use faultline_isis::listener::{ReachabilityKind, TransitionSubject};
+use faultline_sim::chaos::ShardKill;
+use faultline_sim::ScenarioData;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The partition key used for events that resolve to no link (unknown
+/// hostnames, foreign prefixes, unparseable subjects). They only
+/// increment resolution counters — shard-wise sums — so any
+/// deterministic placement is merge-equivalent; pinning one keeps the
+/// per-shard event counts reproducible.
+pub const UNROUTED_KEY: (Sym, Sym) = (Sym(u32::MAX), Sym(u32::MAX));
+
+/// FNV-1a over the two interned ids, one round per word (the ids are
+/// already dense and well-distributed).
+fn key_hash(key: (Sym, Sym)) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    h = (h ^ u64::from(key.0 .0)).wrapping_mul(PRIME);
+    h = (h ^ u64::from(key.1 .0)).wrapping_mul(PRIME);
+    h
+}
+
+/// Jump consistent hash (Lamping & Veach): maps a 64-bit key onto
+/// `0..buckets` such that growing to `buckets + 1` reassigns only the
+/// keys that move to the new bucket — expected `1/(buckets + 1)` of
+/// them — and reassigns them *to* the new bucket.
+fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    debug_assert!(buckets >= 1);
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < i64::from(buckets) {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        let r = f64::from(1u32 << 31) / (((key >> 33) + 1) as f64);
+        j = (((b + 1) as f64) * r) as i64;
+    }
+    b as u32
+}
+
+/// The shard an interned `(Sym, Sym)` link key lives on, for a cluster
+/// of `shards` workers (`shards` is clamped to at least 1).
+pub fn shard_of_key(key: (Sym, Sym), shards: u32) -> u32 {
+    jump_hash(key_hash(key), shards.max(1))
+}
+
+/// The shard a link lives on: consistent hash of its canonical endpoint
+/// host pair. Every member of a multi-link adjacency shares the pair, so
+/// parallel links are always co-located — the property that lets
+/// IS-reachability events, which resolve only to the *pair*, route
+/// without knowing which member they belong to.
+pub fn shard_of_link(table: &LinkTable, link: LinkIx, shards: u32) -> u32 {
+    shard_of_key(table.shard_key(link), shards)
+}
+
+/// The link an event would resolve to, mirroring the kernel's classify
+/// stage read-only: syslog by `(host, interface)`, IS reachability by
+/// system-ID pair (any member — they co-locate), IP reachability by /31
+/// subnet.
+fn link_of_event(table: &LinkTable, event: &StreamEvent) -> Option<LinkIx> {
+    match event {
+        StreamEvent::Syslog(m) => table.by_interface(&m.event.host, &m.event.interface),
+        StreamEvent::Isis(t) => match t.kind {
+            ReachabilityKind::IsReach => match &t.subject {
+                TransitionSubject::Adjacency { neighbor } => {
+                    table.by_sysid_pair(t.source, *neighbor).first().copied()
+                }
+                _ => None,
+            },
+            ReachabilityKind::IpReach => t.subject.as_subnet().and_then(|s| table.by_subnet(s)),
+        },
+    }
+}
+
+/// The shard one event is routed to. Deterministic in the event and the
+/// (deterministically interned) table, so every dispatcher in a cluster
+/// agrees without coordination.
+pub fn route_event(table: &LinkTable, event: &StreamEvent, shards: u32) -> u32 {
+    match link_of_event(table, event) {
+        Some(link) => shard_of_link(table, link, shards),
+        None => shard_of_key(UNROUTED_KEY, shards),
+    }
+}
+
+/// Split an event stream into per-shard substreams, preserving order
+/// within each (a subsequence of an in-order stream is in order, so no
+/// shard ever sees a late event the single process would not have).
+pub fn partition_events(
+    table: &LinkTable,
+    events: &[StreamEvent],
+    shards: u32,
+) -> Vec<Vec<StreamEvent>> {
+    let n = shards.max(1);
+    let mut routed: Vec<Vec<StreamEvent>> = (0..n).map(|_| Vec::new()).collect();
+    for event in events {
+        routed[route_event(table, event, n) as usize].push(event.clone());
+    }
+    routed
+}
+
+fn add_resolve(into: &mut SyslogResolveStats, from: &SyslogResolveStats) {
+    into.isis_resolved += from.isis_resolved;
+    into.physical_resolved += from.physical_resolved;
+    into.lineproto_skipped += from.lineproto_skipped;
+    into.unresolved += from.unresolved;
+}
+
+fn add_merge_stats(into: &mut IsisMergeStats, from: &IsisMergeStats) {
+    into.raw += from.raw;
+    into.unresolvable_multilink += from.unresolvable_multilink;
+    into.unknown += from.unknown;
+    into.inconsistent += from.inconsistent;
+    into.emitted += from.emitted;
+}
+
+fn add_sanitize(into: &mut SanitizeReport, from: &SanitizeReport) {
+    into.removed_offline += from.removed_offline;
+    into.removed_offline_ms += from.removed_offline_ms;
+    into.long_checked += from.long_checked;
+    into.long_removed += from.long_removed;
+    into.long_removed_ms += from.long_removed_ms;
+}
+
+fn add_recon(into: &mut Reconstruction, from: &Reconstruction) {
+    into.failures.extend_from_slice(&from.failures);
+    into.ambiguous.extend_from_slice(&from.ambiguous);
+    into.unterminated += from.unterminated;
+    into.boundary_ups += from.boundary_ups;
+}
+
+/// Build the per-shard → global failure-index remap for one side of the
+/// matching. Returns the globally ordered failures plus, per shard, the
+/// global position of each shard-local index.
+fn order_failures(
+    shards: &[StreamOutput],
+    side: fn(&StreamOutput) -> &[Failure],
+) -> (Vec<Failure>, Vec<Vec<usize>>) {
+    let mut entries: Vec<(usize, usize)> = Vec::new();
+    for (s, out) in shards.iter().enumerate() {
+        entries.extend((0..side(out).len()).map(|i| (s, i)));
+    }
+    // Stable sort by the same key `Kernel::collect` orders on. A link
+    // never spans two shards, so every tie group comes from one shard
+    // and stability preserves its lane-push order — the exact
+    // single-process sequence.
+    entries.sort_by_key(|&(s, i)| {
+        let f = &side(&shards[s])[i];
+        (f.link, f.start)
+    });
+    let mut remap: Vec<Vec<usize>> = shards.iter().map(|o| vec![0; side(o).len()]).collect();
+    let mut ordered = Vec::with_capacity(entries.len());
+    for (global, &(s, i)) in entries.iter().enumerate() {
+        remap[s][i] = global;
+        ordered.push(side(&shards[s])[i]);
+    }
+    (ordered, remap)
+}
+
+/// Deterministically merge shard [`StreamOutput`]s into the single
+/// global output. For shard outputs produced by [`partition_events`]
+/// substreams of one in-order stream, the result serializes
+/// byte-identical to the single-process [`crate::analysis::Analysis::run`]
+/// answer — the differential contract `tests/cluster_equivalence.rs`
+/// pins. See the module docs for why each field merges the way it does.
+pub fn merge_outputs(shards: Vec<StreamOutput>) -> StreamOutput {
+    let mut resolve_stats = SyslogResolveStats::default();
+    let mut is_stats = IsisMergeStats::default();
+    let mut ip_stats = IsisMergeStats::default();
+    let mut isis_recon = Reconstruction::default();
+    let mut syslog_recon = Reconstruction::default();
+    let mut isis_sanitize = SanitizeReport::default();
+    let mut syslog_sanitize = SanitizeReport::default();
+    let mut messages = Vec::new();
+    let mut is_transitions = Vec::new();
+    let mut ip_transitions = Vec::new();
+    let mut syslog_transitions = Vec::new();
+    let mut syslog_ingested = 0u64;
+    for out in &shards {
+        add_resolve(&mut resolve_stats, &out.resolve_stats);
+        add_merge_stats(&mut is_stats, &out.is_stats);
+        add_merge_stats(&mut ip_stats, &out.ip_stats);
+        add_recon(&mut isis_recon, &out.isis_recon);
+        add_recon(&mut syslog_recon, &out.syslog_recon);
+        add_sanitize(&mut isis_sanitize, &out.isis_sanitize);
+        add_sanitize(&mut syslog_sanitize, &out.syslog_sanitize);
+        messages.extend(out.messages.iter().cloned());
+        is_transitions.extend_from_slice(&out.is_transitions);
+        ip_transitions.extend_from_slice(&out.ip_transitions);
+        syslog_transitions.extend_from_slice(&out.syslog_transitions);
+        syslog_ingested += out.counters.syslog_ingested;
+    }
+    // Event-level vectors: one stable sort on the collect-stage key.
+    // Every `(time, link)` tie group lives on a single shard (the link's
+    // shard), so stability reproduces the single-process order.
+    messages.sort_by_key(|m| (m.at, m.link));
+    is_transitions.sort_by_key(|t| (t.at, t.link));
+    ip_transitions.sort_by_key(|t| (t.at, t.link));
+    syslog_transitions.sort_by_key(|t| (t.at, t.link));
+    isis_recon.failures.sort_by_key(|f| (f.link, f.start));
+    isis_recon.ambiguous.sort_by_key(|a| (a.link, a.first));
+    syslog_recon.failures.sort_by_key(|f| (f.link, f.start));
+    syslog_recon.ambiguous.sort_by_key(|a| (a.link, a.first));
+
+    // Failure lists + match pairs: order globally, then re-base every
+    // shard-local index pair to its global position.
+    let (syslog_failures, left_remap) = order_failures(&shards, |o| &o.syslog_failures);
+    let (isis_failures, right_remap) = order_failures(&shards, |o| &o.isis_failures);
+    let mut matched: Vec<(usize, usize)> = Vec::new();
+    let mut partial: Vec<(usize, usize)> = Vec::new();
+    for (s, out) in shards.iter().enumerate() {
+        for &(i, j) in &out.matching.matched {
+            matched.push((left_remap[s][i], right_remap[s][j]));
+        }
+        for &(i, j) in &out.matching.partial {
+            partial.push((left_remap[s][i], right_remap[s][j]));
+        }
+    }
+    matched.sort_by_key(|&(i, _)| i);
+    partial.sort_by_key(|&(i, _)| i);
+    let mut left_used = vec![false; syslog_failures.len()];
+    let mut right_used = vec![false; isis_failures.len()];
+    for &(i, j) in matched.iter().chain(partial.iter()) {
+        left_used[i] = true;
+        right_used[j] = true;
+    }
+    let matching = FailureMatching {
+        matched,
+        partial,
+        left_only: (0..left_used.len()).filter(|&i| !left_used[i]).collect(),
+        right_only: (0..right_used.len()).filter(|&j| !right_used[j]).collect(),
+    };
+
+    // Headline counters: recomputed from the merged structures with the
+    // exact formulas `Kernel::collect` uses.
+    let reconstructed = (isis_recon.failures.len() + syslog_recon.failures.len()) as u64;
+    let survived = (isis_failures.len() + syslog_failures.len()) as u64;
+    let counters = PipelineCounters {
+        syslog_ingested,
+        isis_ingested: is_stats.raw + ip_stats.raw,
+        transitions_derived: (is_transitions.len()
+            + ip_transitions.len()
+            + syslog_transitions.len()) as u64,
+        failures_reconstructed: reconstructed,
+        failures_after_sanitize: survived,
+        sanitize_dropped: reconstructed - survived,
+        failures_matched: matching.matched.len() as u64,
+        ambiguous_periods: (isis_recon.ambiguous.len() + syslog_recon.ambiguous.len()) as u64,
+    };
+
+    StreamOutput {
+        messages,
+        resolve_stats,
+        is_transitions,
+        is_stats,
+        ip_transitions,
+        ip_stats,
+        syslog_transitions,
+        isis_recon,
+        syslog_recon,
+        isis_failures,
+        syslog_failures,
+        isis_sanitize,
+        syslog_sanitize,
+        matching,
+        counters,
+    }
+}
+
+/// How a sharded cluster run is shaped.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker shards (clamped to at least 1).
+    pub shards: u32,
+    /// The per-shard analysis configuration — identical on every shard,
+    /// exactly as the single process would run it.
+    pub analysis: AnalysisConfig,
+    /// Micro-batch size each shard worker feeds through
+    /// [`StreamAnalysis::ingest_batch`].
+    pub chunk: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster of `shards` workers with the default analysis
+    /// configuration and micro-batch size.
+    pub fn new(shards: u32) -> Self {
+        ClusterConfig {
+            shards,
+            analysis: AnalysisConfig::default(),
+            chunk: 2048,
+        }
+    }
+}
+
+/// What a cluster run produces: the merged (single-process-identical)
+/// output, the cluster-level report, and each shard's own report.
+pub struct ClusterResult {
+    /// The merged derived surface — byte-identical to the single-process
+    /// answer on the same stream.
+    pub output: StreamOutput,
+    /// Cluster-level accounting: dispatch/shard/merge stages, merged
+    /// headline counters, and [`ShardCounters`] in
+    /// [`PipelineReport::cluster`].
+    pub report: PipelineReport,
+    /// Every shard's own [`PipelineReport`], in shard order.
+    pub shard_reports: Vec<PipelineReport>,
+}
+
+/// Wall-clock attribution for [`assemble_result`].
+struct ClusterWalls {
+    dispatch: std::time::Duration,
+    shard_ingest: std::time::Duration,
+    merge: std::time::Duration,
+    total: std::time::Duration,
+}
+
+/// Fold shard outputs + reports into a [`ClusterResult`] (the merge has
+/// already run; this builds the accounting around it).
+fn assemble_result(
+    output: StreamOutput,
+    shard_reports: Vec<PipelineReport>,
+    events_per_shard: Vec<u64>,
+    links_per_shard: Vec<u64>,
+    walls: ClusterWalls,
+    recovery_events: u64,
+    durability: Option<DurabilityCounters>,
+) -> ClusterResult {
+    let shards = events_per_shard.len() as u32;
+    let total_events: u64 = events_per_shard.iter().sum();
+    let max_shard_events = events_per_shard.iter().copied().max().unwrap_or(0);
+    let min_shard_events = events_per_shard.iter().copied().min().unwrap_or(0);
+    let mean = total_events as f64 / shards.max(1) as f64;
+    let skew = if mean > 0.0 {
+        max_shard_events as f64 / mean
+    } else {
+        0.0
+    };
+
+    let mut streaming = StreamingCounters::default();
+    let mut robustness = observe::RobustnessCounters::default();
+    for (i, r) in shard_reports.iter().enumerate() {
+        if let Some(s) = &r.streaming {
+            streaming.events_ingested += s.events_ingested;
+            streaming.syslog_events += s.syslog_events;
+            streaming.isis_events += s.isis_events;
+            streaming.batches += s.batches;
+            streaming.late_events += s.late_events;
+            streaming.segments_closed += s.segments_closed;
+            streaming.open_state_high_water =
+                streaming.open_state_high_water.max(s.open_state_high_water);
+            streaming.finalized_at_flush += s.finalized_at_flush;
+            streaming.flap_episodes += s.flap_episodes;
+        }
+        if i == 0 {
+            // The parse-side baseline (raw/malformed/irrelevant lines)
+            // describes the scenario, not the shard — every shard
+            // reports the same numbers, so take them once.
+            robustness = r.robustness;
+            robustness.quarantined_syslog = 0;
+            robustness.quarantined_isis = 0;
+        }
+        robustness.quarantined_syslog += r.robustness.quarantined_syslog;
+        robustness.quarantined_isis += r.robustness.quarantined_isis;
+    }
+    let total_secs = walls.total.as_secs_f64();
+    streaming.events_per_sec = if total_secs > 0.0 {
+        streaming.events_ingested as f64 / total_secs
+    } else {
+        0.0
+    };
+
+    let threads = shard_reports.first().map(|r| r.threads).unwrap_or(1);
+    let mut report = PipelineReport::new(threads);
+    report.record_stage("dispatch", total_events, total_events, walls.dispatch);
+    report.record_stage(
+        "shard_ingest",
+        total_events,
+        output.counters.transitions_derived,
+        walls.shard_ingest,
+    );
+    report.record_stage(
+        "merge",
+        output.counters.failures_after_sanitize,
+        output.counters.failures_matched,
+        walls.merge,
+    );
+    report.counters = output.counters;
+    report.streaming = Some(streaming);
+    report.durability = durability;
+    report.robustness = robustness;
+    report.cluster = Some(ShardCounters {
+        shards,
+        events_per_shard,
+        links_per_shard,
+        max_shard_events,
+        min_shard_events,
+        skew,
+        recovery_events,
+        merge_micros: walls.merge.as_micros() as u64,
+    });
+    report.total_micros = walls.total.as_micros() as u64;
+    observe::narrate(|| {
+        format!(
+            "cluster done: {shards} shards, {total_events} events, skew {skew:.2}, {recovery_events} recoveries"
+        )
+    });
+    ClusterResult {
+        output,
+        report,
+        shard_reports,
+    }
+}
+
+/// Links assigned to each shard by the partitioner.
+fn links_per_shard(table: &LinkTable, shards: u32) -> Vec<u64> {
+    let mut counts = vec![0u64; shards.max(1) as usize];
+    for ix in table.iter() {
+        counts[shard_of_link(table, ix, shards) as usize] += 1;
+    }
+    counts
+}
+
+/// Run the in-memory sharded cluster: partition `events` by link across
+/// `cfg.shards` workers, run each shard as an independent
+/// [`StreamAnalysis`] on its own thread, and merge the shard outputs
+/// into the single-process answer.
+///
+/// # Examples
+///
+/// ```
+/// use faultline_core::cluster::{run_cluster, ClusterConfig};
+/// use faultline_core::{scenario_event_stream, Analysis, AnalysisConfig};
+/// use faultline_sim::scenario::{run, ScenarioParams};
+///
+/// let data = run(&ScenarioParams::tiny(42));
+/// let events = scenario_event_stream(&data);
+/// let clustered = run_cluster(&data, &events, &ClusterConfig::new(4)).unwrap();
+/// let batch = Analysis::run(&data, AnalysisConfig::default());
+/// assert_eq!(
+///     serde_json::to_string(&clustered.output).unwrap(),
+///     serde_json::to_string(&batch.output).unwrap(),
+/// );
+/// ```
+pub fn run_cluster(
+    data: &ScenarioData,
+    events: &[StreamEvent],
+    cfg: &ClusterConfig,
+) -> Result<ClusterResult, AnalysisError> {
+    let started = Instant::now();
+    // Validate configuration and input ordering once; shard workers then
+    // construct engines infallibly with the same inputs.
+    analysis::validate_inputs(data, &cfg.analysis)?;
+    let shards = cfg.shards.max(1);
+
+    let t_dispatch = Instant::now();
+    let table = linktable::from_scenario(data);
+    let routed = partition_events(&table, events, shards);
+    let events_per_shard: Vec<u64> = routed.iter().map(|r| r.len() as u64).collect();
+    let per_shard_links = links_per_shard(&table, shards);
+    let dispatch_wall = t_dispatch.elapsed();
+
+    let chunk = cfg.chunk.max(1);
+    let t_shards = Instant::now();
+    let shard_results: Vec<StreamResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = routed
+            .iter()
+            .map(|shard_events| {
+                let config = cfg.analysis.clone();
+                scope.spawn(move || {
+                    let mut engine = StreamAnalysis::new(data, config);
+                    for batch in shard_events.chunks(chunk) {
+                        engine.ingest_batch(batch);
+                    }
+                    engine.flush()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    let shard_wall = t_shards.elapsed();
+
+    let t_merge = Instant::now();
+    let (outputs, shard_reports): (Vec<_>, Vec<_>) = shard_results
+        .into_iter()
+        .map(|r| (r.output, r.report))
+        .unzip();
+    let output = merge_outputs(outputs);
+    let merge_wall = t_merge.elapsed();
+
+    Ok(assemble_result(
+        output,
+        shard_reports,
+        events_per_shard,
+        per_shard_links,
+        ClusterWalls {
+            dispatch: dispatch_wall,
+            shard_ingest: shard_wall,
+            merge: merge_wall,
+            total: started.elapsed(),
+        },
+        0,
+        None,
+    ))
+}
+
+/// The durability directory of one shard under the cluster root:
+/// `root/shard-{i}/` — each shard journals and checkpoints entirely
+/// within its own directory, which is what lets the supervisor recover
+/// it without touching any other shard's state.
+pub fn shard_dir(root: &Path, shard: u32) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+/// One supervisor recovery: which shard died and what
+/// [`DurableStream::recover`] found in its `shard-{i}/` directory.
+#[derive(Debug, Clone)]
+pub struct ShardRecovery {
+    /// The shard that was recovered.
+    pub shard: u32,
+    /// The recovery ladder's findings for that shard.
+    pub report: RecoveryReport,
+}
+
+/// What [`run_durable_cluster`] hands back: the merged result plus the
+/// supervisor's recovery ledger.
+pub struct DurableClusterRun {
+    /// The merged cluster result (byte-identical to single-process).
+    pub result: ClusterResult,
+    /// Every recovery the supervisor performed, in shard order; empty
+    /// when no shard was killed.
+    pub recoveries: Vec<ShardRecovery>,
+    /// Per-shard `DurabilityCounters::restores` — the
+    /// healthy-shards-never-restart contract is `restores == 0` for every
+    /// shard not named in a [`ShardKill`].
+    pub shard_restores: Vec<u64>,
+}
+
+/// Run the durable sharded cluster: like [`run_cluster`], but every
+/// shard is a [`DurableStream`] journaling and checkpointing under its
+/// own `shard-{i}/` directory beneath `root` (which must not hold prior
+/// durable state). `kills` is the chaos hook: each [`ShardKill`] makes
+/// the named shard's worker die after consuming exactly
+/// `after_events` of its substream — the stream is dropped mid-run, no
+/// flush, no final checkpoint. The supervisor then detects the dead
+/// shard, recovers it independently through the ordinary
+/// [`DurableStream::recover`] ladder (checkpoint fallback + journal
+/// replay + compaction), re-feeds the unconsumed tail of its substream,
+/// and merges as usual. Healthy shards are never restarted or re-fed.
+pub fn run_durable_cluster(
+    root: &Path,
+    data: &ScenarioData,
+    events: &[StreamEvent],
+    cfg: &ClusterConfig,
+    policy: &DurabilityPolicy,
+    kills: &[ShardKill],
+) -> Result<DurableClusterRun, RecoveryError> {
+    let started = Instant::now();
+    let shards = cfg.shards.max(1);
+
+    let t_dispatch = Instant::now();
+    let table = linktable::from_scenario(data);
+    let routed = partition_events(&table, events, shards);
+    let events_per_shard: Vec<u64> = routed.iter().map(|r| r.len() as u64).collect();
+    let per_shard_links = links_per_shard(&table, shards);
+    let dispatch_wall = t_dispatch.elapsed();
+
+    let mut created: Vec<Option<DurableStream<'_>>> = Vec::with_capacity(shards as usize);
+    for i in 0..shards {
+        created.push(Some(DurableStream::create(
+            &shard_dir(root, i),
+            data,
+            cfg.analysis.clone(),
+            *policy,
+        )?));
+    }
+
+    // Feed every shard its substream on its own thread; a kill plan
+    // drops the stream mid-feed (the simulated crash — everything
+    // journaled so far stays on disk, nothing else does).
+    let t_shards = Instant::now();
+    type FedShard<'s> = Result<Option<DurableStream<'s>>, RecoveryError>;
+    let fed: Vec<FedShard<'_>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = created
+            .into_iter()
+            .zip(routed.iter())
+            .enumerate()
+            .map(|(i, (stream, shard_events))| {
+                let kill_at = kills
+                    .iter()
+                    .find(|k| k.shard == i as u32)
+                    .map(|k| k.after_events);
+                scope.spawn(move || -> FedShard<'_> {
+                    let mut stream = stream.expect("created above");
+                    for (n, event) in shard_events.iter().enumerate() {
+                        if kill_at == Some(n as u64) {
+                            observe::narrate(|| {
+                                format!("cluster: shard {i} killed after {n} events")
+                            });
+                            drop(stream);
+                            return Ok(None);
+                        }
+                        stream.ingest(event)?;
+                    }
+                    Ok(Some(stream))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Supervisor: any missing stream is a dead shard. Recover it from
+    // its own directory and re-feed only its unconsumed tail; the other
+    // shards' engines were never dropped and are not touched.
+    let mut slots: Vec<Option<DurableStream<'_>>> = Vec::with_capacity(shards as usize);
+    for r in fed {
+        slots.push(r?);
+    }
+    let mut recoveries = Vec::new();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        let (mut stream, report) = DurableStream::recover(
+            &shard_dir(root, i as u32),
+            data,
+            cfg.analysis.clone(),
+            *policy,
+        )?;
+        observe::narrate(|| {
+            format!(
+                "cluster: supervisor recovered shard {i} at seq {}",
+                report.resumed_at_seq
+            )
+        });
+        for event in &routed[i][report.resumed_at_seq as usize..] {
+            stream.ingest(event)?;
+        }
+        recoveries.push(ShardRecovery {
+            shard: i as u32,
+            report,
+        });
+        *slot = Some(stream);
+    }
+    let shard_wall = t_shards.elapsed();
+
+    let mut shard_restores = Vec::with_capacity(shards as usize);
+    let mut durability = DurabilityCounters::default();
+    let mut outputs = Vec::with_capacity(shards as usize);
+    let mut shard_reports = Vec::with_capacity(shards as usize);
+    let t_merge = Instant::now();
+    for slot in slots {
+        let stream = slot.expect("every dead shard recovered above");
+        let result = stream.finish();
+        let d = result
+            .report
+            .durability
+            .expect("durable shards always report durability");
+        shard_restores.push(d.restores);
+        durability.checkpoints_written += d.checkpoints_written;
+        durability.checkpoint_bytes_last = durability
+            .checkpoint_bytes_last
+            .max(d.checkpoint_bytes_last);
+        durability.checkpoint_write_micros_max = durability
+            .checkpoint_write_micros_max
+            .max(d.checkpoint_write_micros_max);
+        durability.checkpoint_retries += d.checkpoint_retries;
+        durability.journal_records += d.journal_records;
+        durability.journal_segments += d.journal_segments;
+        durability.journal_bytes += d.journal_bytes;
+        durability.journal_fsyncs += d.journal_fsyncs;
+        durability.restores += d.restores;
+        durability.events_replayed += d.events_replayed;
+        durability.journal_truncated_records += d.journal_truncated_records;
+        outputs.push(result.output);
+        shard_reports.push(result.report);
+    }
+    let output = merge_outputs(outputs);
+    let merge_wall = t_merge.elapsed();
+
+    let recovery_events = recoveries.len() as u64;
+    Ok(DurableClusterRun {
+        result: assemble_result(
+            output,
+            shard_reports,
+            events_per_shard,
+            per_shard_links,
+            ClusterWalls {
+                dispatch: dispatch_wall,
+                shard_ingest: shard_wall,
+                merge: merge_wall,
+                total: started.elapsed(),
+            },
+            recovery_events,
+            Some(durability),
+        ),
+        recoveries,
+        shard_restores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_sim::scenario::{run, ScenarioParams};
+
+    #[test]
+    fn jump_hash_is_stable_and_in_range() {
+        for key in 0..1000u64 {
+            for n in 1..10u32 {
+                let b = jump_hash(key, n);
+                assert!(b < n);
+                assert_eq!(b, jump_hash(key, n), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn growing_the_cluster_only_moves_keys_to_the_new_shard() {
+        for key in 0..2000u64 {
+            for n in 1..12u32 {
+                let before = jump_hash(key, n);
+                let after = jump_hash(key, n + 1);
+                assert!(
+                    after == before || after == n,
+                    "key {key}: {before} -> {after} adding shard {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrouted_events_get_a_deterministic_shard() {
+        let data = run(&ScenarioParams::tiny(5));
+        let table = linktable::from_scenario(&data);
+        let events = crate::streaming::scenario_event_stream(&data);
+        for n in [1u32, 2, 3, 5, 8] {
+            for e in events.iter().take(200) {
+                assert_eq!(route_event(&table, e, n), route_event(&table, e, n));
+                assert!(route_event(&table, e, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_event_exactly_once() {
+        let data = run(&ScenarioParams::tiny(11));
+        let table = linktable::from_scenario(&data);
+        let events = crate::streaming::scenario_event_stream(&data);
+        for n in [1u32, 2, 4, 7] {
+            let routed = partition_events(&table, &events, n);
+            assert_eq!(routed.len(), n as usize);
+            let total: usize = routed.iter().map(Vec::len).sum();
+            assert_eq!(total, events.len());
+            for shard in &routed {
+                assert!(shard.windows(2).all(|w| w[0].at() <= w[1].at()));
+            }
+        }
+    }
+}

@@ -43,7 +43,12 @@
 //! to the batch analysis at flush. The streaming driver is crash-safe:
 //! [`recovery`] wraps it in a write-ahead journal plus versioned,
 //! hash-verified checkpoints, and its recovery supervisor resumes a
-//! killed run byte-identical to one that never stopped.
+//! killed run byte-identical to one that never stopped. Beyond one
+//! process, [`cluster`] shards the stream across N independent workers
+//! by consistent-hashing the interned link key and deterministically
+//! merges the shard outputs back into the single-process answer — with
+//! a shard supervisor that recovers a killed shard without touching
+//! healthy ones.
 //!
 //! The per-link stages fan out across threads ([`par`], configured via
 //! [`analysis::AnalysisConfig::parallelism`]) with results independent of
@@ -56,6 +61,7 @@
 
 pub mod analysis;
 pub mod arena;
+pub mod cluster;
 pub mod error;
 pub mod export;
 pub mod flap;
@@ -77,11 +83,16 @@ pub mod transitions;
 
 pub use analysis::{Analysis, AnalysisConfig};
 pub use arena::EventArena;
+pub use cluster::{
+    merge_outputs, partition_events, route_event, run_cluster, run_durable_cluster, shard_dir,
+    shard_of_key, shard_of_link, ClusterConfig, ClusterResult, DurableClusterRun, ShardRecovery,
+};
 pub use error::{AnalysisError, RecoveryError};
 pub use intern::{Sym, SymbolTable};
 pub use linktable::{LinkIx, LinkTable};
 pub use observe::{
-    DurabilityCounters, PipelineCounters, PipelineReport, RobustnessCounters, StreamingCounters,
+    DurabilityCounters, PipelineCounters, PipelineReport, RobustnessCounters, ShardCounters,
+    StreamingCounters,
 };
 pub use par::ParallelismConfig;
 pub use reconstruct::{AmbiguityStrategy, Failure};

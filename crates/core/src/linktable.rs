@@ -45,6 +45,9 @@ pub struct LinkTable {
     by_iface: FastMap<(Sym, Sym), LinkIx>,
     by_subnet: FastMap<Subnet31, LinkIx>,
     by_hostpair: FastMap<(Sym, Sym), Vec<LinkIx>>,
+    /// Canonical endpoint host pair per link — the interned key the
+    /// cluster partitioner hashes ([`Self::shard_key`]).
+    pair_keys: Vec<(Sym, Sym)>,
     host_of_sysid: FastMap<SystemId, Sym>,
     /// Precomputed [`Self::by_sysid_pair`] answers: one probe on the
     /// IS-reachability hot path instead of two sysid resolutions plus a
@@ -84,10 +87,9 @@ impl LinkTable {
             t.by_iface.insert((host_a, iface_a), ix);
             t.by_iface.insert((host_b, iface_b), ix);
             t.by_subnet.insert(l.subnet, ix);
-            t.by_hostpair
-                .entry(Self::pair_key(host_a, host_b))
-                .or_default()
-                .push(ix);
+            let pair = Self::pair_key(host_a, host_b);
+            t.pair_keys.push(pair);
+            t.by_hostpair.entry(pair).or_default().push(ix);
         }
         // Hostname TLVs in system-ID order: `hostnames` is a `HashMap`,
         // whose iteration order must never leak into id assignment.
@@ -227,6 +229,17 @@ impl LinkTable {
     /// Number of multi-link router pairs.
     pub fn multi_link_pairs(&self) -> usize {
         self.by_hostpair.values().filter(|v| v.len() > 1).count()
+    }
+
+    /// The interned `(Sym, Sym)` key the cluster partitioner hashes for
+    /// a link: the canonical (smaller-id-first) pair of its endpoint
+    /// hostnames. Every member of a multi-link adjacency shares the same
+    /// key, so parallel links — and the IS-reachability events that can
+    /// only be resolved to the *pair* — always land on the same shard.
+    /// Interning is deterministic per scenario, so the key (and therefore
+    /// the shard assignment) is stable across processes.
+    pub fn shard_key(&self, ix: LinkIx) -> (Sym, Sym) {
+        self.pair_keys[ix.0 as usize]
     }
 }
 

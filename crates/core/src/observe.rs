@@ -161,6 +161,32 @@ impl RobustnessCounters {
     }
 }
 
+/// Accounting for a sharded cluster run ([`crate::cluster`]): how the
+/// partitioner spread the stream, how balanced the shards were, and what
+/// the supervisor had to recover. Absent (`None`) on single-process
+/// runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardCounters {
+    /// Worker shards the run used.
+    pub shards: u32,
+    /// Events routed to each shard, in shard order.
+    pub events_per_shard: Vec<u64>,
+    /// Links the partitioner assigned to each shard, in shard order.
+    pub links_per_shard: Vec<u64>,
+    /// Busiest shard's event count.
+    pub max_shard_events: u64,
+    /// Quietest shard's event count.
+    pub min_shard_events: u64,
+    /// Load skew: busiest shard's events over the per-shard mean (1.0 is
+    /// perfectly balanced; 0.0 when the stream was empty).
+    pub skew: f64,
+    /// Shards the supervisor recovered mid-run (0 on a healthy run).
+    pub recovery_events: u64,
+    /// Wall time the deterministic aggregator spent merging shard
+    /// outputs, microseconds.
+    pub merge_micros: u64,
+}
+
 /// Per-stage counters and wall-clock timings for one
 /// [`crate::analysis::Analysis`] run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -181,6 +207,10 @@ pub struct PipelineReport {
     /// Degradation accounting (malformed lines, quarantined items).
     #[serde(default)]
     pub robustness: RobustnessCounters,
+    /// Sharded-cluster counters; `None` unless the run came from
+    /// [`crate::cluster::run_cluster`] or its durable sibling.
+    #[serde(default)]
+    pub cluster: Option<ShardCounters>,
     /// End-to-end wall time, microseconds.
     pub total_micros: u64,
 }
@@ -301,6 +331,18 @@ impl fmt::Display for PipelineReport {
                 d.restores,
                 d.events_replayed,
                 d.journal_truncated_records
+            )?;
+        }
+        if let Some(c) = &self.cluster {
+            writeln!(
+                f,
+                "  cluster: {} shards, {}..{} events/shard (skew {:.2}), {} recoveries, merge {:.3} ms",
+                c.shards,
+                c.min_shard_events,
+                c.max_shard_events,
+                c.skew,
+                c.recovery_events,
+                c.merge_micros as f64 / 1_000.0
             )?;
         }
         Ok(())

@@ -19,7 +19,10 @@
 //! Every semantic stage — dedup, both-ends merge, reconstruction,
 //! sanitization, flap tracking, segment close, matching — lives in the
 //! kernel and is executed by the per-link `kernel::LinkLane`
-//! machines, identically for both drivers.
+//! machines, identically for both drivers. Beyond one engine,
+//! [`crate::cluster`] runs N of these side by side over a link-partitioned
+//! stream and merges their [`StreamOutput`]s back into this same
+//! byte-identical surface.
 //!
 //! # Equivalence contract
 //!

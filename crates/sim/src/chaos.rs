@@ -656,6 +656,45 @@ pub fn crash_points_seeded(seed: u64, total: u64, count: usize) -> Vec<u64> {
     points.into_iter().collect()
 }
 
+/// One injected shard death for the cluster chaos hook: the named shard's
+/// worker dies after consuming exactly `after_events` of its substream
+/// (mid-run, no flush, no final checkpoint). Consumed by
+/// `faultline-core`'s durable cluster runtime, whose supervisor must
+/// recover the shard independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardKill {
+    /// Which shard dies.
+    pub shard: u32,
+    /// Events the shard consumes before dying (an arbitrary event
+    /// boundary, `1..shard_events`).
+    pub after_events: u64,
+}
+
+/// A seeded shard kill for a cluster whose shards hold `shard_events[i]`
+/// events each: picks a shard with at least 2 events and a seeded kill
+/// boundary strictly inside its substream (via [`crash_points_seeded`]).
+/// Returns `None` when every shard's substream is too short to die
+/// mid-run.
+pub fn shard_kill_seeded(seed: u64, shard_events: &[u64]) -> Option<ShardKill> {
+    let candidates: Vec<u32> = shard_events
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 1)
+        .map(|(i, _)| i as u32)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5AA2_DC11_0CA7_E2D5);
+    let shard = candidates[rng.random_range(0..candidates.len())];
+    let total = shard_events[shard as usize];
+    let after_events = *crash_points_seeded(seed, total, 1).first()?;
+    Some(ShardKill {
+        shard,
+        after_events,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,38 +1,48 @@
 #!/usr/bin/env bash
 # Throughput regression gate for the analysis pipeline.
 #
-# Compares the headline ingest rate of a freshly written
-# results/BENCH_pipeline.json (produced by `cargo run --release -p
-# faultline-bench --bin pipeline_report`) against the committed
-# results/BENCH_pipeline.baseline.json and fails when throughput drops
-# more than the tolerance (default 10%). CI runs this after the bench so
-# a hot-path regression fails the build with both numbers in the log.
+# Compares the headline ingest rate of freshly written BENCH documents
+# against their committed baselines and fails when throughput drops more
+# than the tolerance (default 10%). Two headlines are gated:
 #
-# Re-blessing the baseline (after an intentional change, measured on the
+#   results/BENCH_pipeline.json  (cargo run --release -p faultline-bench
+#                                 --bin pipeline_report)
+#   results/BENCH_cluster.json   (cargo run --release -p faultline-bench
+#                                 --bin cluster_replay)
+#
+# CI runs this after the benches so a hot-path (or merge-path) regression
+# fails the build with both numbers in the log.
+#
+# Re-blessing a baseline (after an intentional change, measured on the
 # same class of machine):
 #
 #   cargo run --release -p faultline-bench --bin pipeline_report
 #   cp results/BENCH_pipeline.json results/BENCH_pipeline.baseline.json
-#   git add results/BENCH_pipeline.baseline.json   # commit with the why
+#   cargo run --release -p faultline-bench --bin cluster_replay
+#   cp results/BENCH_cluster.json results/BENCH_cluster.baseline.json
+#   git add results/*.baseline.json   # commit with the why
 #
 # Usage: scripts/check_bench_regression.sh [fresh.json] [baseline.json]
+#   With explicit arguments, gates exactly that pair (the historical
+#   single-pair interface). With no arguments, gates BENCH_pipeline
+#   always and BENCH_cluster when its fresh document exists (the cluster
+#   job produces it separately from the bench job).
 # Env:   BENCH_TOLERANCE=0.10   fractional allowed drop
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FRESH=${1:-results/BENCH_pipeline.json}
-BASELINE=${2:-results/BENCH_pipeline.baseline.json}
 TOLERANCE=${BENCH_TOLERANCE:-0.10}
 
-for f in "$FRESH" "$BASELINE"; do
-    if [ ! -f "$f" ]; then
-        echo "check_bench_regression: missing $f" >&2
-        echo "(run: cargo run --release -p faultline-bench --bin pipeline_report)" >&2
-        exit 1
-    fi
-done
-
-python3 - "$FRESH" "$BASELINE" "$TOLERANCE" <<'EOF'
+gate() {
+    local fresh=$1 baseline=$2
+    for f in "$fresh" "$baseline"; do
+        if [ ! -f "$f" ]; then
+            echo "check_bench_regression: missing $f" >&2
+            echo "(run the matching faultline-bench binary, see header)" >&2
+            return 1
+        fi
+    done
+    python3 - "$fresh" "$baseline" "$TOLERANCE" <<'EOF'
 import json, sys
 
 fresh_path, base_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -53,3 +63,17 @@ if fresh < floor:
     sys.exit(1)
 print("bench regression gate passed \N{CHECK MARK}")
 EOF
+}
+
+if [ $# -gt 0 ]; then
+    gate "$1" "${2:-results/BENCH_pipeline.baseline.json}"
+    exit $?
+fi
+
+gate results/BENCH_pipeline.json results/BENCH_pipeline.baseline.json
+
+if [ -f results/BENCH_cluster.json ]; then
+    gate results/BENCH_cluster.json results/BENCH_cluster.baseline.json
+else
+    echo "check_bench_regression: results/BENCH_cluster.json not present, skipping cluster gate"
+fi

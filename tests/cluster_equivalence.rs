@@ -1,0 +1,212 @@
+//! Differential harness for the sharded cluster runtime: the aggregated
+//! N-shard answer must be **byte-identical** to the single-process
+//! answer — the load-bearing deliverable of the cluster layer.
+//!
+//! Every shard runs the unmodified streaming driver over its substream;
+//! the deterministic aggregator merges shard outputs. For every tested
+//! shard count × seed × chaos preset, `serde_json::to_string` of the
+//! merged [`StreamOutput`] must equal the batch [`Analysis::run`] JSON
+//! exactly — not approximately, not up to reordering. The harness also
+//! pins the merged headline counters against the checked-in golden
+//! tables, so a cluster-side drift cannot hide behind a simultaneous
+//! (and wrong) "re-bless both sides" change.
+
+use faultline_core::cluster::{run_cluster, ClusterConfig};
+use faultline_core::{scenario_event_stream, Analysis, AnalysisConfig};
+use faultline_sim::scenario::{run, ScenarioParams};
+use faultline_sim::{ChaosConfig, ScenarioData};
+use serde_json::Value;
+use std::path::PathBuf;
+
+const SHARD_COUNTS: [u32; 6] = [1, 2, 3, 4, 7, 16];
+
+fn batch_json(data: &ScenarioData, config: &AnalysisConfig) -> String {
+    let analysis = Analysis::run(data, config.clone());
+    serde_json::to_string(&analysis.output).unwrap()
+}
+
+fn cluster_json(data: &ScenarioData, config: &AnalysisConfig, shards: u32, chunk: usize) -> String {
+    let events = scenario_event_stream(data);
+    let cfg = ClusterConfig {
+        shards,
+        analysis: config.clone(),
+        chunk,
+    };
+    let result = run_cluster(data, &events, &cfg).expect("valid cluster run");
+    serde_json::to_string(&result.output).unwrap()
+}
+
+/// The pinned grid: every shard count × several seeds × the chaos
+/// presets (clean, mild, moderate). One contract, no exceptions: the
+/// merged output serializes byte-identical to batch.
+#[test]
+fn shard_grid_is_byte_identical_to_batch() {
+    let config = AnalysisConfig::default();
+    for seed in [11u64, 42, 77] {
+        for preset in ["clean", "mild", "moderate"] {
+            let mut params = ScenarioParams::tiny(seed);
+            params.chaos = match preset {
+                "mild" => ChaosConfig::mild(seed * 31),
+                "moderate" => ChaosConfig::moderate(seed * 31),
+                _ => ChaosConfig::default(),
+            };
+            let data = run(&params);
+            let expected = batch_json(&data, &config);
+            for shards in SHARD_COUNTS {
+                let got = cluster_json(&data, &config, shards, 64);
+                assert_eq!(
+                    expected, got,
+                    "cluster diverged from batch: seed {seed}, preset {preset}, {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+/// Quarantine horizons interact with the cluster exactly as with one
+/// process: the admission decision is per-item and rides with the event
+/// to whichever shard receives it.
+#[test]
+fn quarantined_cluster_stays_byte_identical() {
+    for seed in [13u64, 59] {
+        let mut params = ScenarioParams::tiny(seed);
+        params.chaos = ChaosConfig::mild(seed * 17);
+        let data = run(&params);
+        let events = scenario_event_stream(&data);
+        let config = AnalysisConfig {
+            quarantine_horizon: Some(events[events.len() / 2].at()),
+            ..AnalysisConfig::default()
+        };
+        let batch = Analysis::run(&data, config.clone());
+        assert!(
+            batch.report.robustness.total_quarantined() > 0,
+            "seed {seed}: horizon must actually divert events"
+        );
+        let expected = serde_json::to_string(&batch.output).unwrap();
+        for shards in [1u32, 3, 7] {
+            assert_eq!(
+                expected,
+                cluster_json(&data, &config, shards, 16),
+                "quarantine×cluster: seed {seed}, {shards} shards"
+            );
+        }
+    }
+}
+
+/// The shard worker's micro-batch size is pure mechanics: any chunking
+/// of any shard's substream produces the same bytes.
+#[test]
+fn shard_chunk_size_is_invisible() {
+    let data = run(&ScenarioParams::tiny(42));
+    let config = AnalysisConfig::default();
+    let expected = batch_json(&data, &config);
+    for chunk in [1usize, 7, 1024, usize::MAX] {
+        assert_eq!(
+            expected,
+            cluster_json(&data, &config, 4, chunk),
+            "chunk {chunk}"
+        );
+    }
+}
+
+/// The merged report's accounting is exact: per-shard event counts sum
+/// to the stream, headline counters equal the single-process ones, and
+/// the skew/min/max fields describe the actual partition.
+#[test]
+fn shard_counters_describe_the_actual_partition() {
+    let data = run(&ScenarioParams::tiny(42));
+    let events = scenario_event_stream(&data);
+    let batch = Analysis::run(&data, AnalysisConfig::default());
+    for shards in SHARD_COUNTS {
+        let result = run_cluster(&data, &events, &ClusterConfig::new(shards)).unwrap();
+        assert_eq!(
+            result.output.counters, batch.report.counters,
+            "{shards} shards"
+        );
+        assert_eq!(
+            result.report.counters, batch.report.counters,
+            "{shards} shards"
+        );
+        let c = result
+            .report
+            .cluster
+            .as_ref()
+            .expect("cluster section present");
+        assert_eq!(c.shards, shards);
+        assert_eq!(c.events_per_shard.len(), shards as usize);
+        assert_eq!(
+            c.events_per_shard.iter().sum::<u64>(),
+            events.len() as u64,
+            "events unaccounted for at {shards} shards"
+        );
+        assert_eq!(
+            c.max_shard_events,
+            *c.events_per_shard.iter().max().unwrap()
+        );
+        assert_eq!(
+            c.min_shard_events,
+            *c.events_per_shard.iter().min().unwrap()
+        );
+        assert_eq!(
+            c.recovery_events, 0,
+            "healthy run must record no recoveries"
+        );
+        assert_eq!(result.shard_reports.len(), shards as usize);
+        // Each shard saw a nonempty slice of work only if it was routed
+        // events; the streaming section must agree with the partition.
+        for (i, r) in result.shard_reports.iter().enumerate() {
+            let s = r
+                .streaming
+                .as_ref()
+                .expect("shards run the streaming driver");
+            assert_eq!(s.events_ingested, c.events_per_shard[i], "shard {i}");
+        }
+    }
+}
+
+/// The merged counters also agree with the checked-in golden tables —
+/// pinned bytes on disk, not a value computed in this process — so the
+/// cluster cannot drift in lockstep with a broken batch pipeline without
+/// failing CI.
+#[test]
+fn cluster_counters_match_golden_tables_without_reblessing() {
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for (name, seed) in [("tiny_seed42_tables", 42u64), ("tiny_seed7_tables", 7u64)] {
+        let blessed: Value = serde_json::from_str(
+            &std::fs::read_to_string(golden_dir.join(format!("{name}.json")))
+                .expect("golden present"),
+        )
+        .expect("golden is valid JSON");
+        let data = run(&ScenarioParams::tiny(seed));
+        let events = scenario_event_stream(&data);
+        for shards in [1u32, 4, 16] {
+            let result = run_cluster(&data, &events, &ClusterConfig::new(shards)).unwrap();
+            assert_eq!(
+                blessed["counters"],
+                serde_json::to_value(&result.report.counters).unwrap(),
+                "cluster counters drifted from golden `{name}` at {shards} shards"
+            );
+        }
+    }
+}
+
+/// Invalid inputs are rejected up front, before any shard thread spawns:
+/// the cluster refuses exactly what the single-process drivers refuse.
+#[test]
+fn cluster_validates_like_the_single_process_drivers() {
+    let data = run(&ScenarioParams::tiny(42));
+    let events = scenario_event_stream(&data);
+    let cfg = ClusterConfig {
+        shards: 4,
+        analysis: AnalysisConfig {
+            match_window: faultline_topology::time::Duration::ZERO,
+            ..AnalysisConfig::default()
+        },
+        chunk: 64,
+    };
+    assert!(run_cluster(&data, &events, &cfg).is_err());
+    // Zero shards is clamped, not rejected — a degenerate cluster is the
+    // single process.
+    let degenerate = run_cluster(&data, &events, &ClusterConfig::new(0)).unwrap();
+    assert_eq!(degenerate.report.cluster.unwrap().shards, 1);
+}

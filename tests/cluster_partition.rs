@@ -1,0 +1,172 @@
+//! Property tests for the cluster partitioner (`faultline-core::cluster`).
+//!
+//! The sharded runtime's correctness rests on three partitioner
+//! properties, pinned here over random topologies:
+//!
+//! 1. **Total and deterministic**: every link maps to exactly one shard
+//!    for every cluster size, and repeated evaluation agrees — there is
+//!    no coordination step, so agreement must be intrinsic.
+//! 2. **Bounded skew**: the consistent hash spreads links close to
+//!    uniformly; the busiest shard stays within a statistical bound of
+//!    the mean.
+//! 3. **Minimal resharding**: growing N → N+1 shards moves only the keys
+//!    that land on the *new* shard — the jump-consistent-hash contract —
+//!    and their number stays near the expected `links / (N + 1)`.
+
+use faultline_core::cluster::{partition_events, shard_of_key, shard_of_link};
+use faultline_core::linktable::from_scenario;
+use faultline_core::scenario_event_stream;
+use faultline_sim::scenario::{run, ScenarioParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every link maps to exactly one in-range shard for every cluster
+    /// size, and the mapping is a pure function of the key.
+    #[test]
+    fn every_link_maps_to_exactly_one_shard(seed in 0u64..10_000) {
+        let data = run(&ScenarioParams::tiny(seed));
+        let table = from_scenario(&data);
+        for shards in [1u32, 2, 3, 4, 7, 16, 64] {
+            for ix in table.iter() {
+                let s = shard_of_link(&table, ix, shards);
+                prop_assert!(s < shards, "shard {s} out of range for N={shards}");
+                prop_assert_eq!(s, shard_of_link(&table, ix, shards));
+                prop_assert_eq!(s, shard_of_key(table.shard_key(ix), shards));
+            }
+        }
+    }
+
+    /// Link distribution stays within a statistical skew bound: the
+    /// busiest shard holds at most mean + 5σ + 3 links, where σ is the
+    /// binomial standard deviation of uniform assignment. (The +3 slack
+    /// keeps tiny topologies, where σ is fractional, out of false
+    /// positives; a systematic hot shard still fails by a wide margin.)
+    #[test]
+    fn link_distribution_is_balanced(seed in 0u64..10_000) {
+        let data = run(&ScenarioParams::tiny(seed));
+        let table = from_scenario(&data);
+        let links = table.len() as f64;
+        prop_assert!(links > 0.0);
+        for shards in [2u32, 4, 8] {
+            let mut counts = vec![0u64; shards as usize];
+            for ix in table.iter() {
+                counts[shard_of_link(&table, ix, shards) as usize] += 1;
+            }
+            let p = 1.0 / f64::from(shards);
+            let mean = links * p;
+            let sigma = (links * p * (1.0 - p)).sqrt();
+            let bound = mean + 5.0 * sigma + 3.0;
+            let max = *counts.iter().max().unwrap() as f64;
+            prop_assert!(
+                max <= bound,
+                "N={shards}: busiest shard {max} links, bound {bound:.1} (mean {mean:.1})"
+            );
+        }
+    }
+
+    /// Growing the cluster N → N+1 moves only keys that land on the new
+    /// shard N (no key migrates between surviving shards), and about
+    /// 1/(N+1) of keys move.
+    #[test]
+    fn resharding_moves_only_its_fair_share(seed in 0u64..10_000) {
+        let data = run(&ScenarioParams::tiny(seed));
+        let table = from_scenario(&data);
+        let links = table.iter().count();
+        prop_assert!(links > 0);
+        for shards in [1u32, 2, 3, 4, 7, 15] {
+            let mut moved = 0usize;
+            for ix in table.iter() {
+                let before = shard_of_link(&table, ix, shards);
+                let after = shard_of_link(&table, ix, shards + 1);
+                if after != before {
+                    prop_assert_eq!(
+                        after, shards,
+                        "link moved {} -> {} when adding shard {}",
+                        before, after, shards
+                    );
+                    moved += 1;
+                }
+            }
+            // Expected moved = links/(N+1); allow generous binomial slack
+            // so small topologies stay stable while an everything-moves
+            // rehash (the modulo-hash failure mode) still fails.
+            let expect = links as f64 / f64::from(shards + 1);
+            let sigma = (links as f64 * (1.0 / f64::from(shards + 1))
+                * (1.0 - 1.0 / f64::from(shards + 1)))
+            .sqrt();
+            let bound = expect + 5.0 * sigma + 3.0;
+            prop_assert!(
+                (moved as f64) <= bound,
+                "N={shards}: {moved} of {links} links moved, expected ~{expect:.1} (bound {bound:.1})"
+            );
+        }
+    }
+
+    /// The event partitioner routes every event to exactly one shard and
+    /// preserves per-shard time order — the stream-splitting contract the
+    /// equivalence proof rests on.
+    #[test]
+    fn event_partition_is_a_total_ordered_split(seed in 0u64..10_000) {
+        let data = run(&ScenarioParams::tiny(seed));
+        let table = from_scenario(&data);
+        let events = scenario_event_stream(&data);
+        for shards in [1u32, 3, 7] {
+            let routed = partition_events(&table, &events, shards);
+            prop_assert_eq!(routed.len(), shards as usize);
+            let total: usize = routed.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, events.len(), "events lost or duplicated");
+            for (i, shard) in routed.iter().enumerate() {
+                prop_assert!(
+                    shard.windows(2).all(|w| w[0].at() <= w[1].at()),
+                    "shard {i} substream out of order"
+                );
+            }
+        }
+    }
+}
+
+/// Parallel links (multi-link adjacencies) must co-locate: IS-IS
+/// reachability events resolve only to the endpoint *pair*, so the
+/// cluster can route them only if every member link lives on the same
+/// shard. Group topology links by their router pair and check every
+/// group lands whole.
+#[test]
+fn parallel_links_share_a_shard() {
+    use std::collections::HashMap;
+    for seed in [7u64, 42, 1001] {
+        let data = run(&ScenarioParams::tiny(seed));
+        let table = from_scenario(&data);
+        let mut by_pair: HashMap<(u32, u32), Vec<_>> = HashMap::new();
+        for link in data.topology.links() {
+            let (lo, hi) = if link.a.router.0 <= link.b.router.0 {
+                (link.a.router.0, link.b.router.0)
+            } else {
+                (link.b.router.0, link.a.router.0)
+            };
+            if let Some(ix) = table.by_subnet(link.subnet) {
+                by_pair.entry((lo, hi)).or_default().push(ix);
+            }
+        }
+        let mut multilink_groups = 0;
+        for shards in [2u32, 3, 5, 16] {
+            for members in by_pair.values().filter(|m| m.len() > 1) {
+                multilink_groups += 1;
+                let first = shard_of_link(&table, members[0], shards);
+                for &m in members.iter() {
+                    assert_eq!(
+                        shard_of_link(&table, m, shards),
+                        first,
+                        "multi-link members split across shards (N={shards})"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            multilink_groups / 4,
+            table.multi_link_pairs(),
+            "test should exercise every multi-link adjacency the table knows"
+        );
+    }
+}

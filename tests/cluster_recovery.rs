@@ -1,0 +1,232 @@
+//! Shard-crash recovery harness for the sharded cluster runtime.
+//!
+//! The contract (see `faultline-core::cluster`): kill one shard of a
+//! durable cluster at an arbitrary event boundary, let the supervisor
+//! recover it independently through the ordinary `DurableStream::recover`
+//! ladder (its own `shard-{i}/` checkpoints + journal), and the final
+//! merged report is **byte-identical** to both a healthy cluster run and
+//! the single-process batch answer. Healthy shards are never restarted:
+//! their durability counters report zero restores and their engines are
+//! never rebuilt.
+
+use faultline_core::cluster::{
+    partition_events, run_cluster, run_durable_cluster, shard_dir, ClusterConfig,
+};
+use faultline_core::linktable::from_scenario;
+use faultline_core::recovery::DurabilityPolicy;
+use faultline_core::{scenario_event_stream, Analysis, AnalysisConfig};
+use faultline_sim::scenario::{run, ScenarioParams};
+use faultline_sim::{crash_points_seeded, shard_kill_seeded, ChaosConfig, ShardKill};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Self-cleaning scratch directory (no tempfile crate in this offline
+/// workspace).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("faultline-cluster-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tight_policy() -> DurabilityPolicy {
+    DurabilityPolicy {
+        checkpoint_interval: 7,
+        segment_max_records: 16,
+        retain_checkpoints: 2,
+        ..DurabilityPolicy::default()
+    }
+}
+
+/// Kill one seeded shard at several seeded event boundaries; after
+/// supervisor recovery the merged output is byte-identical to batch, the
+/// recovery ledger names exactly the killed shard, and every healthy
+/// shard reports zero restores.
+#[test]
+fn killed_shard_recovers_byte_identical() {
+    let data = run(&ScenarioParams::tiny(42));
+    let events = scenario_event_stream(&data);
+    let expected = {
+        let batch = Analysis::run(&data, AnalysisConfig::default());
+        serde_json::to_string(&batch.output).unwrap()
+    };
+    let cfg = ClusterConfig::new(4);
+    let table = from_scenario(&data);
+    let shard_events: Vec<u64> = partition_events(&table, &events, cfg.shards)
+        .iter()
+        .map(|s| s.len() as u64)
+        .collect();
+    for kill_seed in [1u64, 17, 99] {
+        let kill = shard_kill_seeded(kill_seed, &shard_events)
+            .expect("tiny scenario shards always hold >1 events");
+        let tmp = TempDir::new(&format!("kill-{kill_seed}"));
+        let durable =
+            run_durable_cluster(tmp.path(), &data, &events, &cfg, &tight_policy(), &[kill])
+                .expect("durable cluster run");
+        assert_eq!(
+            expected,
+            serde_json::to_string(&durable.result.output).unwrap(),
+            "merged output diverged after killing shard {} at {}",
+            kill.shard,
+            kill.after_events
+        );
+        assert_eq!(durable.recoveries.len(), 1, "exactly one recovery");
+        assert_eq!(durable.recoveries[0].shard, kill.shard);
+        assert_eq!(
+            durable.recoveries[0].report.resumed_at_seq, kill.after_events,
+            "journal-before-ingest: an in-process kill loses nothing"
+        );
+        for (i, &restores) in durable.shard_restores.iter().enumerate() {
+            if i as u32 == kill.shard {
+                assert_eq!(restores, 1, "killed shard restores exactly once");
+            } else {
+                assert_eq!(restores, 0, "healthy shard {i} must never restart");
+            }
+        }
+        assert_eq!(
+            durable
+                .result
+                .report
+                .cluster
+                .as_ref()
+                .unwrap()
+                .recovery_events,
+            1
+        );
+    }
+}
+
+/// The same contract across arbitrary kill boundaries on one shard
+/// (sampled via `crash_points_seeded`, the same generator the
+/// single-process crash harness uses), under a chaos-mangled archive.
+#[test]
+fn arbitrary_kill_boundaries_under_chaos_stay_byte_identical() {
+    let mut params = ScenarioParams::tiny(7);
+    params.chaos = ChaosConfig::mild(7 * 31);
+    let data = run(&params);
+    let events = scenario_event_stream(&data);
+    let expected = {
+        let batch = Analysis::run(&data, AnalysisConfig::default());
+        serde_json::to_string(&batch.output).unwrap()
+    };
+    let cfg = ClusterConfig::new(3);
+    let table = from_scenario(&data);
+    let shard_events: Vec<u64> = partition_events(&table, &events, cfg.shards)
+        .iter()
+        .map(|s| s.len() as u64)
+        .collect();
+    // Kill the busiest shard — the worst case for replay volume.
+    let victim = (0..cfg.shards)
+        .max_by_key(|&i| shard_events[i as usize])
+        .unwrap();
+    for point in crash_points_seeded(1234, shard_events[victim as usize], 4) {
+        let tmp = TempDir::new(&format!("boundary-{point}"));
+        let kill = ShardKill {
+            shard: victim,
+            after_events: point,
+        };
+        let durable =
+            run_durable_cluster(tmp.path(), &data, &events, &cfg, &tight_policy(), &[kill])
+                .expect("durable cluster run");
+        assert_eq!(
+            expected,
+            serde_json::to_string(&durable.result.output).unwrap(),
+            "kill at boundary {point} diverged"
+        );
+        assert_eq!(durable.recoveries.len(), 1);
+        assert!(
+            durable
+                .shard_restores
+                .iter()
+                .enumerate()
+                .all(|(i, &r)| (i as u32 == victim) == (r == 1)),
+            "only the victim restores: {:?}",
+            durable.shard_restores
+        );
+    }
+}
+
+/// Two shards killed in the same run: the supervisor recovers each from
+/// its own directory; the merged answer still matches batch.
+#[test]
+fn two_simultaneous_shard_deaths_recover_independently() {
+    let data = run(&ScenarioParams::tiny(11));
+    let events = scenario_event_stream(&data);
+    let expected = {
+        let batch = Analysis::run(&data, AnalysisConfig::default());
+        serde_json::to_string(&batch.output).unwrap()
+    };
+    let cfg = ClusterConfig::new(4);
+    let table = from_scenario(&data);
+    let shard_events: Vec<u64> = partition_events(&table, &events, cfg.shards)
+        .iter()
+        .map(|s| s.len() as u64)
+        .collect();
+    let mut victims: Vec<u32> = (0..cfg.shards).collect();
+    victims.sort_by_key(|&i| std::cmp::Reverse(shard_events[i as usize]));
+    let kills: Vec<ShardKill> = victims[..2]
+        .iter()
+        .map(|&shard| ShardKill {
+            shard,
+            after_events: shard_events[shard as usize] / 2,
+        })
+        .collect();
+    let tmp = TempDir::new("double-kill");
+    let durable = run_durable_cluster(tmp.path(), &data, &events, &cfg, &tight_policy(), &kills)
+        .expect("durable cluster run");
+    assert_eq!(
+        expected,
+        serde_json::to_string(&durable.result.output).unwrap()
+    );
+    assert_eq!(durable.recoveries.len(), 2);
+    let restored: u64 = durable.shard_restores.iter().sum();
+    assert_eq!(restored, 2, "exactly the two victims restore");
+}
+
+/// A healthy durable cluster (no kills) matches both the in-memory
+/// cluster and batch, leaves every `shard-{i}/` directory populated, and
+/// reports zero recoveries.
+#[test]
+fn healthy_durable_cluster_matches_in_memory_cluster() {
+    let data = run(&ScenarioParams::tiny(42));
+    let events = scenario_event_stream(&data);
+    let cfg = ClusterConfig::new(3);
+    let in_memory = run_cluster(&data, &events, &cfg).unwrap();
+    let tmp = TempDir::new("healthy");
+    let durable = run_durable_cluster(tmp.path(), &data, &events, &cfg, &tight_policy(), &[])
+        .expect("durable cluster run");
+    assert_eq!(
+        serde_json::to_string(&in_memory.output).unwrap(),
+        serde_json::to_string(&durable.result.output).unwrap(),
+    );
+    assert!(durable.recoveries.is_empty());
+    assert!(durable.shard_restores.iter().all(|&r| r == 0));
+    for i in 0..cfg.shards {
+        assert!(
+            shard_dir(tmp.path(), i).is_dir(),
+            "shard {i} directory missing"
+        );
+    }
+    let d = durable
+        .result
+        .report
+        .durability
+        .expect("durable cluster reports durability");
+    assert_eq!(d.restores, 0);
+    assert!(d.journal_records > 0, "shards journal their substreams");
+}

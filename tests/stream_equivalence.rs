@@ -154,6 +154,96 @@ fn quarantine_and_chaos_combined_stay_byte_identical() {
     }
 }
 
+/// Quarantine × parallelism: the original quarantine grids above only
+/// ever ran serial lanes, so a fan-out that (say) applied the horizon
+/// after chunk-splitting, or merged quarantine counts in lane-completion
+/// order, would have slipped through. Cross the horizon with every
+/// thread count and awkward chunk sizes; the admission decision is
+/// per-item and lanes are per-link, so the output — and the quarantine
+/// accounting — must be identical on every axis.
+#[test]
+fn quarantine_grid_crosses_thread_counts() {
+    for seed in [11u64, 42, 77] {
+        let data = run(&ScenarioParams::tiny(seed));
+        let serial = AnalysisConfig {
+            quarantine_horizon: Some(mid_horizon(&data)),
+            parallelism: ParallelismConfig::SERIAL,
+            ..AnalysisConfig::default()
+        };
+        let baseline = Analysis::run(&data, serial.clone());
+        assert!(
+            baseline.report.robustness.total_quarantined() > 0,
+            "seed {seed}: horizon must actually divert events"
+        );
+        let expected = serde_json::to_string(&baseline.output).unwrap();
+        for threads in [2usize, 4, 8] {
+            for chunk_size in [1usize, 7, 16] {
+                let config = AnalysisConfig {
+                    parallelism: ParallelismConfig {
+                        threads,
+                        chunk_size,
+                    },
+                    ..serial.clone()
+                };
+                let batch = Analysis::run(&data, config.clone());
+                assert_eq!(
+                    expected,
+                    serde_json::to_string(&batch.output).unwrap(),
+                    "parallel batch drifted: seed {seed}, threads {threads}, chunk {chunk_size}"
+                );
+                assert_eq!(
+                    baseline.report.robustness, batch.report.robustness,
+                    "quarantine accounting drifted: seed {seed}, threads {threads}"
+                );
+                for chunking in [Chunking::OneAtATime, Chunking::Fixed(13), Chunking::All] {
+                    let got = stream_json(&data, &config, chunking);
+                    assert_eq!(
+                        expected, got,
+                        "quarantine×threads: seed {seed}, threads {threads}, {chunking:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The full adversity stack — chaos preset + quarantine horizon +
+/// parallel lanes — at once. This is the configuration a production
+/// deployment actually runs; none of the three mechanisms may interact.
+#[test]
+fn quarantine_chaos_and_threads_combined_stay_byte_identical() {
+    for seed in [13u64, 59] {
+        let mut params = ScenarioParams::tiny(seed);
+        params.chaos = ChaosConfig::mild(seed * 17);
+        let data = run(&params);
+        let serial = AnalysisConfig {
+            quarantine_horizon: Some(mid_horizon(&data)),
+            parallelism: ParallelismConfig::SERIAL,
+            ..AnalysisConfig::default()
+        };
+        let baseline = Analysis::run(&data, serial.clone());
+        assert!(baseline.report.robustness.total_quarantined() > 0);
+        let expected = serde_json::to_string(&baseline.output).unwrap();
+        for threads in [2usize, 8] {
+            let config = AnalysisConfig {
+                parallelism: ParallelismConfig {
+                    threads,
+                    ..ParallelismConfig::default()
+                },
+                ..serial.clone()
+            };
+            assert_eq!(expected, batch_json(&data, &config), "threads {threads}");
+            for chunking in [Chunking::OneAtATime, Chunking::Fixed(31)] {
+                let got = stream_json(&data, &config, chunking);
+                assert_eq!(
+                    expected, got,
+                    "quarantine×chaos×threads: seed {seed}, threads {threads}, {chunking:?}"
+                );
+            }
+        }
+    }
+}
+
 /// Chunk-size boundaries around typical per-link burst sizes.
 #[test]
 fn chunk_boundaries_do_not_leak_state() {
