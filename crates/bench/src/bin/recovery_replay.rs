@@ -23,7 +23,14 @@
 //!    and the journal's group-commit cadence
 //!    (`DurabilityPolicy::fsync_every_n_records`) swept from never to
 //!    every 64 records, isolating what journal durability costs per
-//!    ingested event.
+//!    ingested event;
+//! 4. **Delta-vs-full cost curve** — the same killed-at-90% run under
+//!    (a) the legacy full-only synchronous snapshot policy and (b) the
+//!    base+delta chain policy with off-thread snapshots, recording
+//!    snapshot bytes, ingest-stall time, and recovery time for each.
+//!    The headline `delta_size_ratio` (average full bytes / average
+//!    delta bytes) is asserted ≥ 5 and gated against the committed
+//!    baseline in CI.
 
 use std::path::{Path, PathBuf};
 
@@ -41,6 +48,12 @@ const KILL_FRACTIONS: [f64; 5] = [0.10, 0.30, 0.50, 0.70, 0.90];
 /// Group-commit cadences for the fsync-cost arm (`0` = never fsync,
 /// the default policy).
 const FSYNC_CADENCES: [u64; 4] = [0, 1024, 256, 64];
+/// Cadence for the delta-vs-full arm. Tighter than `AUTO_INTERVAL` on
+/// purpose: delta snapshots earn their keep when checkpoints are
+/// frequent relative to stream growth — the regime the chain policy
+/// exists for — while a full snapshot always re-serializes the whole
+/// accumulated state regardless of cadence.
+const DELTA_CURVE_INTERVAL: u64 = 5_000;
 
 fn scratch_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -70,6 +83,8 @@ fn main() {
         .collect();
     println!("all recovered replays byte-identical to batch ✓");
     let fsync_curve = fsync_cost_curve(&data, &events, &batch_json);
+    let delta_curve = delta_vs_full_cost_curve(&data, &events, &batch_json);
+    let headline = headline_from(&delta_curve, events.len());
 
     let doc = json!({
         "bench": "recovery_replay",
@@ -78,11 +93,51 @@ fn main() {
         "events": (events.len()),
         "policy": (serde_json::to_value(&policy).expect("policy json")),
         "checkpoint_every": (CKPT_EVERY),
+        "headline": (headline),
         "checkpoints": (checkpoints),
         "recovery_curve": (recovery_curve),
         "fsync_cost_curve": (fsync_curve),
+        "delta_vs_full_cost_curve": (delta_curve),
     });
     write_bench_json("results/BENCH_recovery.json", &doc);
+}
+
+/// The gated summary: how much smaller a delta snapshot is than a full
+/// one under the chain policy, and what snapshotting stalls ingest by,
+/// per event, under each policy.
+fn headline_from(delta_curve: &[serde_json::Value], events: usize) -> serde_json::Value {
+    let point = |name: &str| -> &serde_json::Value {
+        delta_curve
+            .iter()
+            .find(|p| p["policy"].as_str() == Some(name))
+            .unwrap_or_else(|| panic!("missing {name} datapoint"))
+    };
+    let delta = point("delta_async");
+    let full = point("full_sync");
+    let avg_full = delta["avg_full_bytes"].as_f64().expect("avg_full_bytes");
+    let avg_delta = delta["avg_delta_bytes"].as_f64().expect("avg_delta_bytes");
+    let ratio = avg_full / avg_delta.max(1.0);
+    assert!(
+        ratio >= 5.0,
+        "delta snapshots must be at least 5x smaller than fulls at paper \
+         scale (got {ratio:.2}: full {avg_full:.0} B vs delta {avg_delta:.0} B)"
+    );
+    let stall = |p: &serde_json::Value| {
+        p["ingest_stall_micros"].as_u64().expect("stall") as f64 / events as f64
+    };
+    println!(
+        "headline: delta {avg_delta:.0} B vs full {avg_full:.0} B ({ratio:.1}x smaller), \
+         ingest stall {:.3} µs/event (full-sync policy: {:.3})",
+        stall(delta),
+        stall(full),
+    );
+    json!({
+        "delta_size_ratio": (ratio),
+        "avg_full_bytes": (avg_full),
+        "avg_delta_bytes": (avg_delta),
+        "delta_ingest_stall_micros_per_event": (stall(delta)),
+        "full_sync_ingest_stall_micros_per_event": (stall(full)),
+    })
 }
 
 /// Arm 1: uninterrupted durable run with manual checkpoints, recording
@@ -237,6 +292,98 @@ fn fsync_cost_curve(
             "ingest_micros": (ingest_micros),
             "events_per_sec": (events.len() as f64 / (ingest_micros.max(1) as f64 / 1e6)),
             "slowdown_vs_no_fsync": (slowdown),
+        }));
+    }
+    points
+}
+
+/// Arm 4: one kill-at-90% run per snapshot policy — the legacy
+/// full-only synchronous writer vs the base+delta chain on the
+/// off-thread writer — recording what each policy pays while ingesting
+/// (snapshot bytes, ingest-stall time) and at recovery (chain walked,
+/// recovery wall time). Both runs must still finish byte-identical to
+/// batch.
+fn delta_vs_full_cost_curve(
+    data: &ScenarioData,
+    events: &[StreamEvent],
+    batch_json: &str,
+) -> Vec<serde_json::Value> {
+    let kill_at = (events.len() * 9 / 10).max(1);
+    let variants = [
+        (
+            "full_sync",
+            DurabilityPolicy {
+                checkpoint_interval: DELTA_CURVE_INTERVAL,
+                full_every_n_checkpoints: 0,
+                offload_snapshots: false,
+                ..DurabilityPolicy::default()
+            },
+        ),
+        (
+            "delta_async",
+            DurabilityPolicy {
+                checkpoint_interval: DELTA_CURVE_INTERVAL,
+                ..DurabilityPolicy::default()
+            },
+        ),
+    ];
+    let mut points: Vec<serde_json::Value> = Vec::new();
+    for (name, policy) in variants {
+        let dir = scratch_dir(&format!("curve-{name}"));
+        let mut stream =
+            DurableStream::create(&dir, data, AnalysisConfig::default(), policy).expect("create");
+        let t0 = std::time::Instant::now();
+        for event in &events[..kill_at] {
+            stream.ingest(event).expect("journaled ingest");
+        }
+        let ingest_micros = t0.elapsed().as_micros() as u64;
+        // Counters as observed at the kill (offloaded writes still in
+        // flight — at most the queue depth — are not yet folded in).
+        let c = stream.counters();
+        drop(stream); // the "kill"
+
+        let t1 = std::time::Instant::now();
+        let (mut stream, report) =
+            DurableStream::recover(&dir, data, AnalysisConfig::default(), policy).expect("recover");
+        let recover_micros = t1.elapsed().as_micros() as u64;
+        assert_eq!(report.resumed_at_seq, kill_at as u64);
+        for event in &events[kill_at..] {
+            stream.ingest(event).expect("journaled ingest");
+        }
+        let result = stream.finish();
+        let replay_json = serde_json::to_string(&result.output).expect("serialize stream output");
+        assert_eq!(
+            batch_json, replay_json,
+            "{name} policy diverged from the batch pipeline after recovery"
+        );
+        let fulls = c.checkpoints_written - c.deltas_written;
+        let avg_full = c.full_bytes_total as f64 / fulls.max(1) as f64;
+        let avg_delta = c.delta_bytes_total as f64 / c.deltas_written.max(1) as f64;
+        println!(
+            "{name}: {} snapshots ({} deltas), avg full {avg_full:.0} B, avg delta \
+             {avg_delta:.0} B, stall {:.1} ms, chain {} at recovery in {:.1} ms",
+            c.checkpoints_written,
+            c.deltas_written,
+            c.ingest_stall_micros as f64 / 1e3,
+            report.chain_length,
+            recover_micros as f64 / 1e3,
+        );
+        cleanup(&dir);
+        points.push(json!({
+            "policy": (name),
+            "kill_at": (kill_at),
+            "checkpoints_written": (c.checkpoints_written),
+            "deltas_written": (c.deltas_written),
+            "avg_full_bytes": (avg_full),
+            "avg_delta_bytes": (avg_delta),
+            "checkpoint_micros_max": (c.checkpoint_write_micros_max),
+            "ingest_micros": (ingest_micros),
+            "ingest_stall_micros": (c.ingest_stall_micros),
+            "snapshot_thread_stalls": (c.snapshot_thread_stalls),
+            "snapshot_sync_fallbacks": (c.snapshot_sync_fallbacks),
+            "chain_length_at_recovery": (report.chain_length),
+            "events_replayed": (report.events_replayed),
+            "recover_micros": (recover_micros),
         }));
     }
     points

@@ -744,6 +744,15 @@ pub fn run_durable_cluster(
         durability.restores += d.restores;
         durability.events_replayed += d.events_replayed;
         durability.journal_truncated_records += d.journal_truncated_records;
+        durability.deltas_written += d.deltas_written;
+        durability.delta_bytes_total += d.delta_bytes_total;
+        durability.full_bytes_total += d.full_bytes_total;
+        durability.chain_length_at_recovery = durability
+            .chain_length_at_recovery
+            .max(d.chain_length_at_recovery);
+        durability.snapshot_thread_stalls += d.snapshot_thread_stalls;
+        durability.snapshot_sync_fallbacks += d.snapshot_sync_fallbacks;
+        durability.ingest_stall_micros += d.ingest_stall_micros;
         outputs.push(result.output);
         shard_reports.push(result.report);
     }

@@ -349,6 +349,39 @@ pub(crate) struct LinkLane {
     pub(crate) flap_last_end: Option<Timestamp>,
     pub(crate) flap_run: u32,
     pub(crate) flap_episodes: u64,
+    /// Touched since the durability layer's last snapshot mark. Every
+    /// mutation flows through [`LinkLane::apply`], so setting the flag
+    /// there (and on construction) is exhaustive; the streaming driver's
+    /// `mark_clean` resets it after each checkpoint capture. Runtime-only:
+    /// deliberately absent from [`LaneSnapshot`].
+    pub(crate) dirty: bool,
+    /// History-vector lengths at the last snapshot mark — what
+    /// [`LinkLane::delta_snapshot`] diffs against. Runtime-only, like
+    /// `dirty`.
+    pub(crate) mark: LaneMark,
+}
+
+/// Lengths of a lane's append-only history vectors at the durability
+/// layer's last snapshot mark. Every long-lived vector in a lane only
+/// ever grows between marks (`seg_start_*` are cursors *into* `san_*`,
+/// not drains), so an incremental snapshot can carry just the slices
+/// past these lengths. `marked == false` means the lane was born after
+/// the mark (or was restored without one): there is no parent image to
+/// diff against and the delta must carry the lane whole.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LaneMark {
+    pub(crate) marked: bool,
+    is_emitted: usize,
+    ip_emitted: usize,
+    syslog_emitted: usize,
+    isis_failures: usize,
+    isis_ambiguous: usize,
+    syslog_failures: usize,
+    syslog_ambiguous: usize,
+    san_isis: usize,
+    san_syslog: usize,
+    matched: usize,
+    partial: usize,
 }
 
 impl LinkLane {
@@ -378,6 +411,8 @@ impl LinkLane {
             flap_last_end: None,
             flap_run: 0,
             flap_episodes: 0,
+            dirty: true,
+            mark: LaneMark::default(),
         }
     }
 
@@ -393,6 +428,7 @@ impl LinkLane {
     }
 
     pub(crate) fn apply(&mut self, event: &LaneEvent, ctx: &LaneCtx<'_>) {
+        self.dirty = true;
         match *event {
             LaneEvent::Dedup { at, direction } => self.apply_dedup(at, direction, ctx),
             LaneEvent::Is {
@@ -744,8 +780,247 @@ impl LinkLane {
             flap_last_end: s.flap_last_end,
             flap_run: s.flap_run,
             flap_episodes: s.flap_episodes,
+            dirty: false,
+            mark: LaneMark::default(),
         }
     }
+
+    /// Close the current diff window: clear the dirty flag and anchor
+    /// every history vector's mark at its current length, so the next
+    /// [`LinkLane::delta_snapshot`] carries only what grows from here.
+    pub(crate) fn mark_clean(&mut self) {
+        self.dirty = false;
+        self.mark = LaneMark {
+            marked: true,
+            is_emitted: self.is_emitted.len(),
+            ip_emitted: self.ip_emitted.len(),
+            syslog_emitted: self.syslog_emitted.len(),
+            isis_failures: self.isis_recon.failures.len(),
+            isis_ambiguous: self.isis_recon.ambiguous.len(),
+            syslog_failures: self.syslog_recon.failures.len(),
+            syslog_ambiguous: self.syslog_recon.ambiguous.len(),
+            san_isis: self.san_isis.len(),
+            san_syslog: self.san_syslog.len(),
+            matched: self.matched.len(),
+            partial: self.partial.len(),
+        };
+    }
+
+    /// Incremental image of this lane against the last mark: bounded
+    /// open state verbatim, history vectors as tails. A lane born after
+    /// the mark has no parent image to diff against and ships whole.
+    pub(crate) fn delta_snapshot(&self) -> LaneDelta {
+        if !self.mark.marked {
+            return LaneDelta::Full(self.snapshot());
+        }
+        let m = &self.mark;
+        LaneDelta::Tail(LaneTail {
+            link: self.link,
+            link_id: self.link_id,
+            resolvable: self.resolvable,
+            dedup_last: self.dedup.last,
+            is_merge: self.is_merge.snapshot(),
+            ip_merge: self.ip_merge.snapshot(),
+            is_emitted_base: m.is_emitted as u64,
+            is_emitted_tail: self.is_emitted[m.is_emitted..].to_vec(),
+            ip_emitted_base: m.ip_emitted as u64,
+            ip_emitted_tail: self.ip_emitted[m.ip_emitted..].to_vec(),
+            syslog_emitted_base: m.syslog_emitted as u64,
+            syslog_emitted_tail: self.syslog_emitted[m.syslog_emitted..].to_vec(),
+            isis_recon: self.isis_recon.tail(m.isis_failures, m.isis_ambiguous),
+            syslog_recon: self
+                .syslog_recon
+                .tail(m.syslog_failures, m.syslog_ambiguous),
+            isis_sanitize: self.isis_sanitize,
+            syslog_sanitize: self.syslog_sanitize,
+            san_isis_base: m.san_isis as u64,
+            san_isis_tail: self.san_isis[m.san_isis..].to_vec(),
+            san_syslog_base: m.san_syslog as u64,
+            san_syslog_tail: self.san_syslog[m.san_syslog..].to_vec(),
+            seg_start_isis: self.seg_start_isis,
+            seg_start_syslog: self.seg_start_syslog,
+            seg_max_end: self.seg_max_end,
+            matched_base: m.matched as u64,
+            matched_tail: self.matched[m.matched..].to_vec(),
+            partial_base: m.partial as u64,
+            partial_tail: self.partial[m.partial..].to_vec(),
+            segments_closed: self.segments_closed,
+            flap_last_end: self.flap_last_end,
+            flap_run: self.flap_run,
+            flap_episodes: self.flap_episodes,
+        })
+    }
+
+    /// Replay a [`LaneTail`] onto this lane, which must be exactly the
+    /// state the tail was diffed against: every base length is checked
+    /// before any vector grows, so a mismatched application is a typed
+    /// error, never a silently wrong lane.
+    pub(crate) fn apply_tail(&mut self, t: LaneTail) -> Result<(), String> {
+        grow(
+            &mut self.is_emitted,
+            t.is_emitted_base,
+            t.is_emitted_tail,
+            "is_emitted",
+        )?;
+        grow(
+            &mut self.ip_emitted,
+            t.ip_emitted_base,
+            t.ip_emitted_tail,
+            "ip_emitted",
+        )?;
+        grow(
+            &mut self.syslog_emitted,
+            t.syslog_emitted_base,
+            t.syslog_emitted_tail,
+            "syslog_emitted",
+        )?;
+        self.isis_recon.apply_tail(t.isis_recon, "isis")?;
+        self.syslog_recon.apply_tail(t.syslog_recon, "syslog")?;
+        grow(
+            &mut self.san_isis,
+            t.san_isis_base,
+            t.san_isis_tail,
+            "san_isis",
+        )?;
+        grow(
+            &mut self.san_syslog,
+            t.san_syslog_base,
+            t.san_syslog_tail,
+            "san_syslog",
+        )?;
+        grow(&mut self.matched, t.matched_base, t.matched_tail, "matched")?;
+        grow(&mut self.partial, t.partial_base, t.partial_tail, "partial")?;
+        self.link_id = t.link_id;
+        self.resolvable = t.resolvable;
+        self.dedup.last = t.dedup_last;
+        self.is_merge = MergeState::restore(t.is_merge);
+        self.ip_merge = MergeState::restore(t.ip_merge);
+        self.isis_sanitize = t.isis_sanitize;
+        self.syslog_sanitize = t.syslog_sanitize;
+        self.seg_start_isis = t.seg_start_isis;
+        self.seg_start_syslog = t.seg_start_syslog;
+        self.seg_max_end = t.seg_max_end;
+        self.segments_closed = t.segments_closed;
+        self.flap_last_end = t.flap_last_end;
+        self.flap_run = t.flap_run;
+        self.flap_episodes = t.flap_episodes;
+        Ok(())
+    }
+}
+
+/// Extend an append-only history vector with a tail diffed at
+/// `base` — refused unless the vector is exactly `base` long.
+fn grow<T>(v: &mut Vec<T>, base: u64, tail: Vec<T>, what: &str) -> Result<(), String> {
+    if v.len() as u64 != base {
+        return Err(format!(
+            "lane tail base mismatch for {what}: parent holds {}, delta diffed at {base}",
+            v.len()
+        ));
+    }
+    v.extend(tail);
+    Ok(())
+}
+
+/// Incremental image of [`ReconLane`]: the bounded open state verbatim,
+/// the append-only `failures`/`ambiguous` logs as tails.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ReconTail {
+    open: Option<Timestamp>,
+    last_at: Option<Timestamp>,
+    last_dir: Option<TransitionDirection>,
+    pending: Option<Failure>,
+    failures_base: u64,
+    failures_tail: Vec<Failure>,
+    ambiguous_base: u64,
+    ambiguous_tail: Vec<AmbiguousPeriod>,
+    boundary_ups: u32,
+}
+
+impl ReconLane {
+    fn tail(&self, failures_mark: usize, ambiguous_mark: usize) -> ReconTail {
+        ReconTail {
+            open: self.open,
+            last_at: self.last_at,
+            last_dir: self.last_dir,
+            pending: self.pending,
+            failures_base: failures_mark as u64,
+            failures_tail: self.failures[failures_mark..].to_vec(),
+            ambiguous_base: ambiguous_mark as u64,
+            ambiguous_tail: self.ambiguous[ambiguous_mark..].to_vec(),
+            boundary_ups: self.boundary_ups,
+        }
+    }
+
+    fn apply_tail(&mut self, t: ReconTail, source: &str) -> Result<(), String> {
+        grow(
+            &mut self.failures,
+            t.failures_base,
+            t.failures_tail,
+            &format!("{source} recon failures"),
+        )?;
+        grow(
+            &mut self.ambiguous,
+            t.ambiguous_base,
+            t.ambiguous_tail,
+            &format!("{source} recon ambiguous"),
+        )?;
+        self.open = t.open;
+        self.last_at = t.last_at;
+        self.last_dir = t.last_dir;
+        self.pending = t.pending;
+        self.boundary_ups = t.boundary_ups;
+        Ok(())
+    }
+}
+
+/// Incremental image of one [`LinkLane`] relative to the parent
+/// snapshot: bounded scalars and open state verbatim, every append-only
+/// history vector as a `(base length, tail)` pair. Like
+/// [`LaneSnapshot`], the serde field names are a stable delta-format
+/// contract.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct LaneTail {
+    pub(crate) link: LinkIx,
+    link_id: Option<LinkId>,
+    resolvable: bool,
+    dedup_last: Option<(Timestamp, TransitionDirection)>,
+    is_merge: MergeSnapshot,
+    ip_merge: MergeSnapshot,
+    is_emitted_base: u64,
+    is_emitted_tail: Vec<LinkTransition>,
+    ip_emitted_base: u64,
+    ip_emitted_tail: Vec<LinkTransition>,
+    syslog_emitted_base: u64,
+    syslog_emitted_tail: Vec<LinkTransition>,
+    isis_recon: ReconTail,
+    syslog_recon: ReconTail,
+    isis_sanitize: SanitizeReport,
+    syslog_sanitize: SanitizeReport,
+    san_isis_base: u64,
+    san_isis_tail: Vec<Failure>,
+    san_syslog_base: u64,
+    san_syslog_tail: Vec<Failure>,
+    seg_start_isis: usize,
+    seg_start_syslog: usize,
+    seg_max_end: Option<Timestamp>,
+    matched_base: u64,
+    matched_tail: Vec<(usize, usize)>,
+    partial_base: u64,
+    partial_tail: Vec<(usize, usize)>,
+    segments_closed: u64,
+    flap_last_end: Option<Timestamp>,
+    flap_run: u32,
+    flap_episodes: u64,
+}
+
+/// One lane's contribution to a [`crate::streaming::StreamDelta`]:
+/// whole if the lane was born inside the diff window, a tail otherwise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum LaneDelta {
+    /// Lane born after the parent snapshot — no parent image exists.
+    Full(LaneSnapshot),
+    /// Lane that existed at the parent: scalars plus vector tails.
+    Tail(LaneTail),
 }
 
 /// What [`Kernel::collect`] hands back to a driver: the comparable

@@ -96,8 +96,8 @@ pub use observe::{
 };
 pub use par::ParallelismConfig;
 pub use reconstruct::{AmbiguityStrategy, Failure};
-pub use recovery::{DurabilityPolicy, DurableStream, RecoveryReport, RetryPolicy};
+pub use recovery::{AsyncFaultHook, DurabilityPolicy, DurableStream, RecoveryReport, RetryPolicy};
 pub use streaming::{
     scenario_event_stream, IngestOutcome, IngestSummary, StreamAnalysis, StreamCheckpoint,
-    StreamEvent, StreamOutput, StreamResult,
+    StreamDelta, StreamEvent, StreamOutput, StreamResult,
 };

@@ -135,6 +135,34 @@ pub struct DurabilityCounters {
     pub events_replayed: u64,
     /// Torn journal records dropped at a segment tail during recovery.
     pub journal_truncated_records: u64,
+    /// Incremental delta snapshots successfully written (a subset of
+    /// `checkpoints_written`; the rest were full bases).
+    #[serde(default)]
+    pub deltas_written: u64,
+    /// Total bytes across all delta snapshots written this run.
+    #[serde(default)]
+    pub delta_bytes_total: u64,
+    /// Total bytes across all full base checkpoints written this run.
+    #[serde(default)]
+    pub full_bytes_total: u64,
+    /// Deltas the last recovery applied on top of its full base (0 when
+    /// the restored tip was itself a full checkpoint, or no recovery
+    /// happened).
+    #[serde(default)]
+    pub chain_length_at_recovery: u64,
+    /// Times the ingest thread blocked because the snapshot writer's
+    /// bounded hand-off queue was full (backpressure).
+    #[serde(default)]
+    pub snapshot_thread_stalls: u64,
+    /// Cadence snapshots forced onto the synchronous write path after
+    /// the off-thread writer exhausted its retries.
+    #[serde(default)]
+    pub snapshot_sync_fallbacks: u64,
+    /// Wall-clock time the ingest thread spent inside the snapshot
+    /// section (capture + hand-off on the offloaded path; the whole
+    /// write when synchronous), microseconds.
+    #[serde(default)]
+    pub ingest_stall_micros: u64,
 }
 
 /// What the pipeline refused or quarantined instead of crashing on: the
@@ -320,17 +348,21 @@ impl fmt::Display for PipelineReport {
         if let Some(d) = &self.durability {
             writeln!(
                 f,
-                "  durability: {} checkpoints (last {} B, worst {:.3} ms, {} retries), {} journal records in {} segments ({} B), {} restores ({} replayed, {} torn)",
+                "  durability: {} checkpoints ({} deltas, last {} B, worst {:.3} ms, {} retries, {} stalls, {} sync fallbacks), {} journal records in {} segments ({} B), {} restores ({} replayed, {} torn, chain {})",
                 d.checkpoints_written,
+                d.deltas_written,
                 d.checkpoint_bytes_last,
                 d.checkpoint_write_micros_max as f64 / 1_000.0,
                 d.checkpoint_retries,
+                d.snapshot_thread_stalls,
+                d.snapshot_sync_fallbacks,
                 d.journal_records,
                 d.journal_segments,
                 d.journal_bytes,
                 d.restores,
                 d.events_replayed,
-                d.journal_truncated_records
+                d.journal_truncated_records,
+                d.chain_length_at_recovery
             )?;
         }
         if let Some(c) = &self.cluster {
@@ -447,10 +479,17 @@ mod tests {
             restores: 1,
             events_replayed: 250,
             journal_truncated_records: 1,
+            deltas_written: 2,
+            delta_bytes_total: 900,
+            full_bytes_total: 4096,
+            chain_length_at_recovery: 2,
+            snapshot_thread_stalls: 4,
+            snapshot_sync_fallbacks: 1,
+            ingest_stall_micros: 777,
         });
         let text = format!("{r}");
-        assert!(text.contains("durability: 3 checkpoints"));
-        assert!(text.contains("1 restores (250 replayed, 1 torn)"));
+        assert!(text.contains("durability: 3 checkpoints (2 deltas"));
+        assert!(text.contains("1 restores (250 replayed, 1 torn, chain 2)"));
         let back: PipelineReport =
             serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
         assert_eq!(back.durability, r.durability);

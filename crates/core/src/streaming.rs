@@ -81,7 +81,7 @@ use faultline_topology::time::Timestamp;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-use crate::kernel::LaneSnapshot;
+use crate::kernel::{LaneDelta, LaneSnapshot};
 use crate::linktable::LinkIx;
 #[cfg(doc)]
 use crate::reconstruct::AmbiguityStrategy;
@@ -233,6 +233,11 @@ impl StreamCheckpoint {
         self.seq
     }
 
+    /// How many lanes the capture holds (diagnostics only).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
     /// The analysis configuration the captured run was using.
     pub fn config(&self) -> &AnalysisConfig {
         &self.config
@@ -242,6 +247,65 @@ impl StreamCheckpoint {
     /// had been accepted.
     pub fn watermark(&self) -> Option<Timestamp> {
         self.watermark
+    }
+}
+
+/// An **incremental** image of a [`StreamAnalysis`]: everything that
+/// changed since the parent snapshot at `parent_seq` — the lanes whose
+/// state machines were touched (the kernel's dirty-lane flags), the
+/// resolved-message *tail* appended since the parent, and the (cheap,
+/// always-copied) scalar counters and watermark. Applying a delta on top
+/// of the engine state its parent captured reproduces exactly the state a
+/// full [`StreamCheckpoint`] at `seq` would have restored.
+///
+/// A delta deliberately carries **no configuration**: a chain is anchored
+/// at a full base, the base's validated config governs the whole chain,
+/// and the configuration cannot change mid-run. The durable file format
+/// around this payload — the header chaining parent seq and parent hash —
+/// lives in [`crate::recovery`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamDelta {
+    seq: u64,
+    parent_seq: u64,
+    watermark: Option<Timestamp>,
+    /// `kernel.messages.len()` at the parent capture; the guard that a
+    /// delta is only applied on top of the state it was diffed against.
+    messages_base_len: u64,
+    messages_tail: Vec<ResolvedMessage>,
+    resolve_stats: SyslogResolveStats,
+    is_stats: IsisMergeStats,
+    ip_stats: IsisMergeStats,
+    events_syslog: u64,
+    events_isis: u64,
+    batches: u64,
+    late_events: u64,
+    open_items: u64,
+    open_items_hwm: u64,
+    quarantined_syslog: u64,
+    quarantined_isis: u64,
+    /// Only lanes dirtied since the parent capture, ascending by link
+    /// (the kernel map's iteration order), so serialization stays
+    /// deterministic for a given state. A lane that existed at the
+    /// parent ships as a [`LaneDelta::Tail`] — its bounded open state
+    /// plus only what its append-only history vectors grew — and a lane
+    /// born inside the window ships whole.
+    lanes: Vec<LaneDelta>,
+}
+
+impl StreamDelta {
+    /// Events the captured engine had consumed at this delta.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The stream position of the snapshot this delta diffs against.
+    pub fn parent_seq(&self) -> u64 {
+        self.parent_seq
+    }
+
+    /// How many dirtied lanes this delta carries (diagnostics only).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
     }
 }
 
@@ -265,6 +329,14 @@ pub struct StreamAnalysis<'a> {
     late_events: u64,
     quarantined_syslog: u64,
     quarantined_isis: u64,
+    /// `kernel.messages.len()` at the last [`StreamAnalysis::mark_clean`]
+    /// — the base the next delta's message tail starts from. Messages
+    /// only ever append (classification is serial), so a length is a
+    /// complete diff anchor.
+    messages_mark: usize,
+    /// Events ingested at the last `mark_clean` — the `parent_seq` the
+    /// next [`StreamAnalysis::checkpoint_delta`] will chain to.
+    marked_seq: u64,
 }
 
 impl<'a> StreamAnalysis<'a> {
@@ -294,6 +366,8 @@ impl<'a> StreamAnalysis<'a> {
             late_events: 0,
             quarantined_syslog: 0,
             quarantined_isis: 0,
+            messages_mark: 0,
+            marked_seq: 0,
         }
     }
 
@@ -348,6 +422,105 @@ impl<'a> StreamAnalysis<'a> {
         }
     }
 
+    /// Capture only what changed since the last [`StreamAnalysis::mark_clean`]:
+    /// dirtied lanes, the appended message tail, and the scalar counters.
+    /// The capture is pure — call `mark_clean` once the snapshot has been
+    /// handed off (or durably written) to start the next diff window.
+    pub fn checkpoint_delta(&self) -> StreamDelta {
+        StreamDelta {
+            seq: self.events_ingested(),
+            parent_seq: self.marked_seq,
+            watermark: self.watermark,
+            messages_base_len: self.messages_mark as u64,
+            messages_tail: self.kernel.messages[self.messages_mark..].to_vec(),
+            resolve_stats: self.kernel.resolve_stats,
+            is_stats: self.kernel.is_stats,
+            ip_stats: self.kernel.ip_stats,
+            events_syslog: self.events_syslog,
+            events_isis: self.events_isis,
+            batches: self.batches,
+            late_events: self.late_events,
+            open_items: self.kernel.open_items,
+            open_items_hwm: self.kernel.open_items_hwm,
+            quarantined_syslog: self.quarantined_syslog,
+            quarantined_isis: self.quarantined_isis,
+            lanes: self
+                .kernel
+                .lanes
+                .values()
+                .filter(|lane| lane.dirty)
+                .map(LinkLane::delta_snapshot)
+                .collect(),
+        }
+    }
+
+    /// Start a new diff window: clear every lane's dirty flag and anchor
+    /// the message tail at the current archive length. Called by the
+    /// durability layer right after each snapshot capture (full or
+    /// delta) so the next [`StreamAnalysis::checkpoint_delta`] diffs
+    /// against exactly the state that capture preserved.
+    pub fn mark_clean(&mut self) {
+        for lane in self.kernel.lanes.values_mut() {
+            lane.mark_clean();
+        }
+        self.messages_mark = self.kernel.messages.len();
+        self.marked_seq = self.events_ingested();
+    }
+
+    /// Advance a restored engine by one delta: replace the dirtied
+    /// lanes, append the message tail, and overwrite the scalar state.
+    /// The engine must be exactly at the delta's parent state — the
+    /// sequence and message-base guards make a mismatched application a
+    /// typed error (surfaced by [`crate::recovery`] as a corrupt chain),
+    /// never a silently wrong restore.
+    pub fn apply_delta(&mut self, delta: StreamDelta) -> Result<(), String> {
+        if delta.parent_seq != self.events_ingested() {
+            return Err(format!(
+                "delta parent seq {} does not match engine position {}",
+                delta.parent_seq,
+                self.events_ingested()
+            ));
+        }
+        if delta.messages_base_len != self.kernel.messages.len() as u64 {
+            return Err(format!(
+                "delta message base {} does not match archive length {}",
+                delta.messages_base_len,
+                self.kernel.messages.len()
+            ));
+        }
+        self.watermark = delta.watermark;
+        self.kernel.messages.extend(delta.messages_tail);
+        self.kernel.resolve_stats = delta.resolve_stats;
+        self.kernel.is_stats = delta.is_stats;
+        self.kernel.ip_stats = delta.ip_stats;
+        self.events_syslog = delta.events_syslog;
+        self.events_isis = delta.events_isis;
+        self.batches = delta.batches;
+        self.late_events = delta.late_events;
+        self.kernel.open_items = delta.open_items;
+        self.kernel.open_items_hwm = delta.open_items_hwm;
+        self.quarantined_syslog = delta.quarantined_syslog;
+        self.quarantined_isis = delta.quarantined_isis;
+        for lane_delta in delta.lanes {
+            match lane_delta {
+                LaneDelta::Full(snap) => {
+                    self.kernel.lanes.insert(snap.link, LinkLane::restore(snap));
+                }
+                LaneDelta::Tail(tail) => {
+                    let Some(lane) = self.kernel.lanes.get_mut(&tail.link) else {
+                        return Err(format!(
+                            "delta tail for link {:?} which the parent state never had",
+                            tail.link
+                        ));
+                    };
+                    lane.apply_tail(tail)?;
+                }
+            }
+        }
+        self.mark_clean();
+        Ok(())
+    }
+
     /// Rebuild an engine from a checkpoint against the same scenario's
     /// static side inputs (topology, offline spans, tickets). The
     /// embedded configuration is re-validated exactly as
@@ -374,6 +547,9 @@ impl<'a> StreamAnalysis<'a> {
             .into_iter()
             .map(|s| (s.link, LinkLane::restore(s)))
             .collect();
+        // Restored lanes are clean: the next delta diffs against exactly
+        // this state.
+        engine.mark_clean();
         Ok(engine)
     }
 

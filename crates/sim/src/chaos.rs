@@ -631,6 +631,47 @@ impl CheckpointFaultPlan {
     }
 }
 
+/// One injected fault against a snapshot **chain** on disk — the
+/// mid-delta-write and mid-base-write failure modes the chain-aware
+/// recovery ladder must degrade through (to an older intact link or
+/// base) without ever aborting or resuming wrong. The test harness owns
+/// the actual file surgery; this enum is the seeded menu.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainFault {
+    /// The newest delta file is truncated mid-payload (a torn write
+    /// that somehow survived the atomic rename — e.g. media damage).
+    TornDelta,
+    /// The newest full base is deleted outright, orphaning every delta
+    /// chained to it.
+    MissingBase,
+    /// Two delta files have their contents swapped, so every header
+    /// chain pointer disagrees with the payload it sits on.
+    ReorderedChain,
+    /// The newest delta's header declares a wrong parent hash — the
+    /// chain link itself lies while both files' payloads are intact.
+    CorruptParentHash,
+}
+
+impl ChainFault {
+    /// Every chain fault, in a fixed order (for exhaustive sweeps).
+    pub const ALL: [ChainFault; 4] = [
+        ChainFault::TornDelta,
+        ChainFault::MissingBase,
+        ChainFault::ReorderedChain,
+        ChainFault::CorruptParentHash,
+    ];
+}
+
+/// `count` seeded chain faults (drawn with replacement from
+/// [`ChainFault::ALL`]) — deterministic in the seed, so a failing
+/// recovery case replays exactly.
+pub fn chain_faults_seeded(seed: u64, count: usize) -> Vec<ChainFault> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A1_4FA0_17D0_5EED);
+    (0..count)
+        .map(|_| ChainFault::ALL[rng.random_range(0..ChainFault::ALL.len())])
+        .collect()
+}
+
 /// Kill points at every `k`-th event boundary: `k, 2k, ...` strictly
 /// below `total`. `crash_points_every(1, n)` is the exhaustive
 /// every-boundary sweep.

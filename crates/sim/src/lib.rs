@@ -43,8 +43,8 @@ pub mod truth;
 pub mod workload;
 
 pub use chaos::{
-    crash_points_every, crash_points_seeded, shard_kill_seeded, ChaosConfig, ChaosOutcome,
-    ChaosStats, CheckpointFaultPlan, DurabilityChaos, ShardKill,
+    chain_faults_seeded, crash_points_every, crash_points_seeded, shard_kill_seeded, ChainFault,
+    ChaosConfig, ChaosOutcome, ChaosStats, CheckpointFaultPlan, DurabilityChaos, ShardKill,
 };
 pub use scenario::{ScenarioData, ScenarioParams};
 pub use tickets::{Ticket, TicketLog};

@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
-# Throughput regression gate for the analysis pipeline.
+# Headline regression gate for the bench documents.
 #
-# Compares the headline ingest rate of freshly written BENCH documents
-# against their committed baselines and fails when throughput drops more
-# than the tolerance (default 10%). Two headlines are gated:
+# Compares a headline metric of freshly written BENCH documents against
+# their committed baselines and fails when it drops more than the
+# tolerance (default 10%). Three headlines are gated:
 #
-#   results/BENCH_pipeline.json  (cargo run --release -p faultline-bench
+#   results/BENCH_pipeline.json  ingest_events_per_sec
+#                                (cargo run --release -p faultline-bench
 #                                 --bin pipeline_report)
-#   results/BENCH_cluster.json   (cargo run --release -p faultline-bench
+#   results/BENCH_cluster.json   ingest_events_per_sec
+#                                (cargo run --release -p faultline-bench
 #                                 --bin cluster_replay)
+#   results/BENCH_recovery.json  delta_size_ratio — how many times
+#                                smaller a delta snapshot is than a full
+#                                one (cargo run --release -p
+#                                 faultline-bench --bin recovery_replay;
+#                                 the bin also enforces the absolute
+#                                 >= 5x floor before writing the JSON)
 #
-# CI runs this after the benches so a hot-path (or merge-path) regression
-# fails the build with both numbers in the log.
+# CI runs this after the benches so a hot-path (or merge-path, or
+# snapshot-format) regression fails the build with both numbers in the
+# log.
 #
 # Re-blessing a baseline (after an intentional change, measured on the
 # same class of machine):
@@ -20,13 +29,15 @@
 #   cp results/BENCH_pipeline.json results/BENCH_pipeline.baseline.json
 #   cargo run --release -p faultline-bench --bin cluster_replay
 #   cp results/BENCH_cluster.json results/BENCH_cluster.baseline.json
+#   cargo run --release -p faultline-bench --bin recovery_replay
+#   cp results/BENCH_recovery.json results/BENCH_recovery.baseline.json
 #   git add results/*.baseline.json   # commit with the why
 #
-# Usage: scripts/check_bench_regression.sh [fresh.json] [baseline.json]
-#   With explicit arguments, gates exactly that pair (the historical
-#   single-pair interface). With no arguments, gates BENCH_pipeline
-#   always and BENCH_cluster when its fresh document exists (the cluster
-#   job produces it separately from the bench job).
+# Usage: scripts/check_bench_regression.sh [fresh.json] [baseline.json] [metric] [unit]
+#   With explicit arguments, gates exactly that pair on that headline
+#   metric (default ingest_events_per_sec). With no arguments, gates
+#   BENCH_pipeline always, and BENCH_cluster / BENCH_recovery when their
+#   fresh documents exist (those jobs produce them separately).
 # Env:   BENCH_TOLERANCE=0.10   fractional allowed drop
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,7 +45,7 @@ cd "$(dirname "$0")/.."
 TOLERANCE=${BENCH_TOLERANCE:-0.10}
 
 gate() {
-    local fresh=$1 baseline=$2
+    local fresh=$1 baseline=$2 metric=${3:-ingest_events_per_sec} unit=${4:-events/s}
     for f in "$fresh" "$baseline"; do
         if [ ! -f "$f" ]; then
             echo "check_bench_regression: missing $f" >&2
@@ -42,20 +53,21 @@ gate() {
             return 1
         fi
     done
-    python3 - "$fresh" "$baseline" "$TOLERANCE" <<'EOF'
+    python3 - "$fresh" "$baseline" "$TOLERANCE" "$metric" "$unit" <<'EOF'
 import json, sys
 
-fresh_path, base_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
-fresh = json.load(open(fresh_path))["headline"]["ingest_events_per_sec"]
-base = json.load(open(base_path))["headline"]["ingest_events_per_sec"]
+fresh_path, base_path = sys.argv[1], sys.argv[2]
+tol, metric, unit = float(sys.argv[3]), sys.argv[4], sys.argv[5]
+fresh = json.load(open(fresh_path))["headline"][metric]
+base = json.load(open(base_path))["headline"][metric]
 floor = base * (1.0 - tol)
-print(f"baseline: {base:,.0f} events/s ({base_path})")
-print(f"fresh:    {fresh:,.0f} events/s ({fresh_path})")
-print(f"floor:    {floor:,.0f} events/s (tolerance -{tol:.0%})")
+print(f"baseline: {base:,.1f} {unit} ({base_path})")
+print(f"fresh:    {fresh:,.1f} {unit} ({fresh_path})")
+print(f"floor:    {floor:,.1f} {unit} (tolerance -{tol:.0%})")
 if fresh < floor:
     drop = 1.0 - fresh / base
     print(
-        f"BENCH REGRESSION: headline ingest dropped {drop:.1%} "
+        f"BENCH REGRESSION: headline {metric} dropped {drop:.1%} "
         f"(allowed {tol:.0%}) — see PERFORMANCE.md for the re-bless flow "
         f"if this change is intentional",
         file=sys.stderr,
@@ -66,7 +78,7 @@ EOF
 }
 
 if [ $# -gt 0 ]; then
-    gate "$1" "${2:-results/BENCH_pipeline.baseline.json}"
+    gate "$1" "${2:-results/BENCH_pipeline.baseline.json}" "${3:-ingest_events_per_sec}" "${4:-events/s}"
     exit $?
 fi
 
@@ -76,4 +88,10 @@ if [ -f results/BENCH_cluster.json ]; then
     gate results/BENCH_cluster.json results/BENCH_cluster.baseline.json
 else
     echo "check_bench_regression: results/BENCH_cluster.json not present, skipping cluster gate"
+fi
+
+if [ -f results/BENCH_recovery.json ]; then
+    gate results/BENCH_recovery.json results/BENCH_recovery.baseline.json delta_size_ratio "x smaller"
+else
+    echo "check_bench_regression: results/BENCH_recovery.json not present, skipping recovery gate"
 fi

@@ -198,6 +198,73 @@ fn two_simultaneous_shard_deaths_recover_independently() {
     assert_eq!(restored, 2, "exactly the two victims restore");
 }
 
+/// Durable-cluster mode with delta chains: the killed shard's newest
+/// snapshot is arranged to be a *delta*, so its supervisor recovery must
+/// walk a real base+delta chain — and the merged answer is still
+/// byte-identical to batch, with the merged durability counters showing
+/// both the deltas written and the chain walked.
+#[test]
+fn killed_shard_recovers_through_delta_chain() {
+    let data = run(&ScenarioParams::tiny(23));
+    let events = scenario_event_stream(&data);
+    let expected = {
+        let batch = Analysis::run(&data, AnalysisConfig::default());
+        serde_json::to_string(&batch.output).unwrap()
+    };
+    let cfg = ClusterConfig::new(3);
+    let table = from_scenario(&data);
+    let shard_events: Vec<u64> = partition_events(&table, &events, cfg.shards)
+        .iter()
+        .map(|s| s.len() as u64)
+        .collect();
+    let victim = (0..cfg.shards)
+        .max_by_key(|&i| shard_events[i as usize])
+        .unwrap();
+    // tight_policy inherits the delta defaults: fulls every 8th
+    // snapshot. Land the kill just past a snapshot index k whose
+    // (k - 1) % 8 != 0, so the newest snapshot at the kill is a delta.
+    let interval = tight_policy().checkpoint_interval;
+    let mut k = (shard_events[victim as usize] / interval)
+        .saturating_sub(1)
+        .max(2);
+    if (k - 1).is_multiple_of(8) {
+        k -= 1;
+    }
+    let kill = ShardKill {
+        shard: victim,
+        after_events: k * interval + interval / 2,
+    };
+    assert!(
+        kill.after_events < shard_events[victim as usize],
+        "fixture: busiest shard must be long enough ({} events)",
+        shard_events[victim as usize]
+    );
+    let tmp = TempDir::new("delta-chain-kill");
+    let durable = run_durable_cluster(tmp.path(), &data, &events, &cfg, &tight_policy(), &[kill])
+        .expect("durable cluster run");
+    assert_eq!(
+        expected,
+        serde_json::to_string(&durable.result.output).unwrap(),
+        "merged output diverged recovering shard {victim} through a delta chain"
+    );
+    assert_eq!(durable.recoveries.len(), 1);
+    assert!(
+        durable.recoveries[0].report.chain_length >= 1,
+        "the victim's recovery must walk at least one delta: {:?}",
+        durable.recoveries[0].report
+    );
+    let d = durable
+        .result
+        .report
+        .durability
+        .expect("durable cluster reports durability");
+    assert!(d.deltas_written > 0, "shards must write delta snapshots");
+    assert!(
+        d.chain_length_at_recovery >= 1,
+        "the merged counters carry the recovered chain length"
+    );
+}
+
 /// A healthy durable cluster (no kills) matches both the in-memory
 /// cluster and batch, leaves every `shard-{i}/` directory populated, and
 /// reports zero recoveries.

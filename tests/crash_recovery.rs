@@ -26,7 +26,7 @@ use faultline_core::{
     StreamAnalysis, StreamEvent,
 };
 use faultline_sim::scenario::{run, ScenarioParams};
-use faultline_sim::{crash_points_seeded, ChaosConfig, DurabilityChaos};
+use faultline_sim::{crash_points_seeded, ChainFault, ChaosConfig, DurabilityChaos};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -261,6 +261,11 @@ fn corrupted_newest_checkpoint_falls_back_to_previous() {
         checkpoint_interval: 50,
         segment_max_records: 32,
         retain_checkpoints: 3,
+        // Full-only, synchronous snapshots: this test's contract is the
+        // single-file fallback (corrupt ONE base, reject ONE ladder
+        // entry). Chain behaviour has its own tests below.
+        full_every_n_checkpoints: 0,
+        offload_snapshots: false,
         ..DurabilityPolicy::default()
     };
     let kill_at = events.len().min(180);
@@ -306,6 +311,9 @@ fn torn_checkpoint_and_stray_tmp_fall_back_cleanly() {
         checkpoint_interval: 40,
         segment_max_records: 32,
         retain_checkpoints: 3,
+        // Full-only, synchronous: see corrupted_newest_checkpoint above.
+        full_every_n_checkpoints: 0,
+        offload_snapshots: false,
         ..DurabilityPolicy::default()
     };
     let kill_at = events.len().min(150);
@@ -483,4 +491,288 @@ fn chaos_injected_checkpoint_faults_are_retried_and_counted() {
     let (_durable3, report) = DurableStream::recover(tmp2.path(), &data, config, policy2).unwrap();
     assert!(report.started_fresh, "journal alone still rebuilds");
     assert_eq!(report.events_replayed, 1);
+}
+
+// ---------------------------------------------------------------------
+// Delta-chain durability (base + incremental snapshots)
+// ---------------------------------------------------------------------
+
+/// Snapshot files with the given extension, sorted ascending by name
+/// (and therefore by sequence — names embed zero-padded sequences).
+fn snapshot_files(dir: &Path, ext: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == ext))
+        .collect();
+    files.sort();
+    files
+}
+
+/// First line of a snapshot file, parsed as the JSON header.
+fn header_json(path: &Path) -> serde_json::Value {
+    let text = fs::read_to_string(path).unwrap();
+    let line = text.lines().next().expect("header line");
+    serde_json::from_str(line).expect("parseable header")
+}
+
+/// Rewrite a snapshot file's header in place (payload untouched).
+fn rewrite_header(path: &Path, mutate: impl FnOnce(&mut serde_json::Value)) {
+    let text = fs::read_to_string(path).unwrap();
+    let (line, payload) = text.split_once('\n').expect("header + payload");
+    let mut header: serde_json::Value = serde_json::from_str(line).unwrap();
+    mutate(&mut header);
+    fs::write(
+        path,
+        format!("{}\n{payload}", serde_json::to_string(&header).unwrap()),
+    )
+    .unwrap();
+}
+
+/// A policy that writes delta chains on the off-thread writer: fulls
+/// every 3rd snapshot, chains up to 4 deltas, 3 bases retained.
+fn chain_policy() -> DurabilityPolicy {
+    DurabilityPolicy {
+        checkpoint_interval: 15,
+        segment_max_records: 32,
+        retain_checkpoints: 3,
+        full_every_n_checkpoints: 3,
+        max_chain_len: 4,
+        offload_snapshots: true,
+        ..DurabilityPolicy::default()
+    }
+}
+
+/// Kill-and-recover sweep with delta chains ENABLED: seeded kill points
+/// over full streams, off-thread snapshots on. Recovery must restore
+/// through delta chains (not just bases) at least once across the
+/// sweep, and every resumed run must finish byte-identical to batch.
+#[test]
+fn delta_chain_kill_sweep_recovers_byte_identical() {
+    let mut max_chain_seen = 0u64;
+    let mut deltas_seen = false;
+    for seed in [3u64, 9] {
+        let data = run(&ScenarioParams::tiny(seed));
+        let config = AnalysisConfig::default();
+        let reference = batch_json(&data, &config);
+        let events = scenario_event_stream(&data);
+        let policy = chain_policy();
+        for kill_at in crash_points_seeded(seed * 7, events.len() as u64, 3) {
+            let kill_at = kill_at as usize;
+            let tmp = TempDir::new(&format!("delta-sweep-{seed}-{kill_at}"));
+            run_to_kill(&tmp, &data, &config, policy, &events, kill_at);
+            deltas_seen |= !snapshot_files(tmp.path(), "dckpt").is_empty();
+
+            let (mut durable, report) =
+                DurableStream::recover(tmp.path(), &data, config.clone(), policy).unwrap();
+            assert_eq!(
+                report.resumed_at_seq, kill_at as u64,
+                "seed {seed} kill {kill_at}"
+            );
+            assert_eq!(report.checkpoints_rejected, 0, "{:?}", report.rejected);
+            max_chain_seen = max_chain_seen.max(report.chain_length);
+            for e in &events[kill_at..] {
+                durable.ingest(e).unwrap();
+            }
+            let result = durable.finish();
+            assert_eq!(
+                reference,
+                serde_json::to_string(&result.output).unwrap(),
+                "seed {seed} kill {kill_at}"
+            );
+        }
+    }
+    assert!(deltas_seen, "the sweep must actually write delta files");
+    assert!(
+        max_chain_seen >= 1,
+        "at least one recovery must walk a real delta chain"
+    );
+}
+
+/// Prepare a sabotage scenario: run with `chain_policy` to a kill point
+/// chosen so the newest snapshot on disk is a DELTA with at least one
+/// retained base below it. Returns (data, config, reference, events,
+/// kill_at).
+fn chain_fixture(
+    seed: u64,
+) -> (
+    faultline_sim::ScenarioData,
+    AnalysisConfig,
+    String,
+    Vec<StreamEvent>,
+) {
+    let data = run(&ScenarioParams::tiny(seed));
+    let config = AnalysisConfig::default();
+    let events = scenario_event_stream(&data);
+    let reference = stream_json_over(&data, &config, &events);
+    (data, config, reference, events)
+}
+
+/// Every [`ChainFault`] — torn delta, missing base, reordered chain,
+/// corrupt parent hash — degrades recovery to an older intact link or
+/// base, with the damage counted in `checkpoints_rejected`, and the
+/// resumed run still finishes byte-identical. Never a panic, never a
+/// wrong answer.
+#[test]
+fn chain_faults_degrade_to_intact_links_byte_identical() {
+    let (data, config, reference, events) = chain_fixture(5);
+    let policy = chain_policy();
+    // Land between snapshot boundaries so the newest snapshot is the
+    // 12th (a delta under fulls-every-3rd: F D D F D D F D D F D D).
+    let kill_at = (policy.checkpoint_interval as usize * 12 + 5).min(events.len());
+    for fault in ChainFault::ALL {
+        let tmp = TempDir::new(&format!("chain-fault-{fault:?}"));
+        run_to_kill(&tmp, &data, &config, policy, &events, kill_at);
+        let deltas = snapshot_files(tmp.path(), "dckpt");
+        let bases = snapshot_files(tmp.path(), "ckpt");
+        assert!(deltas.len() >= 2, "{fault:?}: fixture needs two deltas");
+        assert!(bases.len() >= 2, "{fault:?}: fixture needs two bases");
+        assert!(
+            deltas.last() > bases.last(),
+            "{fault:?}: the newest snapshot must be a delta"
+        );
+
+        match fault {
+            ChainFault::TornDelta => {
+                // Tear the newest delta mid-payload.
+                let victim = deltas.last().unwrap();
+                let bytes = fs::read(victim).unwrap();
+                fs::write(victim, &bytes[..bytes.len() * 2 / 3]).unwrap();
+            }
+            ChainFault::MissingBase => {
+                // Delete the newest base, orphaning every delta above it.
+                fs::remove_file(bases.last().unwrap()).unwrap();
+            }
+            ChainFault::ReorderedChain => {
+                // Swap the two newest delta files' contents wholesale:
+                // every chain pointer now disagrees with the file it
+                // lands on.
+                let a = &deltas[deltas.len() - 2];
+                let b = &deltas[deltas.len() - 1];
+                let (ab, bb) = (fs::read(a).unwrap(), fs::read(b).unwrap());
+                fs::write(a, bb).unwrap();
+                fs::write(b, ab).unwrap();
+            }
+            ChainFault::CorruptParentHash => {
+                // The newest delta's header lies about its parent hash;
+                // both payloads stay intact.
+                rewrite_header(deltas.last().unwrap(), |h| {
+                    h["parent_fnv"] = serde_json::Value::String("deadbeefdeadbeef".into());
+                });
+            }
+        }
+
+        let (mut durable, report) =
+            DurableStream::recover(tmp.path(), &data, config.clone(), policy)
+                .unwrap_or_else(|e| panic!("{fault:?} must degrade, not abort: {e}"));
+        assert!(
+            report.checkpoints_rejected >= 1,
+            "{fault:?}: the damage must be detected: {:?}",
+            report.rejected
+        );
+        assert_eq!(
+            report.resumed_at_seq, kill_at as u64,
+            "{fault:?}: journal replay covers whatever the fault cost"
+        );
+        for e in &events[kill_at..] {
+            durable.ingest(e).unwrap();
+        }
+        assert_eq!(
+            reference,
+            serde_json::to_string(&durable.finish().output).unwrap(),
+            "{fault:?}"
+        );
+    }
+}
+
+/// Forward compatibility: a delta stamped with a FUTURE format version
+/// sitting in an otherwise valid chain is skipped — recovery falls back
+/// to an older link or base and replays the journal — rather than
+/// aborting the whole recovery.
+#[test]
+fn future_version_delta_is_skipped_not_fatal() {
+    let (data, config, reference, events) = chain_fixture(7);
+    let policy = chain_policy();
+    let kill_at = (policy.checkpoint_interval as usize * 12 + 5).min(events.len());
+    let tmp = TempDir::new("future-delta");
+    run_to_kill(&tmp, &data, &config, policy, &events, kill_at);
+    let deltas = snapshot_files(tmp.path(), "dckpt");
+    let victim = deltas.last().expect("fixture writes deltas");
+    rewrite_header(victim, |h| h["version"] = serde_json::json!(99));
+
+    let (mut durable, report) = DurableStream::recover(tmp.path(), &data, config, policy)
+        .expect("a future-version delta must not abort recovery");
+    assert!(report.checkpoints_rejected >= 1);
+    assert!(
+        report.rejected.iter().any(|r| r.contains("version")),
+        "the rejection names the version mismatch: {:?}",
+        report.rejected
+    );
+    assert_eq!(report.resumed_at_seq, kill_at as u64);
+    for e in &events[kill_at..] {
+        durable.ingest(e).unwrap();
+    }
+    assert_eq!(
+        reference,
+        serde_json::to_string(&durable.finish().output).unwrap()
+    );
+}
+
+/// Chain-aware pruning regression: with chains on, retention keeps the
+/// newest N *chains*, so more files than `retain_checkpoints` survive —
+/// and every delta still on disk can walk to a base that is also on
+/// disk. Naive newest-N-files pruning would orphan deltas.
+#[test]
+fn pruning_never_orphans_a_retained_delta() {
+    let (data, config, _reference, events) = chain_fixture(11);
+    let policy = DurabilityPolicy {
+        retain_checkpoints: 2,
+        ..chain_policy()
+    };
+    let tmp = TempDir::new("chain-prune");
+    let mut durable = DurableStream::create(tmp.path(), &data, config.clone(), policy).unwrap();
+    for e in &events {
+        durable.ingest(e).unwrap();
+    }
+    let result = durable.finish();
+    drop(result);
+
+    let deltas = snapshot_files(tmp.path(), "dckpt");
+    let bases = snapshot_files(tmp.path(), "ckpt");
+    assert!(!deltas.is_empty(), "retention must keep chained deltas");
+    assert!(
+        deltas.len() + bases.len() > policy.retain_checkpoints,
+        "chains keep more files than a naive newest-N prune would"
+    );
+    assert!(
+        bases.len() <= policy.retain_checkpoints,
+        "retention still bounds the number of bases"
+    );
+    // Every retained delta's transitive parent chain ends at an on-disk
+    // base: follow parent_seq header pointers through the delta set.
+    let delta_by_seq: std::collections::BTreeMap<u64, &PathBuf> = deltas
+        .iter()
+        .map(|p| (header_json(p)["seq"].as_u64().unwrap(), p))
+        .collect();
+    let base_seqs: std::collections::BTreeSet<u64> = bases
+        .iter()
+        .map(|p| header_json(p)["seq"].as_u64().unwrap())
+        .collect();
+    for path in &deltas {
+        let mut cur = header_json(path)["parent_seq"].as_u64().unwrap();
+        let mut hops = 0;
+        while !base_seqs.contains(&cur) {
+            let parent = delta_by_seq
+                .get(&cur)
+                .unwrap_or_else(|| panic!("{} orphaned: no snapshot at seq {cur}", path.display()));
+            cur = header_json(parent)["parent_seq"].as_u64().unwrap();
+            hops += 1;
+            assert!(hops <= deltas.len(), "parent walk must terminate");
+        }
+    }
+    // And the pruned directory still recovers cleanly at end-of-stream.
+    let (_durable, report) = DurableStream::recover(tmp.path(), &data, config, policy).unwrap();
+    assert_eq!(report.resumed_at_seq, events.len() as u64);
+    assert_eq!(report.checkpoints_rejected, 0, "{:?}", report.rejected);
 }
