@@ -415,6 +415,12 @@ fn assemble_result(
             streaming.segments_closed += s.segments_closed;
             streaming.open_state_high_water =
                 streaming.open_state_high_water.max(s.open_state_high_water);
+            streaming.arena_events_high_water = streaming
+                .arena_events_high_water
+                .max(s.arena_events_high_water);
+            streaming.watermark_lag_max_millis = streaming
+                .watermark_lag_max_millis
+                .max(s.watermark_lag_max_millis);
             streaming.finalized_at_flush += s.finalized_at_flush;
             streaming.flap_episodes += s.flap_episodes;
         }
@@ -753,6 +759,10 @@ pub fn run_durable_cluster(
         durability.snapshot_thread_stalls += d.snapshot_thread_stalls;
         durability.snapshot_sync_fallbacks += d.snapshot_sync_fallbacks;
         durability.ingest_stall_micros += d.ingest_stall_micros;
+        // A rate, so the cluster-wide figure is the worst shard, not a sum.
+        durability.snapshot_stall_rate_per_sec = durability
+            .snapshot_stall_rate_per_sec
+            .max(d.snapshot_stall_rate_per_sec);
         outputs.push(result.output);
         shard_reports.push(result.report);
     }

@@ -48,7 +48,11 @@
 //! by consistent-hashing the interned link key and deterministically
 //! merges the shard outputs back into the single-process answer — with
 //! a shard supervisor that recovers a killed shard without touching
-//! healthy ones.
+//! healthy ones. When traffic exceeds capacity, [`admission`] bounds
+//! memory in front of either driver: a fixed-size priority queue that
+//! blocks (backpressure) or sheds deterministically — chatter first,
+//! IS-IS last — with every dropped event accounted for exactly in
+//! [`observe::OverloadCounters`].
 //!
 //! The per-link stages fan out across threads ([`par`], configured via
 //! [`analysis::AnalysisConfig::parallelism`]) with results independent of
@@ -59,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod analysis;
 pub mod arena;
 pub mod cluster;
@@ -81,6 +86,10 @@ pub mod stats;
 pub mod streaming;
 pub mod transitions;
 
+pub use admission::{
+    run_overloaded, run_overloaded_cluster, shed_survivors, AdmissionConfig, AdmissionController,
+    EventClass, Offer, OverloadPolicy, SimSchedule,
+};
 pub use analysis::{Analysis, AnalysisConfig};
 pub use arena::EventArena;
 pub use cluster::{
@@ -91,8 +100,8 @@ pub use error::{AnalysisError, RecoveryError};
 pub use intern::{Sym, SymbolTable};
 pub use linktable::{LinkIx, LinkTable};
 pub use observe::{
-    DurabilityCounters, PipelineCounters, PipelineReport, RobustnessCounters, ShardCounters,
-    StreamingCounters,
+    DurabilityCounters, OverloadCounters, PipelineCounters, PipelineReport, RobustnessCounters,
+    ShardCounters, StreamingCounters,
 };
 pub use par::ParallelismConfig;
 pub use reconstruct::{AmbiguityStrategy, Failure};

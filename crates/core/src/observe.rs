@@ -94,6 +94,16 @@ pub struct StreamingCounters {
     pub segments_closed: u64,
     /// High-water mark of items held in mutable per-link state.
     pub open_state_high_water: u64,
+    /// High-water mark of events resident in the micro-batch grouping
+    /// arena — the other half of the engine's bounded working memory.
+    #[serde(default)]
+    pub arena_events_high_water: u64,
+    /// Worst observed gap between the arrival frontier the driver
+    /// reported (`StreamAnalysis::note_arrival_frontier`) and the
+    /// engine's watermark, in simulated milliseconds. 0 when the driver
+    /// never reported a frontier (no admission layer in front).
+    #[serde(default)]
+    pub watermark_lag_max_millis: u64,
     /// Open or pending failures only finalized by `flush`.
     pub finalized_at_flush: u64,
     /// Flapping episodes observed on the sanitized IS-IS stream.
@@ -106,7 +116,7 @@ pub struct StreamingCounters {
 /// ([`crate::recovery::DurableStream`]): checkpoints written, journal
 /// growth, and — after a recovery — how much state came back from disk.
 /// Absent (`None`) on runs that did not go through the durability layer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct DurabilityCounters {
     /// Checkpoints successfully written (post-retry).
     pub checkpoints_written: u64,
@@ -163,6 +173,13 @@ pub struct DurabilityCounters {
     /// write when synchronous), microseconds.
     #[serde(default)]
     pub ingest_stall_micros: u64,
+    /// [`DurabilityCounters::snapshot_thread_stalls`] per wall-clock
+    /// second of the run so far — the per-second surfacing of
+    /// snapshot-writer backpressure that capacity SLOs gate on. A raw
+    /// stall *count* looks fine on a long run while the writer is
+    /// actually saturated; the rate does not.
+    #[serde(default)]
+    pub snapshot_stall_rate_per_sec: f64,
 }
 
 /// What the pipeline refused or quarantined instead of crashing on: the
@@ -186,6 +203,74 @@ impl RobustnessCounters {
     /// Total items diverted away from the reconstruction state machines.
     pub fn total_quarantined(&self) -> u64 {
         self.quarantined_syslog + self.quarantined_isis
+    }
+}
+
+/// The overload ledger of an admission-controlled run
+/// ([`crate::admission::AdmissionController`]): what arrived, what the
+/// engine served, what the quarantine gate diverted, and — under the
+/// shedding policy — exactly what was dropped, by priority class and by
+/// mechanism. Absent (`None`) on runs without an admission layer.
+///
+/// The ledger balances **exactly** once the queue has drained:
+/// [`OverloadCounters::conserved`] checks
+/// `admitted + shed + quarantined == offered`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadCounters {
+    /// Events offered to (and consumed by) the admission queue. Offers
+    /// bounced by blocking backpressure are *not* counted until they are
+    /// re-offered and consumed.
+    pub offered: u64,
+    /// Events the engine accepted past the quarantine gate — admitted =
+    /// accepted + late (late ones are sub-counted in
+    /// [`StreamingCounters::late_events`]).
+    pub admitted: u64,
+    /// Events dropped by the shedding policy (refused or evicted).
+    pub shed: u64,
+    /// Events the engine's quarantine horizon diverted (the same events
+    /// counted in [`RobustnessCounters`]).
+    pub quarantined: u64,
+    /// Shed IS-IS listener transitions
+    /// ([`crate::admission::EventClass::Critical`] — should stay 0
+    /// unless the queue holds nothing else).
+    pub shed_critical: u64,
+    /// Shed syslog link/adjacency DOWN/UP messages.
+    pub shed_important: u64,
+    /// Shed line-protocol chatter — the class designed to go first.
+    pub shed_chatter: u64,
+    /// Shed events that were already queued and got evicted by a
+    /// higher-priority (or tie-break-winning) newcomer.
+    pub shed_evicted: u64,
+    /// Shed events refused at the door.
+    pub shed_refused: u64,
+    /// Offers bounced under [`crate::admission::OverloadPolicy::Block`]
+    /// (each bounce is one drain-and-retry round trip).
+    pub backpressure_waits: u64,
+    /// High-water mark of events resident in the bounded queue — the
+    /// admission layer's memory bound, never above the configured
+    /// capacity.
+    pub queue_high_water: u64,
+    /// Worst observed arrival-frontier-to-delivery-frontier gap in
+    /// simulated milliseconds — how far behind the newest arrival the
+    /// service fell.
+    pub watermark_lag_max_millis: u64,
+}
+
+impl OverloadCounters {
+    /// The exact-conservation identity: every offered event is admitted,
+    /// shed, or quarantined — true for any finished (fully drained,
+    /// engine-acknowledged) run.
+    pub fn conserved(&self) -> bool {
+        self.admitted + self.shed + self.quarantined == self.offered
+    }
+
+    /// Fraction of offered events shed; 0.0 on an empty run.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
     }
 }
 
@@ -232,6 +317,10 @@ pub struct PipelineReport {
     /// [`crate::recovery::DurableStream`].
     #[serde(default)]
     pub durability: Option<DurabilityCounters>,
+    /// Overload/admission ledger; `None` unless the run went through an
+    /// [`crate::admission::AdmissionController`].
+    #[serde(default)]
+    pub overload: Option<OverloadCounters>,
     /// Degradation accounting (malformed lines, quarantined items).
     #[serde(default)]
     pub robustness: RobustnessCounters,
@@ -335,26 +424,48 @@ impl fmt::Display for PipelineReport {
         if let Some(s) = &self.streaming {
             writeln!(
                 f,
-                "  streaming: {} events in {} batches ({:.0}/s), {} late, {} segments closed, hwm {} open, {} finalized at flush",
+                "  streaming: {} events in {} batches ({:.0}/s), {} late, {} segments closed, hwm {} open / {} arena, lag {} ms, {} finalized at flush",
                 s.events_ingested,
                 s.batches,
                 s.events_per_sec,
                 s.late_events,
                 s.segments_closed,
                 s.open_state_high_water,
+                s.arena_events_high_water,
+                s.watermark_lag_max_millis,
                 s.finalized_at_flush
+            )?;
+        }
+        if let Some(o) = &self.overload {
+            writeln!(
+                f,
+                "  overload: {} offered = {} admitted + {} shed + {} quarantined ({}), shed {}/{}/{} crit/imp/chatter ({} evicted, {} refused), {} waits, queue hwm {}, lag {} ms",
+                o.offered,
+                o.admitted,
+                o.shed,
+                o.quarantined,
+                if o.conserved() { "conserved" } else { "UNBALANCED" },
+                o.shed_critical,
+                o.shed_important,
+                o.shed_chatter,
+                o.shed_evicted,
+                o.shed_refused,
+                o.backpressure_waits,
+                o.queue_high_water,
+                o.watermark_lag_max_millis
             )?;
         }
         if let Some(d) = &self.durability {
             writeln!(
                 f,
-                "  durability: {} checkpoints ({} deltas, last {} B, worst {:.3} ms, {} retries, {} stalls, {} sync fallbacks), {} journal records in {} segments ({} B), {} restores ({} replayed, {} torn, chain {})",
+                "  durability: {} checkpoints ({} deltas, last {} B, worst {:.3} ms, {} retries, {} stalls @ {:.2}/s, {} sync fallbacks), {} journal records in {} segments ({} B), {} restores ({} replayed, {} torn, chain {})",
                 d.checkpoints_written,
                 d.deltas_written,
                 d.checkpoint_bytes_last,
                 d.checkpoint_write_micros_max as f64 / 1_000.0,
                 d.checkpoint_retries,
                 d.snapshot_thread_stalls,
+                d.snapshot_stall_rate_per_sec,
                 d.snapshot_sync_fallbacks,
                 d.journal_records,
                 d.journal_segments,
@@ -486,12 +597,52 @@ mod tests {
             snapshot_thread_stalls: 4,
             snapshot_sync_fallbacks: 1,
             ingest_stall_micros: 777,
+            snapshot_stall_rate_per_sec: 0.25,
         });
         let text = format!("{r}");
         assert!(text.contains("durability: 3 checkpoints (2 deltas"));
+        assert!(text.contains("4 stalls @ 0.25/s"));
         assert!(text.contains("1 restores (250 replayed, 1 torn, chain 2)"));
         let back: PipelineReport =
             serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
         assert_eq!(back.durability, r.durability);
+    }
+
+    #[test]
+    fn overload_counters_render_conserve_and_round_trip() {
+        let mut r = sample();
+        assert!(!format!("{r}").contains("overload:"), "absent by default");
+        let o = OverloadCounters {
+            offered: 100,
+            admitted: 80,
+            shed: 15,
+            quarantined: 5,
+            shed_critical: 0,
+            shed_important: 3,
+            shed_chatter: 12,
+            shed_evicted: 9,
+            shed_refused: 6,
+            backpressure_waits: 0,
+            queue_high_water: 64,
+            watermark_lag_max_millis: 1500,
+        };
+        assert!(o.conserved());
+        assert!((o.shed_fraction() - 0.15).abs() < 1e-12);
+        r.overload = Some(o);
+        let text = format!("{r}");
+        assert!(text
+            .contains("overload: 100 offered = 80 admitted + 15 shed + 5 quarantined (conserved)"));
+        assert!(text.contains("shed 0/3/12 crit/imp/chatter (9 evicted, 6 refused)"));
+        let back: PipelineReport =
+            serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back.overload, r.overload);
+        let unbalanced = OverloadCounters { admitted: 79, ..o };
+        assert!(!unbalanced.conserved());
+        assert!(format!("{}", {
+            let mut r2 = sample();
+            r2.overload = Some(unbalanced);
+            r2
+        })
+        .contains("UNBALANCED"));
     }
 }

@@ -1069,6 +1069,9 @@ pub struct DurableStream<'a> {
     tip_fnv: Option<u64>,
     /// Consecutive deltas since the last full base.
     deltas_since_full: u64,
+    /// When this process's durable run began (create or recover) —
+    /// denominator for [`DurabilityCounters::snapshot_stall_rate_per_sec`].
+    started: Instant,
 }
 
 impl<'a> DurableStream<'a> {
@@ -1110,6 +1113,7 @@ impl<'a> DurableStream<'a> {
             tip_seq: None,
             tip_fnv: None,
             deltas_since_full: 0,
+            started: Instant::now(),
         })
     }
 
@@ -1242,6 +1246,7 @@ impl<'a> DurableStream<'a> {
             tip_seq: report.checkpoint_seq,
             tip_fnv,
             deltas_since_full: report.chain_length,
+            started: Instant::now(),
         };
         if replay.replayed > 0 {
             report.compacted = stream.compact_after_recovery();
@@ -1304,6 +1309,15 @@ impl<'a> DurableStream<'a> {
         c.journal_segments = self.journal.segments_opened;
         c.journal_bytes = self.journal.bytes_written;
         c.journal_fsyncs = self.journal.fsyncs;
+        // Stalls per wall-clock second of this run: the raw count says
+        // how often ingest waited on the writer queue, the rate says
+        // whether the writer is keeping up *right now*.
+        let elapsed = self.started.elapsed().as_secs_f64();
+        c.snapshot_stall_rate_per_sec = if elapsed > 0.0 {
+            c.snapshot_thread_stalls as f64 / elapsed
+        } else {
+            0.0
+        };
         c
     }
 

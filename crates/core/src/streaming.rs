@@ -77,7 +77,7 @@ use crate::transitions::{IsisMergeStats, ResolvedMessage, SyslogResolveStats};
 use faultline_isis::listener::Transition;
 use faultline_sim::ScenarioData;
 use faultline_syslog::message::SyslogMessage;
-use faultline_topology::time::Timestamp;
+use faultline_topology::time::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -337,6 +337,15 @@ pub struct StreamAnalysis<'a> {
     /// Events ingested at the last `mark_clean` — the `parent_seq` the
     /// next [`StreamAnalysis::checkpoint_delta`] will chain to.
     marked_seq: u64,
+    /// High-water mark of the micro-batch arena (events resident at
+    /// once) — process-descriptive like the wall timers, so it resets on
+    /// restore rather than round-tripping through checkpoints.
+    arena_events_hwm: u64,
+    /// Worst observed gap between an announced arrival frontier
+    /// ([`StreamAnalysis::note_arrival_frontier`]) and the watermark —
+    /// how far the engine's service fell behind the newest arrival.
+    /// Process-descriptive; resets on restore.
+    watermark_lag_max_millis: u64,
 }
 
 impl<'a> StreamAnalysis<'a> {
@@ -368,6 +377,8 @@ impl<'a> StreamAnalysis<'a> {
             quarantined_isis: 0,
             messages_mark: 0,
             marked_seq: 0,
+            arena_events_hwm: 0,
+            watermark_lag_max_millis: 0,
         }
     }
 
@@ -675,11 +686,26 @@ impl<'a> StreamAnalysis<'a> {
                 self.arena.push(link, lane_event);
             }
         }
+        self.arena_events_hwm = self.arena_events_hwm.max(self.arena.len() as u64);
         if let Some(watermark) = self.watermark {
             self.kernel.apply_grouped(&mut self.arena, watermark);
         }
         self.ingest_wall += t0.elapsed();
         summary
+    }
+
+    /// Record how far the stream's *arrival* frontier (newest event time
+    /// offered upstream — queued, shed, or delivered) has advanced past
+    /// the engine's watermark. An admission layer calls this after each
+    /// drain so [`StreamingCounters::watermark_lag_max_millis`] reports
+    /// the worst service lag; without an upstream queue the two frontiers
+    /// coincide and the lag stays 0.
+    pub fn note_arrival_frontier(&mut self, frontier: Timestamp) {
+        let lag = match self.watermark {
+            Some(w) => frontier.checked_duration_since(w).unwrap_or(Duration::ZERO),
+            None => Duration::from_millis(frontier.as_millis()),
+        };
+        self.watermark_lag_max_millis = self.watermark_lag_max_millis.max(lag.as_millis());
     }
 
     /// End of stream: hand the lanes to `Kernel::collect` for the
@@ -707,6 +733,8 @@ impl<'a> StreamAnalysis<'a> {
             late_events: self.late_events,
             segments_closed: k.segments_closed,
             open_state_high_water,
+            arena_events_high_water: self.arena_events_hwm,
+            watermark_lag_max_millis: self.watermark_lag_max_millis,
             finalized_at_flush: k.finalized_at_flush,
             flap_episodes: k.flap_episodes,
             events_per_sec,

@@ -81,6 +81,19 @@ pub struct ChaosConfig {
     pub listener_outages: u32,
     /// Uniform duration bounds of an injected listener outage.
     pub listener_outage_range: (Duration, Duration),
+    /// Correlated event storms (flash crowds): bursts of `%LINK-3-UPDOWN`
+    /// flaps landing nearly at once across many routers, as one fiber
+    /// cut over a shared-risk link group produces. 0 disables.
+    #[serde(default)]
+    pub storm_bursts: u32,
+    /// Studied lines injected per storm burst (alternating Down/Up on
+    /// burst-local interfaces; min 1 when storms are on).
+    #[serde(default)]
+    pub storm_burst_lines: u32,
+    /// Window within which one burst's lines land (the correlation
+    /// width); clamped to at least 1 ms.
+    #[serde(default)]
+    pub storm_span: Duration,
 }
 
 impl Default for ChaosConfig {
@@ -103,6 +116,9 @@ impl Default for ChaosConfig {
             restart_duration_range: (Duration::from_secs(60), Duration::from_secs(900)),
             listener_outages: 0,
             listener_outage_range: (Duration::from_secs(1_800), Duration::from_hours(4)),
+            storm_bursts: 0,
+            storm_burst_lines: 0,
+            storm_span: Duration::ZERO,
         }
     }
 }
@@ -121,6 +137,12 @@ impl ChaosConfig {
             || self.dst_fall_back
             || self.collector_restarts > 0
             || self.listener_outages > 0
+            || self.storm_enabled()
+    }
+
+    /// True when correlated event-storm injection is switched on.
+    pub fn storm_enabled(&self) -> bool {
+        self.storm_bursts > 0 && self.storm_burst_lines > 0
     }
 
     /// True when per-router clock skew or drift is switched on.
@@ -174,6 +196,28 @@ impl ChaosConfig {
         }
     }
 
+    /// A flash-crowd overload feed: correlated SRLG-style event storms
+    /// (many interfaces flapping within seconds, as one fiber cut
+    /// produces) over duplicate bursts and garbage — little corruption,
+    /// so nearly every injected line survives parsing and lands on the
+    /// admission layer as real load. Built for overload testing: pair
+    /// it with `faultline-core`'s shedding admission controller to
+    /// observe priority-aware drops under exact accounting.
+    pub fn burst_overload(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            garbage_rate: 0.05,
+            duplicate_prob: 0.10,
+            duplicate_burst_max: 4,
+            reorder_prob: 0.10,
+            reorder_max: Duration::from_secs(30),
+            storm_bursts: 6,
+            storm_burst_lines: 400,
+            storm_span: Duration::from_secs(20),
+            ..ChaosConfig::default()
+        }
+    }
+
     /// An adversarial feed used for never-panic coverage, not for drift
     /// bands: heavy corruption, minutes of clock error, hours of outage.
     pub fn severe(seed: u64) -> Self {
@@ -195,6 +239,7 @@ impl ChaosConfig {
             restart_duration_range: (Duration::from_secs(600), Duration::from_hours(1)),
             listener_outages: 2,
             listener_outage_range: (Duration::HOUR, Duration::from_hours(6)),
+            ..ChaosConfig::default()
         }
     }
 
@@ -291,6 +336,57 @@ impl ChaosConfig {
                     line,
                 });
                 stats.garbage_injected += 1;
+            }
+        }
+
+        // 5b. Correlated event storms: each burst lands `storm_burst_lines`
+        // well-formed %LINK-3-UPDOWN flaps within `storm_span` of a common
+        // instant, across hosts harvested from the archive itself — the
+        // flash-crowd signature of a shared-risk fiber cut. Guarded so the
+        // RNG draw sequence of storm-free configs is untouched.
+        if self.storm_enabled() {
+            let mut hosts: Vec<String> = Vec::new();
+            for r in records.iter() {
+                if let Some(h) = studied_host(&r.line) {
+                    if !hosts.iter().any(|x| x == h) {
+                        hosts.push(h.to_string());
+                    }
+                }
+            }
+            if hosts.is_empty() {
+                // A degenerate (empty/garbled) archive still storms: the
+                // lines quarantine downstream but must exist and be counted.
+                hosts.push("storm-agg-01".to_string());
+            }
+            let span_ms = self.storm_span.as_millis().max(1);
+            for _ in 0..self.storm_bursts {
+                let start = rng.random_range(0..period.as_millis().max(1));
+                let mut host = hosts[0].clone();
+                let mut iface = String::new();
+                for i in 0..self.storm_burst_lines {
+                    // Down picks a fresh (host, interface); the following
+                    // line is its Up, so bursts read as correlated flaps.
+                    if i % 2 == 0 {
+                        host = hosts[rng.random_range(0..hosts.len())].clone();
+                        iface = format!(
+                            "GigabitEthernet{}/{}",
+                            rng.random_range(0..8u32),
+                            rng.random_range(0..48u32)
+                        );
+                    }
+                    let at = Timestamp::from_millis(start + rng.random_range(0..span_ms));
+                    let ts = caltime::render(at);
+                    let seq = rng.random_range(1..100_000u64);
+                    let state = if i % 2 == 0 { "Down" } else { "Up" };
+                    records.push(LogRecord {
+                        arrived_at: at,
+                        line: format!(
+                            "<189>{seq}: {host}: {ts}: %LINK-3-UPDOWN: Interface {iface}, changed state to {state}"
+                        ),
+                    });
+                    stats.storm_injected += 1;
+                }
+                stats.storm_bursts_injected += 1;
             }
         }
 
@@ -462,6 +558,27 @@ fn draw_spans(
         .collect()
 }
 
+/// The host field of a line carrying one of the *studied* messages
+/// (`<pri>seq: host: ts: %mnemonic`, mnemonic in the link/adjacency
+/// family), or `None` for garbage and foreign daemons — keeps storm
+/// harvesting on hosts that are actual routers in the archive.
+fn studied_host(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix('<')?;
+    let (_pri, rest) = rest.split_once('>')?;
+    let (_seq, rest) = rest.split_once(": ")?;
+    let (host, rest) = rest.split_once(": ")?;
+    let (_ts, body) = rest.split_once(": %")?;
+    if body.starts_with("LINK-")
+        || body.starts_with("LINEPROTO-")
+        || body.starts_with("CLNS-")
+        || body.starts_with("ROUTING-ISIS")
+    {
+        Some(host)
+    } else {
+        None
+    }
+}
+
 /// One unrelated line as another daemon (or line noise) would produce:
 /// a mix of well-formed non-studied mnemonics, repeated-message notices,
 /// and outright junk.
@@ -528,17 +645,24 @@ pub struct ChaosStats {
     pub isis_dropped_outage: u64,
     /// Listener outage spans injected.
     pub listener_outages_injected: u64,
+    /// Well-formed storm flap lines injected (flash crowds).
+    #[serde(default)]
+    pub storm_injected: u64,
+    /// Storm bursts injected.
+    #[serde(default)]
+    pub storm_bursts_injected: u64,
 }
 
 impl ChaosStats {
     /// Line conservation: every line in the output archive is a
-    /// surviving input line, an injected garbage line, or an injected
-    /// duplicate — nothing else.
+    /// surviving input line, an injected garbage line, an injected
+    /// storm flap, or an injected duplicate — nothing else.
     pub fn is_balanced(&self) -> bool {
         self.lines_out
             == self.lines_in - self.dropped_restart
                 + self.garbage_injected
                 + self.duplicates_injected
+                + self.storm_injected
     }
 }
 
@@ -795,6 +919,67 @@ mod tests {
             assert_eq!(oa, ob);
             assert!(sa.is_balanced(), "{sa:?}");
         }
+    }
+
+    #[test]
+    fn burst_overload_storms_are_exact_and_deterministic() {
+        let cfg = ChaosConfig::burst_overload(11);
+        assert!(cfg.enabled());
+        assert!(cfg.storm_enabled());
+        let period = Duration::from_hours(200);
+        let mut a = archive(400);
+        let mut b = archive(400);
+        let (mut ta, mut oa) = (Vec::new(), Vec::new());
+        let (mut tb, mut ob) = (Vec::new(), Vec::new());
+        let sa = cfg.apply(&mut a, &mut ta, &mut oa, period);
+        let sb = cfg.apply(&mut b, &mut tb, &mut ob, period);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        // Every storm line exists and is counted — exact conservation.
+        assert_eq!(sa.storm_bursts_injected, u64::from(cfg.storm_bursts));
+        assert_eq!(
+            sa.storm_injected,
+            u64::from(cfg.storm_bursts) * u64::from(cfg.storm_burst_lines)
+        );
+        assert!(sa.is_balanced(), "{sa:?}");
+        // Storm lines are well-formed studied messages on harvested
+        // hosts, so they parse as real load rather than garbage.
+        let hosts: Vec<String> = (0..7).map(|i| format!("r{i}")).collect();
+        let storm_records: Vec<_> = a
+            .iter()
+            .filter(|r| {
+                r.line.contains("%LINK-3-UPDOWN") && !r.line.contains("GigabitEthernet0/0,")
+            })
+            .collect();
+        assert!(!storm_records.is_empty());
+        for r in &storm_records {
+            let h = studied_host(&r.line).expect("storm lines are well-formed");
+            assert!(hosts.iter().any(|x| x == h), "unexpected host {h}");
+        }
+    }
+
+    #[test]
+    fn storm_free_presets_draw_identically_with_storm_code_present() {
+        // The storm step must not perturb the RNG sequence of existing
+        // presets: a config with storms explicitly zeroed is the same
+        // config, so its output pins the draw order.
+        let base = ChaosConfig::moderate(5);
+        let zeroed = ChaosConfig {
+            storm_bursts: 0,
+            storm_burst_lines: 0,
+            storm_span: Duration::ZERO,
+            ..base.clone()
+        };
+        let period = Duration::from_hours(200);
+        let mut a = archive(300);
+        let mut b = archive(300);
+        let (mut ta, mut oa) = (Vec::new(), Vec::new());
+        let (mut tb, mut ob) = (Vec::new(), Vec::new());
+        let sa = base.apply(&mut a, &mut ta, &mut oa, period);
+        let sb = zeroed.apply(&mut b, &mut tb, &mut ob, period);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.storm_injected, 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 #
 # Compares a headline metric of freshly written BENCH documents against
 # their committed baselines and fails when it drops more than the
-# tolerance (default 10%). Three headlines are gated:
+# tolerance (default 10%). Four headlines are gated:
 #
 #   results/BENCH_pipeline.json  ingest_events_per_sec
 #                                (cargo run --release -p faultline-bench
@@ -17,6 +17,13 @@
 #                                 faultline-bench --bin recovery_replay;
 #                                 the bin also enforces the absolute
 #                                 >= 5x floor before writing the JSON)
+#   results/BENCH_capacity.json  deterministic_breaking_point_offered_per_tick
+#                                — the highest offered rate (simulated
+#                                clock, so machine-independent) the
+#                                admission-controlled pipeline sustains
+#                                within SLO (cargo run --release -p
+#                                 faultline-loadgen --bin
+#                                 faultline-loadgen -- --deterministic)
 #
 # CI runs this after the benches so a hot-path (or merge-path, or
 # snapshot-format) regression fails the build with both numbers in the
@@ -31,7 +38,13 @@
 #   cp results/BENCH_cluster.json results/BENCH_cluster.baseline.json
 #   cargo run --release -p faultline-bench --bin recovery_replay
 #   cp results/BENCH_recovery.json results/BENCH_recovery.baseline.json
+#   cargo run --release -p faultline-loadgen --bin faultline-loadgen
+#   cp results/BENCH_capacity.json results/BENCH_capacity.baseline.json
 #   git add results/*.baseline.json   # commit with the why
+#
+# The capacity headline is exact (simulated clock), so any change to it
+# is a real behaviour change in admission/shedding, not machine noise —
+# but the same 10% tolerance applies for uniformity.
 #
 # Usage: scripts/check_bench_regression.sh [fresh.json] [baseline.json] [metric] [unit]
 #   With explicit arguments, gates exactly that pair on that headline
@@ -94,4 +107,11 @@ if [ -f results/BENCH_recovery.json ]; then
     gate results/BENCH_recovery.json results/BENCH_recovery.baseline.json delta_size_ratio "x smaller"
 else
     echo "check_bench_regression: results/BENCH_recovery.json not present, skipping recovery gate"
+fi
+
+if [ -f results/BENCH_capacity.json ]; then
+    gate results/BENCH_capacity.json results/BENCH_capacity.baseline.json \
+        deterministic_breaking_point_offered_per_tick "events/tick"
+else
+    echo "check_bench_regression: results/BENCH_capacity.json not present, skipping capacity gate"
 fi

@@ -20,6 +20,7 @@
 //! conservation, parse taxonomy balance, and the `RobustnessCounters`
 //! surfaced on every `PipelineReport`.
 
+use faultline_core::admission::{run_overloaded, AdmissionConfig, SimSchedule};
 use faultline_core::{scenario_event_stream, Analysis, AnalysisConfig, StreamAnalysis};
 use faultline_sim::scenario::{run, ScenarioParams};
 use faultline_sim::ChaosConfig;
@@ -277,6 +278,9 @@ fn hostile_configurations_do_not_panic() {
             faultline_topology::time::Duration::ZERO,
             faultline_topology::time::Duration::ZERO,
         ),
+        storm_bursts: 3,
+        storm_burst_lines: 1,
+        storm_span: faultline_topology::time::Duration::ZERO,
     };
     let json = serde_json::to_string(&spiky).unwrap();
     let back: ChaosConfig = serde_json::from_str(&json).unwrap();
@@ -286,6 +290,60 @@ fn hostile_configurations_do_not_panic() {
     assert!(outcome.stats.is_balanced(), "{:?}", outcome.stats);
     let a = Analysis::run(&data, AnalysisConfig::default());
     let _ = a.table4();
+}
+
+/// The `burst_overload` preset — syslog message storms on top of the
+/// moderate mangling knobs — must flow through the whole pipeline
+/// without panicking, with the storm lines accounted for exactly, and
+/// the admission layer must finish a 2× sustained replay of the stormy
+/// stream with the overload ledger conserved to the event.
+#[test]
+fn burst_overload_degrades_gracefully_with_exact_accounting() {
+    for seed in [3u64, 23] {
+        let data = run(&chaotic(seed, ChaosConfig::burst_overload(seed * 13)));
+        let outcome = data.chaos.as_ref().expect("chaos ran");
+        assert!(
+            outcome.stats.storm_injected > 0 && outcome.stats.storm_bursts_injected > 0,
+            "storms must actually fire: {:?}",
+            outcome.stats
+        );
+        assert!(outcome.stats.is_balanced(), "{:?}", outcome.stats);
+        assert_eq!(
+            outcome.stats.lines_out, data.raw_syslog_lines as u64,
+            "archive length must match chaos accounting, storms included"
+        );
+        assert!(outcome.parse.is_balanced(), "{:?}", outcome.parse);
+
+        // The full analysis surface survives the storm.
+        let config = AnalysisConfig {
+            quarantine_horizon: Some(quarantine_horizon(&data)),
+            ..AnalysisConfig::default()
+        };
+        let batch = Analysis::try_run(&data, config.clone()).expect("stormy data is valid");
+        let _ = batch.table4();
+        let _ = batch.figure1();
+
+        // And so does the admission layer under 2× sustained overload:
+        // clean finish, exact conservation, ledger on the report.
+        let events = scenario_event_stream(&data);
+        let (result, counters) = run_overloaded(
+            &data,
+            config,
+            &AdmissionConfig::shedding(64, seed),
+            SimSchedule::new(16, 8),
+            &events,
+        )
+        .expect("stormy overload run finishes");
+        assert!(counters.conserved(), "seed {seed}: {counters:?}");
+        assert_eq!(counters.offered, events.len() as u64);
+        assert!(counters.shed > 0, "a storm at 2x must shed");
+        assert!(counters.queue_high_water <= 64);
+        assert_eq!(
+            result.report.overload,
+            Some(counters),
+            "the merged report must carry the ledger"
+        );
+    }
 }
 
 /// The quarantine-horizon boundary is inclusive on both paths: an event
