@@ -83,6 +83,15 @@ pub enum RecoveryError {
     /// The restored checkpoint or its embedded configuration failed the
     /// same validation [`crate::Analysis::try_run`] applies.
     InvalidState(AnalysisError),
+    /// A cluster shard worker reported a fatal condition (or its
+    /// transport failed) and the supervisor could not bring the shard
+    /// back through the recovery ladder.
+    WorkerFailed {
+        /// The shard index of the failed worker.
+        shard: u32,
+        /// What the worker (or its transport) reported.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RecoveryError {
@@ -130,6 +139,9 @@ impl fmt::Display for RecoveryError {
                 )
             }
             RecoveryError::InvalidState(e) => write!(f, "restored state is invalid: {e}"),
+            RecoveryError::WorkerFailed { shard, detail } => {
+                write!(f, "shard worker {shard} failed: {detail}")
+            }
         }
     }
 }
@@ -195,6 +207,218 @@ impl fmt::Display for AnalysisError {
 
 impl Error for AnalysisError {}
 
+/// Why one [`crate::transport::ShardMsg`] frame could not be written or
+/// read. The frame codec shares the checkpoint discipline from
+/// [`crate::recovery`]: every frame is length-prefixed, versioned, and
+/// integrity-hashed, so damage surfaces as a typed value here — never a
+/// panic, and never a silently wrong message.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended cleanly at a frame boundary (EOF before the
+    /// first header byte). For a subprocess worker this is how the
+    /// supervisor observes death.
+    Closed,
+    /// The stream ended mid-frame: a header or payload was cut short.
+    Torn {
+        /// Bytes the reader expected to complete the frame section.
+        expected: usize,
+        /// Bytes actually available before EOF.
+        got: usize,
+    },
+    /// The frame did not start with the shard-message magic.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The frame was written by an incompatible wire version.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u16,
+        /// Version this build speaks.
+        expected: u16,
+    },
+    /// The declared payload length exceeds the codec's sanity bound —
+    /// almost certainly a corrupt or misaligned header.
+    TooLarge {
+        /// Declared payload length.
+        len: u64,
+        /// The bound the codec enforces.
+        max: u64,
+    },
+    /// The payload's FNV-1a hash does not match the header.
+    HashMismatch {
+        /// Hash recorded in the frame header.
+        expected: u64,
+        /// Hash computed over the received payload.
+        found: u64,
+    },
+    /// The payload hashed correctly but did not decode as a
+    /// [`crate::transport::ShardMsg`] (or could not be encoded).
+    Malformed {
+        /// The decoder/encoder's explanation.
+        detail: String,
+    },
+    /// An I/O error other than EOF while reading or writing.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "stream closed at a frame boundary"),
+            FrameError::Torn { expected, got } => {
+                write!(f, "torn frame: expected {expected} bytes, got {got}")
+            }
+            FrameError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?}")
+            }
+            FrameError::UnsupportedVersion { found, expected } => {
+                write!(
+                    f,
+                    "frame wire version {found} is not supported (this build speaks {expected})"
+                )
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(
+                    f,
+                    "declared payload length {len} exceeds the {max}-byte bound"
+                )
+            }
+            FrameError::HashMismatch { expected, found } => {
+                write!(
+                    f,
+                    "frame payload hash mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+                )
+            }
+            FrameError::Malformed { detail } => write!(f, "malformed frame payload: {detail}"),
+            FrameError::Io(e) => write!(f, "frame i/o failed: {e}"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Why a [`crate::transport::ShardTransport`] operation failed. Every
+/// variant names the worker index involved so the cluster supervisor
+/// can decide between "respawn that shard" and "surface the run as
+/// failed".
+#[derive(Debug)]
+pub enum TransportError {
+    /// A frame could not be encoded, written, read, or decoded on one
+    /// worker's connection.
+    Frame {
+        /// The worker index.
+        worker: usize,
+        /// The codec-level failure.
+        source: FrameError,
+    },
+    /// The worker is gone: its channel hung up, its pipe hit EOF, or a
+    /// write landed on a dead process.
+    WorkerGone {
+        /// The worker index.
+        worker: usize,
+        /// How the loss was observed.
+        detail: String,
+    },
+    /// The worker answered with a message the protocol does not allow
+    /// in the current state (e.g. `Flushed` before `Flush`).
+    Protocol {
+        /// The worker index.
+        worker: usize,
+        /// What was expected and what arrived.
+        detail: String,
+    },
+    /// The worker itself reported a fatal condition and exited.
+    WorkerReported {
+        /// The worker index.
+        worker: usize,
+        /// The worker's own description of the failure.
+        detail: String,
+    },
+    /// A worker process (or thread) could not be started at all.
+    Spawn {
+        /// What failed to launch and why.
+        detail: String,
+    },
+    /// The inputs failed the same validation the in-process entry
+    /// points apply, before any worker was started.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Frame { worker, source } => {
+                write!(f, "frame error on worker {worker}: {source}")
+            }
+            TransportError::WorkerGone { worker, detail } => {
+                write!(f, "worker {worker} is gone: {detail}")
+            }
+            TransportError::Protocol { worker, detail } => {
+                write!(f, "protocol violation from worker {worker}: {detail}")
+            }
+            TransportError::WorkerReported { worker, detail } => {
+                write!(f, "worker {worker} reported fatal: {detail}")
+            }
+            TransportError::Spawn { detail } => write!(f, "could not spawn worker: {detail}"),
+            TransportError::Analysis(e) => write!(f, "invalid cluster inputs: {e}"),
+        }
+    }
+}
+
+impl Error for TransportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransportError::Frame { source, .. } => Some(source),
+            TransportError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for TransportError {
+    fn from(e: AnalysisError) -> Self {
+        TransportError::Analysis(e)
+    }
+}
+
+impl TransportError {
+    /// True when the failure means "that worker is dead" (hang-up, EOF,
+    /// torn or damaged frame) rather than a protocol bug or an
+    /// explicitly reported fatal — the distinction the durable
+    /// supervisor uses to decide whether the recovery ladder applies.
+    pub fn is_worker_loss(&self) -> bool {
+        matches!(
+            self,
+            TransportError::WorkerGone { .. } | TransportError::Frame { .. }
+        )
+    }
+
+    /// The worker index the failure names, when it names one.
+    pub fn worker(&self) -> Option<usize> {
+        match self {
+            TransportError::Frame { worker, .. }
+            | TransportError::WorkerGone { worker, .. }
+            | TransportError::Protocol { worker, .. }
+            | TransportError::WorkerReported { worker, .. } => Some(*worker),
+            TransportError::Spawn { .. } | TransportError::Analysis(_) => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +468,58 @@ mod tests {
             reason: "checksum mismatch".into(),
         };
         assert!(format!("{torn}").contains("record 7"));
+
+        let worker = RecoveryError::WorkerFailed {
+            shard: 3,
+            detail: "pipe closed".into(),
+        };
+        assert!(format!("{worker}").contains("shard worker 3"));
+    }
+
+    #[test]
+    fn frame_errors_name_the_damage() {
+        assert!(format!("{}", FrameError::Closed).contains("frame boundary"));
+        let torn = FrameError::Torn {
+            expected: 20,
+            got: 3,
+        };
+        assert!(format!("{torn}").contains("expected 20"));
+        let magic = FrameError::BadMagic { found: *b"XXXX" };
+        assert!(format!("{magic}").contains("magic"));
+        let hash = FrameError::HashMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(format!("{hash}").contains("hash mismatch"));
+        let io: FrameError = std::io::Error::other("pipe burst").into();
+        assert!(io.source().is_some());
+    }
+
+    #[test]
+    fn transport_errors_classify_worker_loss() {
+        let gone = TransportError::WorkerGone {
+            worker: 2,
+            detail: "eof".into(),
+        };
+        assert!(gone.is_worker_loss());
+        assert_eq!(gone.worker(), Some(2));
+
+        let frame = TransportError::Frame {
+            worker: 1,
+            source: FrameError::Closed,
+        };
+        assert!(frame.is_worker_loss());
+        assert!(frame.source().is_some());
+
+        let fatal = TransportError::WorkerReported {
+            worker: 0,
+            detail: "state exists".into(),
+        };
+        assert!(!fatal.is_worker_loss());
+        assert!(format!("{fatal}").contains("fatal"));
+
+        let analysis: TransportError = AnalysisError::EmptyLinkTable.into();
+        assert!(!analysis.is_worker_loss());
+        assert_eq!(analysis.worker(), None);
     }
 }

@@ -85,6 +85,7 @@ pub mod sanitize;
 pub mod stats;
 pub mod streaming;
 pub mod transitions;
+pub mod transport;
 
 pub use admission::{
     run_overloaded, run_overloaded_cluster, shed_survivors, AdmissionConfig, AdmissionController,
@@ -93,20 +94,27 @@ pub use admission::{
 pub use analysis::{Analysis, AnalysisConfig};
 pub use arena::EventArena;
 pub use cluster::{
-    merge_outputs, partition_events, route_event, run_cluster, run_durable_cluster, shard_dir,
-    shard_of_key, shard_of_link, ClusterConfig, ClusterResult, DurableClusterRun, ShardRecovery,
+    merge_outputs, partition_events, route_event, run_cluster, run_cluster_subprocess,
+    run_durable_cluster, run_durable_cluster_subprocess, run_reshard_cluster,
+    run_reshard_cluster_subprocess, shard_dir, shard_of_key, shard_of_link, ClusterConfig,
+    ClusterResult, DurableClusterRun, ReshardReport, ReshardRun, ShardRecovery, SubprocessOptions,
 };
-pub use error::{AnalysisError, RecoveryError};
+pub use error::{AnalysisError, FrameError, RecoveryError, TransportError};
 pub use intern::{Sym, SymbolTable};
 pub use linktable::{LinkIx, LinkTable};
 pub use observe::{
     DurabilityCounters, OverloadCounters, PipelineCounters, PipelineReport, RobustnessCounters,
-    ShardCounters, StreamingCounters,
+    ShardCounters, StreamingCounters, TransportCounters,
 };
 pub use par::ParallelismConfig;
 pub use reconstruct::{AmbiguityStrategy, Failure};
 pub use recovery::{AsyncFaultHook, DurabilityPolicy, DurableStream, RecoveryReport, RetryPolicy};
 pub use streaming::{
-    scenario_event_stream, IngestOutcome, IngestSummary, StreamAnalysis, StreamCheckpoint,
-    StreamDelta, StreamEvent, StreamOutput, StreamResult,
+    scenario_event_stream, IngestOutcome, IngestSummary, LaneMigration, StreamAnalysis,
+    StreamCheckpoint, StreamDelta, StreamEvent, StreamOutput, StreamResult,
+};
+pub use transport::{
+    locate_worker_bin, read_frame, serve_stdio, write_frame, DurableSpec, InProcessTransport,
+    ReadyMsg, ScenarioSpec, ShardMsg, ShardTransport, SubprocessTransport, WorkerOutput,
+    WorkerSpec, FRAME_MAGIC, WIRE_VERSION,
 };

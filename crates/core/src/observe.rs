@@ -300,6 +300,36 @@ pub struct ShardCounters {
     pub merge_micros: u64,
 }
 
+/// Accounting for the shard transport under a cluster run
+/// ([`crate::transport::ShardTransport`]): frames and bytes exchanged
+/// between the dispatcher and its workers, worker lifecycle events, and
+/// the cost of live lane migration. Absent (`None`) on runs that did
+/// not go through a transport. Byte counters stay 0 on the in-process
+/// transport, which moves messages without serializing them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportCounters {
+    /// Frames the dispatcher sent to workers.
+    pub frames_sent: u64,
+    /// Frames the dispatcher received from workers.
+    pub frames_received: u64,
+    /// Serialized bytes sent (subprocess transport only).
+    pub bytes_sent: u64,
+    /// Serialized bytes received (subprocess transport only).
+    pub bytes_received: u64,
+    /// Workers started over the transport's lifetime (initial spawns,
+    /// respawns, and live-reshard growth).
+    pub workers_spawned: u64,
+    /// Workers respawned after the supervisor observed their death.
+    pub worker_restarts: u64,
+    /// Workers the supervisor killed deliberately (chaos injection).
+    pub workers_killed: u64,
+    /// Per-link lanes moved between workers by live resharding.
+    pub lanes_migrated: u64,
+    /// Wall time spent exporting, shipping, and importing migrated
+    /// lanes, microseconds.
+    pub migration_micros: u64,
+}
+
 /// Per-stage counters and wall-clock timings for one
 /// [`crate::analysis::Analysis`] run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -328,6 +358,10 @@ pub struct PipelineReport {
     /// [`crate::cluster::run_cluster`] or its durable sibling.
     #[serde(default)]
     pub cluster: Option<ShardCounters>,
+    /// Shard-transport counters; `None` unless the run's shards spoke
+    /// through a [`crate::transport::ShardTransport`].
+    #[serde(default)]
+    pub transport: Option<TransportCounters>,
     /// End-to-end wall time, microseconds.
     pub total_micros: u64,
 }
@@ -488,6 +522,21 @@ impl fmt::Display for PipelineReport {
                 c.merge_micros as f64 / 1_000.0
             )?;
         }
+        if let Some(t) = &self.transport {
+            writeln!(
+                f,
+                "  transport: {} frames out / {} in ({} B out / {} B in), {} spawned ({} restarts, {} killed), {} lanes migrated in {:.3} ms",
+                t.frames_sent,
+                t.frames_received,
+                t.bytes_sent,
+                t.bytes_received,
+                t.workers_spawned,
+                t.worker_restarts,
+                t.workers_killed,
+                t.lanes_migrated,
+                t.migration_micros as f64 / 1_000.0
+            )?;
+        }
         Ok(())
     }
 }
@@ -606,6 +655,30 @@ mod tests {
         let back: PipelineReport =
             serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
         assert_eq!(back.durability, r.durability);
+    }
+
+    #[test]
+    fn transport_counters_render_and_round_trip() {
+        let mut r = sample();
+        assert!(!format!("{r}").contains("transport:"), "absent by default");
+        r.transport = Some(TransportCounters {
+            frames_sent: 42,
+            frames_received: 7,
+            bytes_sent: 1_000,
+            bytes_received: 2_000,
+            workers_spawned: 5,
+            worker_restarts: 1,
+            workers_killed: 1,
+            lanes_migrated: 12,
+            migration_micros: 2_500,
+        });
+        let text = format!("{r}");
+        assert!(text.contains("transport: 42 frames out / 7 in"));
+        assert!(text.contains("5 spawned (1 restarts, 1 killed)"));
+        assert!(text.contains("12 lanes migrated in 2.500 ms"));
+        let back: PipelineReport =
+            serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back.transport, r.transport);
     }
 
     #[test]

@@ -83,7 +83,7 @@ const DELTA_MAGIC: &str = "faultline-delta";
 /// FNV-1a 64-bit — the integrity hash for checkpoint payloads and
 /// journal records (fast, dependency-free, and deterministic across
 /// platforms; corruption detection, not cryptography).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -309,6 +309,33 @@ impl StreamDelta {
     }
 }
 
+/// A set of per-link lanes in flight between two engines — the payload
+/// of live resharding ([`crate::cluster::run_reshard_cluster`]). Each
+/// lane ships as the same full `LaneDelta` encoding the incremental
+/// checkpoint layer uses, captured by [`StreamAnalysis::export_lanes`]
+/// on the source engine and replayed by
+/// [`StreamAnalysis::import_lanes`] on the destination. The lane list
+/// is ascending by link (export preserves the request order, which the
+/// cluster derives from the sorted link table), so serialization is
+/// deterministic for a given state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LaneMigration {
+    lanes: Vec<LaneDelta>,
+}
+
+impl LaneMigration {
+    /// How many lanes this migration carries.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Fold another migration's lanes onto this one (used when several
+    /// source workers hand lanes to the same new worker).
+    pub fn merge(&mut self, other: LaneMigration) {
+        self.lanes.extend(other.lanes);
+    }
+}
+
 /// The incremental analysis engine: the streaming driver's shell around
 /// the shared `Kernel`. See the module docs for the equivalence
 /// contract; construction resolves the link table from the scenario's
@@ -564,6 +591,64 @@ impl<'a> StreamAnalysis<'a> {
         Ok(engine)
     }
 
+    /// Detach the requested links' lanes from this engine, whole. A link
+    /// with no lane yet (no event has touched it) is simply skipped: a
+    /// fresh lane is state-free, so the destination engine creating one
+    /// on demand reproduces the same machine. The removed lanes stop
+    /// counting toward this engine's open-state bound immediately.
+    ///
+    /// Everything per-link lives in the lane — dedup anchor, endpoint
+    /// maps, open/pending failures, the buffered match segment — so a
+    /// moved lane continues on the destination exactly where it stopped
+    /// here. The resolved-message archive is *not* per-link state; it
+    /// stays behind and the cluster merge interleaves the archives.
+    pub fn export_lanes(&mut self, links: &[LinkIx]) -> LaneMigration {
+        let mut lanes = Vec::new();
+        for link in links {
+            if let Some(lane) = self.kernel.lanes.remove(link) {
+                self.kernel.open_items -= lane.open_items();
+                lanes.push(LaneDelta::Full(lane.snapshot()));
+            }
+        }
+        LaneMigration { lanes }
+    }
+
+    /// Attach migrated lanes to this engine. Fails (typed, applying
+    /// nothing further) if a lane arrives for a link this engine already
+    /// has state for — that would silently discard one side's history —
+    /// or if a lane arrives in the incremental `LaneDelta::Tail`
+    /// encoding, which only makes sense against a parent snapshot.
+    /// Returns how many lanes were attached.
+    pub fn import_lanes(&mut self, migration: LaneMigration) -> Result<u64, String> {
+        let mut imported = 0u64;
+        for lane_delta in migration.lanes {
+            match lane_delta {
+                LaneDelta::Full(snap) => {
+                    if self.kernel.lanes.contains_key(&snap.link) {
+                        return Err(format!(
+                            "lane migration for link {:?} collides with existing lane state",
+                            snap.link
+                        ));
+                    }
+                    let link = snap.link;
+                    let lane = LinkLane::restore(snap);
+                    self.kernel.open_items += lane.open_items();
+                    self.kernel.lanes.insert(link, lane);
+                    imported += 1;
+                }
+                LaneDelta::Tail(tail) => {
+                    return Err(format!(
+                        "lane migration for link {:?} uses the incremental tail encoding; \
+                         migrations ship whole lanes",
+                        tail.link
+                    ));
+                }
+            }
+        }
+        self.kernel.open_items_hwm = self.kernel.open_items_hwm.max(self.kernel.open_items);
+        Ok(imported)
+    }
+
     /// Override the scheduling half of the configuration. Thread count
     /// never affects results (`tests/determinism.rs`), so a restored run
     /// may resume under a different parallelism than the run that wrote
@@ -803,5 +888,52 @@ mod tests {
             StreamAnalysis::restore(&data, ckpt).err(),
             Some(AnalysisError::InvalidConfig { .. })
         ));
+    }
+
+    // Lane export/import needs private access to enumerate the kernel's
+    // lanes and to forge a tail-encoded migration; the end-to-end
+    // resharding semantics live in `tests/cluster_reshard.rs`.
+    #[test]
+    fn lane_export_import_moves_open_state_and_rejects_bad_payloads() {
+        let data = run(&ScenarioParams::tiny(5));
+        let events = scenario_event_stream(&data);
+        let mut engine = StreamAnalysis::new(&data, AnalysisConfig::default());
+        for event in &events[..events.len() / 2] {
+            engine.ingest(event);
+        }
+        let links: Vec<LinkIx> = engine.kernel.lanes.keys().copied().collect();
+        assert!(!links.is_empty(), "half the tiny stream must touch lanes");
+        let open_before = engine.open_state();
+
+        let moved = engine.export_lanes(&links);
+        assert_eq!(moved.lane_count(), links.len());
+        assert_eq!(engine.open_state(), 0, "exported lanes leave no open state");
+        assert_eq!(
+            engine.export_lanes(&links).lane_count(),
+            0,
+            "re-export of absent lanes is a no-op"
+        );
+
+        let imported = engine.import_lanes(moved.clone()).expect("import back");
+        assert_eq!(imported, links.len() as u64);
+        assert_eq!(engine.open_state(), open_before);
+        assert!(
+            engine.import_lanes(moved).unwrap_err().contains("collides"),
+            "double import must be a typed error"
+        );
+
+        // A tail-encoded lane (the incremental checkpoint shape) is not
+        // a valid migration payload.
+        engine.mark_clean();
+        for event in &events[events.len() / 2..] {
+            engine.ingest(event);
+        }
+        let delta = engine.checkpoint_delta();
+        if let Some(tail) = delta.lanes.iter().find(|l| matches!(l, LaneDelta::Tail(_))) {
+            let forged = LaneMigration {
+                lanes: vec![tail.clone()],
+            };
+            assert!(engine.import_lanes(forged).unwrap_err().contains("tail"));
+        }
     }
 }

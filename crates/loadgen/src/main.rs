@@ -15,11 +15,12 @@
 //! faultline-loadgen --deterministic  # simulated clock only (CI)
 //! ```
 
-use faultline_bench::{paper_event_workload, write_bench_json};
+use faultline_bench::{paper_event_workload, paper_params, write_bench_json};
 use faultline_core::admission::{run_overloaded, AdmissionConfig, SimSchedule};
+use faultline_core::transport::{locate_worker_bin, ScenarioSpec};
 use faultline_core::{
-    run_cluster, AnalysisConfig, ClusterConfig, DurabilityPolicy, DurableStream, StreamAnalysis,
-    StreamEvent,
+    run_cluster, run_cluster_subprocess, AnalysisConfig, ClusterConfig, DurabilityPolicy,
+    DurableStream, StreamAnalysis, StreamEvent, SubprocessOptions,
 };
 use faultline_loadgen::{
     calibrated_ramp, deterministic_capacity, jv, measure_drift, paced_ramp, percentile,
@@ -149,6 +150,31 @@ fn measure_cluster(data: &ScenarioData, events: &[StreamEvent], shards: u32) -> 
     rate
 }
 
+/// Unthrottled subprocess-cluster service rate at `shards`: every
+/// worker a `faultline-shard-worker` process, every event crossing a
+/// real pipe as a hashed frame — the deployment shape where transport
+/// cost is part of the capacity answer. Returns `None` when the worker
+/// binary is not alongside this one (set `FAULTLINE_SHARD_WORKER`).
+fn measure_cluster_subprocess(
+    data: &ScenarioData,
+    events: &[StreamEvent],
+    shards: u32,
+) -> Option<f64> {
+    let worker_bin = locate_worker_bin()?;
+    let opts = SubprocessOptions {
+        worker_bin,
+        scenario: ScenarioSpec::Params(Box::new(paper_params())),
+    };
+    let t0 = Instant::now();
+    let result = run_cluster_subprocess(data, events, &ClusterConfig::new(shards), &opts)
+        .expect("subprocess cluster run");
+    let wall = t0.elapsed().as_secs_f64();
+    drop(result);
+    let rate = events.len() as f64 / wall.max(1e-9);
+    eprintln!("subprocess cluster x{shards} service rate: {rate:.0} events/s");
+    Some(rate)
+}
+
 /// Unthrottled durable single-stream service rate; returns the rate and
 /// the finished report (whose durability section carries the
 /// snapshot-stall rate the capacity JSON must surface).
@@ -265,6 +291,32 @@ fn main() {
             runs.push(v);
         }
 
+        // Subprocess-cluster arm: the same calibrated ramp against the
+        // multi-process deployment shape, so the capacity record covers
+        // the transport's serialization + pipe overhead too.
+        let mut subprocess_bp4 = None;
+        match measure_cluster_subprocess(&data, &events, 4) {
+            Some(rate) => {
+                eprintln!("subprocess cluster x4 calibrated ramp:");
+                let verdict = calibrated_ramp(
+                    &events,
+                    rate,
+                    &CALIBRATION_FRACTIONS,
+                    QUEUE_CAPACITY,
+                    SEED,
+                    &slo,
+                );
+                subprocess_bp4 = verdict.breaking_point;
+                let mut v = verdict_json("cluster_subprocess_x4", &verdict);
+                v["calibration"] = serde_json::json!({ "service_events_per_sec": rate });
+                runs.push(v);
+            }
+            None => eprintln!(
+                "faultline-shard-worker binary not found (set FAULTLINE_SHARD_WORKER or \
+                 `cargo build --release -p faultline`); skipping the subprocess-cluster arm"
+            ),
+        }
+
         // Durable arm: calibrate with the journal + off-thread snapshot
         // writer engaged; its report carries the stall-rate satellite.
         let (durable_rate, durable_report) = measure_durable(&data, &events);
@@ -284,6 +336,7 @@ fn main() {
 
         headline["single_stream_breaking_point_events_per_sec"] = jv(&single_bp);
         headline["cluster4_breaking_point_events_per_sec"] = jv(&cluster_bp4);
+        headline["subprocess_cluster4_breaking_point_events_per_sec"] = jv(&subprocess_bp4);
         headline["durable_breaking_point_events_per_sec"] = jv(&durable.breaking_point);
     }
 

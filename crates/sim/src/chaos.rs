@@ -860,6 +860,32 @@ pub fn shard_kill_seeded(seed: u64, shard_events: &[u64]) -> Option<ShardKill> {
     })
 }
 
+/// A seeded cut point strictly inside a wire frame of `frame_len`
+/// bytes: where a torn write (worker death mid-frame, severed pipe)
+/// truncates it. Returns `None` for frames too short to tear (< 2
+/// bytes). Consumed by the frame-codec chaos tests, which assert every
+/// truncation decodes to a typed error, never a panic.
+pub fn frame_cut_seeded(seed: u64, frame_len: usize) -> Option<usize> {
+    if frame_len < 2 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A7_7E01_C07A_11ED);
+    Some(rng.random_range(1..frame_len))
+}
+
+/// A seeded single-bit flip inside a wire frame of `frame_len` bytes:
+/// `(byte_index, bit)` — the in-flight corruption the frame hash must
+/// catch. Returns `None` for empty frames.
+pub fn frame_flip_seeded(seed: u64, frame_len: usize) -> Option<(usize, u8)> {
+    if frame_len == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB17F_11B0_57ED_F1A9);
+    let byte = rng.random_range(0..frame_len);
+    let bit = rng.random_range(0..8) as u8;
+    Some((byte, bit))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1149,5 +1175,19 @@ mod tests {
         assert!(a.iter().all(|&p| (1..1_000).contains(&p)));
         assert_eq!(crash_points_seeded(1, 1, 5), Vec::<u64>::new());
         assert_eq!(crash_points_seeded(1, 3, 10).len(), 2, "clamped to total-1");
+    }
+
+    #[test]
+    fn frame_faults_are_seeded_and_in_bounds() {
+        for seed in 0..50u64 {
+            let cut = frame_cut_seeded(seed, 64).unwrap();
+            assert_eq!(Some(cut), frame_cut_seeded(seed, 64), "reproducible");
+            assert!((1..64).contains(&cut), "strictly inside the frame");
+            let (byte, bit) = frame_flip_seeded(seed, 64).unwrap();
+            assert_eq!(Some((byte, bit)), frame_flip_seeded(seed, 64));
+            assert!(byte < 64 && bit < 8);
+        }
+        assert_eq!(frame_cut_seeded(7, 1), None, "too short to tear");
+        assert_eq!(frame_flip_seeded(7, 0), None, "nothing to flip");
     }
 }

@@ -1,0 +1,11 @@
+//! `faultline-shard-worker` — one shard of a subprocess cluster.
+//!
+//! Spawned by [`faultline_core::SubprocessTransport`]; speaks the
+//! length-prefixed, FNV-hashed [`faultline_core::ShardMsg`] frame
+//! protocol over stdin/stdout and nothing else (stderr is free-form
+//! diagnostics). The first frame must be `Hello(WorkerSpec)`; after
+//! that the process is an ordinary shard worker until `Flush` or EOF.
+
+fn main() {
+    std::process::exit(faultline_core::serve_stdio());
+}
